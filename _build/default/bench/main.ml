@@ -1,0 +1,114 @@
+(* The benchmark harness: one runner per table/figure of the paper, plus a
+   Bechamel suite measuring the simulator itself.
+
+     dune exec bench/main.exe            -- everything, in paper order
+     dune exec bench/main.exe -- table3  -- a single experiment
+     dune exec bench/main.exe -- bechamel
+
+   Experiments: micro table2 table3 table4 fig4 fig5 splash ablation. *)
+
+open Dsmpm2_experiments
+
+let ppf = Format.std_formatter
+
+let section title f =
+  Format.fprintf ppf "@.=== %s ===@." title;
+  f ();
+  Format.pp_print_flush ppf ()
+
+let run_micro () = Micro.print ppf (Micro.run ())
+let run_table2 () = Table2_inventory.print ppf (Table2_inventory.run ())
+let run_table3 () = Fault_cost.print ppf (Fault_cost.run Fault_cost.Page_transfer)
+let run_table4 () = Fault_cost.print ppf (Fault_cost.run Fault_cost.Thread_migration)
+let run_fig4 () = Fig4_tsp.print ppf (Fig4_tsp.run ())
+let run_fig5 () = Fig5_coloring.print ppf (Fig5_coloring.run ())
+let run_splash () = Splash.print ppf (Splash.run ())
+let run_ablation () = Ablation.print ppf (Ablation.run ())
+let run_litmus () = Litmus.print ppf (Litmus.run ())
+let run_patterns () = Sharing_patterns.print ppf (Sharing_patterns.run ())
+
+(* Bechamel micro-benchmarks of the simulator itself: how fast the host can
+   execute one simulated cold read fault and one simulated TSP solve.  These
+   measure the reproduction platform, not the paper's system. *)
+let bechamel_tests () =
+  let open Bechamel in
+  let open Dsmpm2_net in
+  let open Dsmpm2_core in
+  let open Dsmpm2_protocols in
+  let fault_once policy () =
+    let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+    let ids = Builtin.register_all dsm in
+    let protocol =
+      match policy with
+      | `Page -> ids.Builtin.li_hudak
+      | `Migrate -> ids.Builtin.migrate_thread
+    in
+    let x = Dsm.malloc dsm ~protocol ~home:(Dsm.On_node 1) 8 in
+    ignore (Dsm.spawn dsm ~node:0 (fun () -> ignore (Dsm.read_int dsm x)));
+    Dsm.run dsm
+  in
+  let tsp_small () =
+    ignore
+      (Dsmpm2_apps.Tsp.run { Dsmpm2_apps.Tsp.default with Dsmpm2_apps.Tsp.cities = 10 })
+  in
+  let test name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"dsmpm2"
+    [
+      test "sim/read_fault_page_transfer" (fault_once `Page);
+      test "sim/read_fault_thread_migration" (fault_once `Migrate);
+      test "sim/tsp_10_cities_li_hudak" tsp_small;
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun measure by_test ->
+      Hashtbl.iter
+        (fun test result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Format.fprintf ppf "%-40s %12.1f ns/run (%s)@." test est measure
+          | _ -> Format.fprintf ppf "%-40s (no estimate)@." test)
+        by_test)
+    results
+
+let all =
+  [
+    ("micro", run_micro);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("splash", run_splash);
+    ("ablation", run_ablation);
+    ("litmus", run_litmus);
+    ("patterns", run_patterns);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Format.fprintf ppf
+        "DSM-PM2 reproduction bench: regenerating every table and figure@.";
+      List.iter (fun (name, f) -> section name f) all
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some f -> section name f
+          | None when name = "bechamel" -> section "bechamel" run_bechamel
+          | None ->
+              Format.fprintf ppf "unknown experiment %S; known: %s bechamel@." name
+                (String.concat " " (List.map fst all));
+              exit 1)
+        names

@@ -1,0 +1,144 @@
+(* dsm-cli: run DSM-PM2 reproduction experiments and ad-hoc application
+   configurations from the command line.
+
+     dune exec bin/dsm_cli.exe -- table3
+     dune exec bin/dsm_cli.exe -- tsp --protocol migrate_thread --nodes 8
+     dune exec bin/dsm_cli.exe -- jacobi --protocol hbrc_mw --size 64
+     dune exec bin/dsm_cli.exe -- coloring --protocol java_ic --nodes 2 *)
+
+open Cmdliner
+open Dsmpm2_experiments
+
+let ppf = Format.std_formatter
+
+let driver_conv =
+  let parse s =
+    match Dsmpm2_net.Driver.by_name s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown driver %S (known: %s)" s
+               (String.concat ", "
+                  (List.map (fun d -> d.Dsmpm2_net.Driver.name) Dsmpm2_net.Driver.all))))
+  in
+  let print fmt d = Format.pp_print_string fmt d.Dsmpm2_net.Driver.name in
+  Arg.conv (parse, print)
+
+let driver_arg =
+  Arg.(
+    value
+    & opt driver_conv Dsmpm2_net.Driver.bip_myrinet
+    & info [ "driver" ] ~docv:"DRIVER" ~doc:"Network driver (e.g. BIP/Myrinet, SISCI/SCI).")
+
+let nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+
+let protocol_arg default =
+  Arg.(
+    value & opt string default
+    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Consistency protocol name.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let experiment name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ()) $ const ())
+
+let tsp_cmd =
+  let run protocol nodes driver seed cities balance =
+    let r =
+      Dsmpm2_apps.Tsp.run
+        { Dsmpm2_apps.Tsp.default with protocol; nodes; driver; seed; cities; balance }
+    in
+    Format.fprintf ppf
+      "tsp: protocol=%s nodes=%d cities=%d time=%.1fms best=%d expansions=%d \
+       migrations=%d balancer_moves=%d faults=%d messages=%d workers=[%s]@."
+      protocol nodes cities r.Dsmpm2_apps.Tsp.time_ms r.Dsmpm2_apps.Tsp.best
+      r.Dsmpm2_apps.Tsp.expansions r.Dsmpm2_apps.Tsp.migrations
+      r.Dsmpm2_apps.Tsp.balancer_moves
+      (r.Dsmpm2_apps.Tsp.read_faults + r.Dsmpm2_apps.Tsp.write_faults)
+      r.Dsmpm2_apps.Tsp.messages
+      (String.concat ";" (List.map string_of_int r.Dsmpm2_apps.Tsp.final_node_of_thread))
+  in
+  let cities =
+    Arg.(value & opt int 14 & info [ "cities" ] ~docv:"N" ~doc:"Number of cities.")
+  in
+  let balance =
+    Arg.(value & flag & info [ "balance" ] ~doc:"Run the PM2 load balancer.")
+  in
+  Cmd.v
+    (Cmd.info "tsp" ~doc:"Run the TSP branch-and-bound application.")
+    Term.(
+      const run $ protocol_arg "li_hudak" $ nodes_arg $ driver_arg $ seed_arg $ cities
+      $ balance)
+
+let jacobi_cmd =
+  let run protocol nodes driver size iterations =
+    let r =
+      Dsmpm2_apps.Jacobi.run
+        { Dsmpm2_apps.Jacobi.default with protocol; nodes; driver; size; iterations }
+    in
+    let reference = Dsmpm2_apps.Jacobi.checksum_sequential ~size ~iterations in
+    Format.fprintf ppf
+      "jacobi: protocol=%s nodes=%d size=%d iters=%d time=%.1fms checksum=%s \
+       faults=%d pages=%d diff_bytes=%d@."
+      protocol nodes size iterations r.Dsmpm2_apps.Jacobi.time_ms
+      (if r.Dsmpm2_apps.Jacobi.checksum = reference then "OK" else "WRONG")
+      (r.Dsmpm2_apps.Jacobi.read_faults + r.Dsmpm2_apps.Jacobi.write_faults)
+      r.Dsmpm2_apps.Jacobi.pages_transferred r.Dsmpm2_apps.Jacobi.diff_bytes
+  in
+  let size = Arg.(value & opt int 48 & info [ "size" ] ~docv:"N" ~doc:"Grid side.") in
+  let iters =
+    Arg.(value & opt int 8 & info [ "iterations" ] ~docv:"N" ~doc:"Sweeps.")
+  in
+  Cmd.v
+    (Cmd.info "jacobi" ~doc:"Run the Jacobi relaxation kernel.")
+    Term.(const run $ protocol_arg "hbrc_mw" $ nodes_arg $ driver_arg $ size $ iters)
+
+let coloring_cmd =
+  let run protocol nodes driver =
+    let r =
+      Dsmpm2_apps.Map_coloring.run
+        { Dsmpm2_apps.Map_coloring.default with protocol; nodes; driver }
+    in
+    Format.fprintf ppf
+      "coloring: protocol=%s nodes=%d time=%.1fms cost=%d gets=%d checks=%d faults=%d@."
+      protocol nodes r.Dsmpm2_apps.Map_coloring.time_ms
+      r.Dsmpm2_apps.Map_coloring.best_cost r.Dsmpm2_apps.Map_coloring.gets
+      r.Dsmpm2_apps.Map_coloring.inline_checks
+      (r.Dsmpm2_apps.Map_coloring.read_faults + r.Dsmpm2_apps.Map_coloring.write_faults)
+  in
+  Cmd.v
+    (Cmd.info "coloring" ~doc:"Run the Hyperion-style map-colouring application.")
+    Term.(const run $ protocol_arg "java_pf" $ nodes_arg $ driver_arg)
+
+let experiments =
+  [
+    experiment "micro" "PM2 micro-benchmarks (paper section 2.1)." (fun () ->
+        Micro.print ppf (Micro.run ()));
+    experiment "table2" "Protocol inventory (paper Table 2)." (fun () ->
+        Table2_inventory.print ppf (Table2_inventory.run ()));
+    experiment "table3" "Read-fault breakdown, page transfer (paper Table 3)." (fun () ->
+        Fault_cost.print ppf (Fault_cost.run Fault_cost.Page_transfer));
+    experiment "table4" "Read-fault breakdown, thread migration (paper Table 4)."
+      (fun () -> Fault_cost.print ppf (Fault_cost.run Fault_cost.Thread_migration));
+    experiment "fig4" "TSP protocol comparison (paper Figure 4)." (fun () ->
+        Fig4_tsp.print ppf (Fig4_tsp.run ()));
+    experiment "fig5" "Java consistency comparison (paper Figure 5)." (fun () ->
+        Fig5_coloring.print ppf (Fig5_coloring.run ()));
+    experiment "splash" "SPLASH-style kernel study (paper section 5)." (fun () ->
+        Splash.print ppf (Splash.run ()));
+    experiment "ablation" "Stack-size and sync-frequency ablations." (fun () ->
+        Ablation.print ppf (Ablation.run ()));
+    experiment "litmus" "Memory-model litmus tests across all protocols." (fun () ->
+        Litmus.print ppf (Litmus.run ()));
+    experiment "patterns" "Sharing-pattern study across all protocols." (fun () ->
+        Sharing_patterns.print ppf (Sharing_patterns.run ()));
+  ]
+
+let () =
+  let info =
+    Cmd.info "dsm-cli" ~version:"1.0.0"
+      ~doc:"DSM-PM2 reproduction: experiments and applications."
+  in
+  exit (Cmd.eval (Cmd.group info (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd ])))

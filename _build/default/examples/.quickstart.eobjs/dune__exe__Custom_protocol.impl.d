@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Instrument Li_hudak List Migrate_thread Printf Protocol Runtime

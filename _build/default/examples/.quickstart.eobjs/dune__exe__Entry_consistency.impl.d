@@ -1,0 +1,1 @@
+examples/entry_consistency.ml: Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Entry_ec Format List Monitor Printf

@@ -1,0 +1,1 @@
+examples/entry_consistency.mli:

@@ -1,0 +1,1 @@
+examples/java_coloring.ml: Dsmpm2_apps List Map_coloring Printf

@@ -1,0 +1,1 @@
+examples/java_coloring.mli:

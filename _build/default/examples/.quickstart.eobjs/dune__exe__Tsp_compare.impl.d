@@ -1,0 +1,1 @@
+examples/tsp_compare.ml: Array Dsmpm2_apps List Printf String Sys Tsp

@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Instrument Network Stats Workloads

@@ -1,0 +1,1 @@
+lib/apps/jacobi.mli: Driver Dsmpm2_net

@@ -1,0 +1,1 @@
+lib/apps/map_coloring.mli: Driver Dsmpm2_net

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Instrument Network Stats Workloads

@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Driver Dsmpm2_net

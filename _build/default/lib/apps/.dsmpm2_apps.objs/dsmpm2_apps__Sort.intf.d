@@ -1,0 +1,1 @@
+lib/apps/sort.mli: Driver Dsmpm2_net

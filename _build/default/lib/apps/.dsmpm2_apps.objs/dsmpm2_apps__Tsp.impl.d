@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_mem Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Instrument Network Rng Stats Workloads

@@ -1,0 +1,1 @@
+lib/apps/us_states.ml: Array List

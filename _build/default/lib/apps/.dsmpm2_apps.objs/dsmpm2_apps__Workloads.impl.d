@@ -1,0 +1,1 @@
+lib/apps/workloads.ml: Dsmpm2_core

@@ -1,0 +1,1 @@
+lib/apps/workloads.mli: Dsmpm2_core

@@ -1,0 +1,46 @@
+(** Minimal-cost map colouring by branch-and-bound, compiled-Java style
+    (paper Section 4, Figure 5).
+
+    Colours the twenty-nine eastern-most US states with four colours of
+    different costs, minimising the total cost, as a multithreaded
+    Hyperion-style program: the adjacency data and each worker's colour
+    assignment are DSM {e objects} accessed through the Hyperion [get]/[put]
+    primitives, the current best cost is a shared object protected by a
+    monitor, and one worker thread runs per node.
+
+    Each worker's assignment objects are homed on its own node and the
+    adjacency objects are touched constantly, so the program is exactly the
+    access profile the paper describes: "local objects are intensively used,
+    remote accesses are not very frequent".  Under [java_ic] every one of
+    those millions of [get]/[put]s pays an inline locality check; under
+    [java_pf] local accesses are free and only the rare remote miss pays a
+    fault — which is why [java_pf] wins in Figure 5. *)
+
+open Dsmpm2_net
+
+type config = {
+  nodes : int;  (** 4 in the paper *)
+  driver : Driver.t;  (** SISCI/SCI in the paper *)
+  protocol : string;  (** "java_ic" or "java_pf" *)
+  color_costs : int array;  (** four colours with different costs *)
+  refresh_period : int;  (** expansions between bound refreshes *)
+  expand_us : float;
+}
+
+val default : config
+
+type result = {
+  time_ms : float;
+  best_cost : int;
+  expansions : int;
+  gets : int;  (** Hyperion object accesses performed *)
+  inline_checks : int;  (** locality checks charged (java_ic only) *)
+  read_faults : int;
+  write_faults : int;
+  messages : int;
+}
+
+val run : config -> result
+
+val solve_sequential : ?color_costs:int array -> unit -> int
+(** Exact sequential solution: the correctness oracle. *)

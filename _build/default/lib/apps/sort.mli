@@ -1,0 +1,36 @@
+(** Parallel odd-even transposition sort over DSM.
+
+    The fourth SPLASH-style kernel, with a sharing pattern none of the
+    others exercise: {e pairwise neighbour exchange}.  The array is
+    block-distributed; in each of the [2n] phases, adjacent blocks are
+    merged pairwise (even phases pair blocks 0-1, 2-3, ...; odd phases pair
+    1-2, 3-4, ...) with a barrier between phases.  The left partner of each
+    pair reads the right partner's whole block, merge-splits, and writes
+    both halves back — so pages flow back and forth between fixed neighbour
+    pairs, a ping-pong that rewards protocols with cheap transfers and
+    punishes whole-page bouncing. *)
+
+open Dsmpm2_net
+
+type config = {
+  elements_per_node : int;
+  nodes : int;
+  driver : Driver.t;
+  protocol : string;
+  compare_us : float;
+  seed : int;
+}
+
+val default : config
+
+type result = {
+  time_ms : float;
+  sorted : bool;  (** the final array is globally sorted *)
+  correct : bool;  (** and is a permutation of the input *)
+  read_faults : int;
+  write_faults : int;
+  pages_transferred : int;
+  messages : int;
+}
+
+val run : config -> result

@@ -1,0 +1,94 @@
+let names =
+  [|
+    "ME"; "NH"; "VT"; "MA"; "RI"; "CT"; "NY"; "NJ"; "PA"; "DE"; "MD"; "VA";
+    "WV"; "NC"; "SC"; "GA"; "FL"; "AL"; "MS"; "TN"; "KY"; "OH"; "MI"; "IN";
+    "IL"; "WI"; "LA"; "AR"; "MO";
+  |]
+
+let count = Array.length names
+
+let id name =
+  let rec find i = if names.(i) = name then i else find (i + 1) in
+  find 0
+
+let adjacency_names =
+  [
+    ("ME", "NH");
+    ("NH", "VT"); ("NH", "MA");
+    ("VT", "MA"); ("VT", "NY");
+    ("MA", "RI"); ("MA", "CT"); ("MA", "NY");
+    ("RI", "CT");
+    ("CT", "NY");
+    ("NY", "NJ"); ("NY", "PA");
+    ("NJ", "PA"); ("NJ", "DE");
+    ("PA", "DE"); ("PA", "MD"); ("PA", "WV"); ("PA", "OH");
+    ("DE", "MD");
+    ("MD", "VA"); ("MD", "WV");
+    ("VA", "WV"); ("VA", "KY"); ("VA", "TN"); ("VA", "NC");
+    ("WV", "KY"); ("WV", "OH");
+    ("NC", "TN"); ("NC", "GA"); ("NC", "SC");
+    ("SC", "GA");
+    ("GA", "FL"); ("GA", "AL"); ("GA", "TN");
+    ("FL", "AL");
+    ("AL", "MS"); ("AL", "TN");
+    ("MS", "TN"); ("MS", "LA"); ("MS", "AR");
+    ("TN", "KY"); ("TN", "MO"); ("TN", "AR");
+    ("KY", "OH"); ("KY", "IN"); ("KY", "IL"); ("KY", "MO");
+    ("OH", "IN"); ("OH", "MI");
+    ("MI", "IN"); ("MI", "WI");
+    ("IN", "IL");
+    ("IL", "WI"); ("IL", "MO");
+    ("LA", "AR");
+    ("AR", "MO");
+  ]
+
+let adjacency =
+  List.map
+    (fun (a, b) ->
+      let a = id a and b = id b in
+      (min a b, max a b))
+    adjacency_names
+
+let neighbor_table =
+  let t = Array.make count [] in
+  List.iter
+    (fun (a, b) ->
+      t.(a) <- b :: t.(a);
+      t.(b) <- a :: t.(b))
+    adjacency;
+  Array.map (List.sort compare) t
+
+let neighbors s = neighbor_table.(s)
+
+(* Order states so each one touches as many already-placed states as
+   possible: conflicts surface early and pruning bites. *)
+let search_order =
+  let placed = Array.make count false in
+  let order = Array.make count 0 in
+  (* Start from the state with the highest degree. *)
+  let degree s = List.length neighbor_table.(s) in
+  let first = ref 0 in
+  for s = 1 to count - 1 do
+    if degree s > degree !first then first := s
+  done;
+  order.(0) <- !first;
+  placed.(!first) <- true;
+  for i = 1 to count - 1 do
+    let best = ref (-1) in
+    let best_score = ref (-1) in
+    for s = 0 to count - 1 do
+      if not placed.(s) then begin
+        let score =
+          (100 * List.length (List.filter (fun n -> placed.(n)) neighbor_table.(s)))
+          + degree s
+        in
+        if score > !best_score then begin
+          best := s;
+          best_score := score
+        end
+      end
+    done;
+    order.(i) <- !best;
+    placed.(!best) <- true
+  done;
+  order

@@ -1,0 +1,22 @@
+(** The twenty-nine eastern-most US states and their adjacency map.
+
+    The paper's Figure 5 experiment "solves the problem of coloring the
+    twenty-nine eastern-most states in the USA using four colors with
+    different costs".  This module provides that graph: the 26 states east
+    of the Mississippi plus Louisiana, Arkansas and Missouri, with their
+    real land borders. *)
+
+val names : string array
+(** 29 postal codes; index = state id. *)
+
+val count : int
+
+val adjacency : (int * int) list
+(** Border pairs [(a, b)] with [a < b]. *)
+
+val neighbors : int -> int list
+(** Sorted neighbor ids of a state. *)
+
+val search_order : int array
+(** A connectivity-driven ordering (each state is adjacent to at least one
+    earlier state) that makes branch-and-bound pruning effective. *)

@@ -1,0 +1,7 @@
+let tsp_expand_us = 1.0
+let coloring_expand_us = 0.5
+let jacobi_point_us = 0.2
+let matmul_inner_us = 0.05
+
+let charge_batched dsm unit_us n =
+  if n > 0 then Dsmpm2_core.Dsm.charge dsm (unit_us *. float_of_int n)

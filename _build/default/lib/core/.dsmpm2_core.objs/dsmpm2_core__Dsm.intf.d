@@ -1,0 +1,1 @@
+lib/core/dsm.mli: Access Driver Dsmpm2_mem Dsmpm2_net Dsmpm2_pm2 Dsmpm2_sim Engine Marcel Pm2 Protocol Runtime Stats Time

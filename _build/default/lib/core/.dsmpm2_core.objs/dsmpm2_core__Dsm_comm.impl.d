@@ -1,0 +1,1 @@
+lib/core/dsm_comm.ml: Access Bytes Diff Driver Dsmpm2_mem Dsmpm2_net Dsmpm2_pm2 Dsmpm2_sim Engine Frame_store Hashtbl Instrument List Marcel Monitor Page_table Printf Protocol Rpc Runtime Stats Time

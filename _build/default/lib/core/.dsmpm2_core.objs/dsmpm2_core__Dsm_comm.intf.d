@@ -1,0 +1,1 @@
+lib/core/dsm_comm.mli: Access Diff Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_sim Protocol Rpc Runtime Time

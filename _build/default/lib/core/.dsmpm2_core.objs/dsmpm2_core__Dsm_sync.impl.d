@@ -1,0 +1,1 @@
+lib/core/dsm_sync.ml: Driver Dsm_comm Dsmpm2_net Dsmpm2_pm2 Fun Hashtbl Marcel Page_table Protocol Rpc Runtime

@@ -1,0 +1,1 @@
+lib/core/dsm_sync.mli: Runtime

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Dsmpm2_sim Format Stats Time

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Dsmpm2_sim Format Stats

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Dsmpm2_pm2 Dsmpm2_sim Format Hashtbl List Pm2 Runtime Stats Time Trace

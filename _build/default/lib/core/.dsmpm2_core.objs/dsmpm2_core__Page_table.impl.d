@@ -1,0 +1,1 @@
+lib/core/page_table.ml: Dsmpm2_mem Dsmpm2_pm2 Hashtbl List Marcel Printf

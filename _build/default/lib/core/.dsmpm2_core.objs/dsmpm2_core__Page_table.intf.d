@@ -1,0 +1,1 @@
+lib/core/page_table.mli: Dsmpm2_mem Dsmpm2_pm2 Marcel

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Access Array Dsmpm2_mem Dsmpm2_sim Printf String Time

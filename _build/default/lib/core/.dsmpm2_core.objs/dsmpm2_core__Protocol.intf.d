@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Access Dsmpm2_mem Dsmpm2_sim Time

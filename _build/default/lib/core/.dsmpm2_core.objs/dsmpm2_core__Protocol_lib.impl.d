@@ -1,0 +1,1 @@
+lib/core/protocol_lib.ml: Access Diff Dsm_comm Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_sim Frame_store Fun Hashtbl Instrument List Marcel Option Page_table Protocol Runtime Stats Time

@@ -1,0 +1,1 @@
+lib/core/protocol_lib.mli: Access Diff Dsmpm2_mem Page_table Protocol Runtime

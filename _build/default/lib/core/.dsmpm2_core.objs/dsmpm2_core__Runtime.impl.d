@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Diff Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_sim Frame_store Hashtbl Isoalloc Marcel Page Page_table Pm2 Printf Protocol Rpc Stats

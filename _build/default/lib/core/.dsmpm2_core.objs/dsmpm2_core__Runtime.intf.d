@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Diff Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_sim Engine Frame_store Hashtbl Marcel Page Page_table Pm2 Protocol Rpc Stats

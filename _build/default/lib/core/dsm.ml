@@ -1,0 +1,238 @@
+open Dsmpm2_sim
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+type t = Runtime.t
+
+exception Fault_storm of { addr : int; mode : Access.mode; attempts : int }
+
+let create ?costs ?jitter ?page_size ~nodes ~driver () =
+  let pm2 = Pm2.create ?jitter ?page_size ~nodes ~driver () in
+  let rt = Runtime.create ?costs pm2 in
+  Dsm_comm.init rt;
+  rt
+
+let pm2 (rt : t) = rt.Runtime.pm2
+let nodes = Runtime.nodes
+let stats (rt : t) = rt.Runtime.instr
+let engine = Runtime.engine
+
+(* --- protocols --- *)
+
+let create_protocol (rt : t) proto = Protocol.register rt.Runtime.registry proto
+
+let set_default_protocol (rt : t) id =
+  ignore (Runtime.proto rt id);
+  rt.Runtime.default_protocol <- id
+
+let default_protocol (rt : t) = rt.Runtime.default_protocol
+
+let protocol_by_name (rt : t) name =
+  Option.map fst (Protocol.find_by_name rt.Runtime.registry name)
+
+let protocol_name (rt : t) id = (Runtime.proto rt id).Protocol.name
+
+(* --- shared memory --- *)
+
+type home_policy = Round_robin | On_node of int | Block
+
+let malloc (rt : t) ?protocol ?(home = Round_robin) size =
+  if size <= 0 then invalid_arg "Dsm.malloc: size must be positive";
+  let protocol =
+    match protocol with Some p -> p | None -> rt.Runtime.default_protocol
+  in
+  ignore (Runtime.proto rt protocol);
+  let n = Runtime.nodes rt in
+  let page_size = Page.size rt.Runtime.geo in
+  let npages = (size + page_size - 1) / page_size in
+  let addr = Isoalloc.alloc_pages (Pm2.iso rt.Runtime.pm2) npages in
+  let first_page = Page.page_of_addr rt.Runtime.geo addr in
+  for i = 0 to npages - 1 do
+    let page = first_page + i in
+    let home_node =
+      match home with
+      | Round_robin -> i mod n
+      | On_node node ->
+          if node < 0 || node >= n then invalid_arg "Dsm.malloc: home node out of range";
+          node
+      | Block -> min (n - 1) (i * n / npages)
+    in
+    for node = 0 to n - 1 do
+      let rights = if node = home_node then Access.Read_write else Access.No_access in
+      ignore
+        (Page_table.declare rt.Runtime.tables.(node) ~page ~home:home_node
+           ~owner:home_node ~protocol ~rights)
+    done;
+    (* Materialise the reference copy eagerly so sends always find a frame. *)
+    ignore (Frame_store.frame rt.Runtime.stores.(home_node) page)
+  done;
+  addr
+
+let region_pages (rt : t) ~addr ~size =
+  Page.pages_of_range rt.Runtime.geo ~addr ~len:size
+
+type attr = { attr_protocol : int option; attr_home : home_policy }
+
+let attr ?protocol ?(home = Round_robin) () =
+  { attr_protocol = protocol; attr_home = home }
+
+let malloc_attr rt a size = malloc rt ?protocol:a.attr_protocol ~home:a.attr_home size
+
+let switch_protocol (rt : t) ~addr ~size ~protocol =
+  ignore (Runtime.proto rt protocol);
+  let pages = region_pages rt ~addr ~size in
+  let n = Runtime.nodes rt in
+  (* Pass 1: the area must be quiescent on every node. *)
+  List.iter
+    (fun page ->
+      for node = 0 to n - 1 do
+        let e = Runtime.entry rt ~node ~page in
+        if e.Page_table.faulting || e.Page_table.pinned then
+          invalid_arg
+            (Printf.sprintf
+               "Dsm.switch_protocol: page %d has a fault in flight on node %d" page
+               node);
+        if e.Page_table.twin <> None then
+          invalid_arg
+            (Printf.sprintf
+               "Dsm.switch_protocol: page %d has an unflushed twin on node %d \
+                (release enclosing locks first)"
+               page node)
+      done)
+    pages;
+  (* Pass 2: consolidate the authoritative copy on the home and reset the
+     distributed table to the post-allocation state under the new id. *)
+  List.iter
+    (fun page ->
+      let home = (Runtime.entry rt ~node:0 ~page).Page_table.home in
+      let authoritative =
+        let rec find node =
+          if node >= n then home
+          else if
+            (Runtime.entry rt ~node ~page).Page_table.rights = Access.Read_write
+          then node
+          else find (node + 1)
+        in
+        find 0
+      in
+      if authoritative <> home then
+        Frame_store.install (Runtime.store rt home) page
+          (Frame_store.frame (Runtime.store rt authoritative) page);
+      for node = 0 to n - 1 do
+        let e = Runtime.entry rt ~node ~page in
+        e.Page_table.protocol <- protocol;
+        e.Page_table.prob_owner <- home;
+        e.Page_table.copyset <- [];
+        e.Page_table.rights <-
+          (if node = home then Access.Read_write else Access.No_access);
+        if node <> home then Frame_store.drop (Runtime.store rt node) page
+      done)
+    pages
+
+(* --- access detection --- *)
+
+let ensure_access (rt : t) ~addr ~mode =
+  let marcel = Runtime.marcel rt in
+  let rec attempt n =
+    if n > rt.Runtime.fault_loop_limit then
+      raise (Fault_storm { addr; mode; attempts = n });
+    let node = Runtime.self_node rt in
+    let page = Page.page_of_addr rt.Runtime.geo addr in
+    let e = Runtime.entry rt ~node ~page in
+    let proto = Runtime.proto rt e.Page_table.protocol in
+    (match proto.Protocol.detection with
+    | Protocol.Inline_check ->
+        Stats.incr rt.Runtime.instr Instrument.inline_checks;
+        Marcel.charge marcel rt.Runtime.costs.inline_check_us
+    | Protocol.Page_fault -> ());
+    if Access.allows e.Page_table.rights mode then Protocol_lib.unpin rt e
+    else begin
+      let started = Engine.now (Runtime.engine rt) in
+      (match proto.Protocol.detection with
+      | Protocol.Page_fault ->
+          Stats.incr rt.Runtime.instr
+            (match mode with
+            | Access.Read -> Instrument.read_faults
+            | Access.Write -> Instrument.write_faults);
+          Marcel.compute marcel rt.Runtime.costs.page_fault_us;
+          Stats.add_span rt.Runtime.instr Instrument.stage_fault
+            (Time.of_us rt.Runtime.costs.page_fault_us)
+      | Protocol.Inline_check ->
+          Stats.incr rt.Runtime.instr Instrument.check_misses);
+      Monitor.record rt ~category:"fault" "node %d: %s fault on page %d (%s)" node
+        (Access.mode_to_string mode) page proto.Protocol.name;
+      (match mode with
+      | Access.Read -> proto.Protocol.read_fault rt ~node ~page
+      | Access.Write -> proto.Protocol.write_fault rt ~node ~page);
+      Stats.add_span rt.Runtime.instr Instrument.stage_total
+        Time.(Engine.now (Runtime.engine rt) - started);
+      attempt (n + 1)
+    end
+  in
+  attempt 0
+
+let read_int rt addr =
+  ensure_access rt ~addr ~mode:Access.Read;
+  let node = Runtime.self_node rt in
+  Frame_store.read_int (Runtime.store rt node) ~addr
+
+let post_write (rt : t) ~node ~addr ~value =
+  let page = Page.page_of_addr rt.Runtime.geo addr in
+  let e = Runtime.entry rt ~node ~page in
+  match (Runtime.proto rt e.Page_table.protocol).Protocol.on_local_write with
+  | None -> ()
+  | Some hook ->
+      hook rt ~node ~page ~offset:(Page.offset_of_addr rt.Runtime.geo addr) ~value
+
+let write_int rt addr value =
+  ensure_access rt ~addr ~mode:Access.Write;
+  let node = Runtime.self_node rt in
+  Frame_store.write_int (Runtime.store rt node) ~addr value;
+  post_write rt ~node ~addr ~value
+
+let read_byte rt addr =
+  ensure_access rt ~addr ~mode:Access.Read;
+  let node = Runtime.self_node rt in
+  Frame_store.read_byte (Runtime.store rt node) ~addr
+
+let write_byte rt addr value =
+  ensure_access rt ~addr ~mode:Access.Write;
+  let node = Runtime.self_node rt in
+  Frame_store.write_byte (Runtime.store rt node) ~addr value;
+  (* Record at word granularity: report the containing word's new value. *)
+  let word_addr = addr land lnot 7 in
+  let value = Frame_store.read_int (Runtime.store rt node) ~addr:word_addr in
+  post_write rt ~node ~addr:word_addr ~value
+
+let unsafe_peek (rt : t) ~node addr =
+  Frame_store.read_int (Runtime.store rt node) ~addr
+
+let unsafe_rights (rt : t) ~node ~addr =
+  let page = Page.page_of_addr rt.Runtime.geo addr in
+  (Runtime.entry rt ~node ~page).Page_table.rights
+
+(* --- synchronization --- *)
+
+let lock_create = Dsm_sync.lock_create
+let lock_acquire = Dsm_sync.lock_acquire
+let lock_release = Dsm_sync.lock_release
+let with_lock = Dsm_sync.with_lock
+let barrier_create = Dsm_sync.barrier_create
+let barrier_wait = Dsm_sync.barrier_wait
+
+(* --- threads and execution --- *)
+
+let spawn (rt : t) ?stack_bytes ?attached_bytes ?migratable ~node f =
+  Pm2.spawn rt.Runtime.pm2 ?stack_bytes ?attached_bytes ?migratable ~node f
+
+let join rt th = Marcel.join (Runtime.marcel rt) th
+let self_node = Runtime.self_node
+let charge rt us =
+  Marcel.charge (Runtime.marcel rt) us;
+  Pm2.migrate_if_requested rt.Runtime.pm2
+
+let compute rt us =
+  Marcel.compute (Runtime.marcel rt) us;
+  Pm2.migrate_if_requested rt.Runtime.pm2
+let run ?limit (rt : t) = Pm2.run ?limit rt.Runtime.pm2
+let now_us (rt : t) = Pm2.now_us rt.Runtime.pm2

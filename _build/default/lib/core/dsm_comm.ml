@@ -1,0 +1,222 @@
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+type Rpc.payload +=
+  | Page_request of {
+      page : int;
+      mode : Access.mode;
+      requester : int;
+      sent_at : Time.t;
+    }
+  | Page_data of Protocol.page_message
+  | Invalidate of { page : int; sender : int }
+  | Diffs of { diffs : Diff.t list; sender : int; release : bool }
+  | Lock_op of { lock : int; node : int; tid : int }
+  | Barrier_wait of { barrier : int; node : int }
+  | Ack
+
+type diff_handler =
+  Runtime.t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
+
+let set_diff_handler (rt : Runtime.t) ~protocol handler =
+  Hashtbl.replace rt.diff_handlers protocol handler
+
+let apply_diff_locally (rt : Runtime.t) ~node (diff : Diff.t) =
+  let e = Runtime.entry rt ~node ~page:diff.Diff.page in
+  let marcel = Runtime.marcel rt in
+  Marcel.Mutex.lock marcel e.Page_table.entry_mutex;
+  Diff.apply diff (Frame_store.frame (Runtime.store rt node) diff.Diff.page);
+  Marcel.Mutex.unlock marcel e.Page_table.entry_mutex
+
+(* --- service handlers (each runs in a fresh Marcel thread on the
+   destination node) --- *)
+
+let handler_node rt = Marcel.node (Marcel.self (Runtime.marcel rt))
+
+let on_request rt ~src:_ payload =
+  match payload with
+  | Page_request { page; mode; requester; sent_at } ->
+      let node = handler_node rt in
+      Monitor.record rt ~category:"request" "node %d: %s request for page %d from %d"
+        node (Access.mode_to_string mode) page requester;
+      let e = Runtime.entry rt ~node ~page in
+      (* Record the request-propagation stage when this node is (likely) the
+         final server; forwarded requests are re-stamped per hop. *)
+      if e.Page_table.prob_owner = node || e.Page_table.home = node then
+        Stats.add_span rt.Runtime.instr Instrument.stage_request
+          Time.(Engine.now (Runtime.engine rt) - sent_at);
+      let proto = Runtime.proto rt e.Page_table.protocol in
+      (match mode with
+      | Access.Read -> proto.Protocol.read_server rt ~node ~page ~requester
+      | Access.Write -> proto.Protocol.write_server rt ~node ~page ~requester);
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for request service"
+
+let on_send_page rt ~src:_ payload =
+  match payload with
+  | Page_data msg ->
+      let node = handler_node rt in
+      Monitor.record rt ~category:"page" "node %d: page %d received from %d (%s)"
+        node msg.Protocol.page msg.Protocol.sender
+        (Access.to_string msg.Protocol.grant);
+      Stats.add_span rt.Runtime.instr Instrument.stage_transfer
+        Time.(Engine.now (Runtime.engine rt) - msg.Protocol.sent_at);
+      let e = Runtime.entry rt ~node ~page:msg.Protocol.page in
+      let proto = Runtime.proto rt e.Page_table.protocol in
+      proto.Protocol.receive_page_server rt ~node ~msg;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for send_page service"
+
+let on_invalidate rt ~src:_ payload =
+  match payload with
+  | Invalidate { page; sender } ->
+      let node = handler_node rt in
+      Monitor.record rt ~category:"invalidate" "node %d: invalidate page %d (from %d)"
+        node page sender;
+      let e = Runtime.entry rt ~node ~page in
+      let proto = Runtime.proto rt e.Page_table.protocol in
+      proto.Protocol.invalidate_server rt ~node ~page ~sender;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for invalidate service"
+
+let on_diffs rt ~src:_ payload =
+  match payload with
+  | Diffs { diffs; sender; release } ->
+      let node = handler_node rt in
+      Monitor.record rt ~category:"diff" "node %d: %d diff(s) from %d%s" node
+        (List.length diffs) sender
+        (if release then " (release)" else "");
+      List.iter
+        (fun diff ->
+          let e = Runtime.entry rt ~node ~page:diff.Diff.page in
+          match Hashtbl.find_opt rt.Runtime.diff_handlers e.Page_table.protocol with
+          | Some handler -> handler rt ~node ~diff ~sender ~release
+          | None -> apply_diff_locally rt ~node diff)
+        diffs;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for diffs service"
+
+let on_lock_acquire rt ~src:_ payload =
+  match payload with
+  | Lock_op { lock; node = _; tid } ->
+      Monitor.record rt ~category:"lock" "acquire request: lock %d by thread %d" lock tid;
+      let ls = Runtime.lock_state rt lock in
+      let marcel = Runtime.marcel rt in
+      Marcel.Mutex.lock marcel ls.Runtime.lock_mutex;
+      while ls.Runtime.lock_held do
+        Marcel.Cond.wait marcel ls.Runtime.lock_queue ls.Runtime.lock_mutex
+      done;
+      ls.Runtime.lock_held <- true;
+      ls.Runtime.lock_holder <- tid;
+      ls.Runtime.lock_acquisitions <- ls.Runtime.lock_acquisitions + 1;
+      Marcel.Mutex.unlock marcel ls.Runtime.lock_mutex;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for lock_acquire service"
+
+let on_lock_release rt ~src:_ payload =
+  match payload with
+  | Lock_op { lock; node = _; tid } ->
+      let ls = Runtime.lock_state rt lock in
+      let marcel = Runtime.marcel rt in
+      Marcel.Mutex.lock marcel ls.Runtime.lock_mutex;
+      if not ls.Runtime.lock_held then
+        failwith (Printf.sprintf "DSM lock %d: release while free" lock);
+      if ls.Runtime.lock_holder <> tid then
+        failwith
+          (Printf.sprintf "DSM lock %d: thread %d released a lock held by thread %d"
+             lock tid ls.Runtime.lock_holder);
+      ls.Runtime.lock_held <- false;
+      ls.Runtime.lock_holder <- -1;
+      Marcel.Cond.signal marcel ls.Runtime.lock_queue;
+      Marcel.Mutex.unlock marcel ls.Runtime.lock_mutex;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for lock_release service"
+
+let on_barrier rt ~src:_ payload =
+  match payload with
+  | Barrier_wait { barrier; node } ->
+      Monitor.record rt ~category:"barrier" "barrier %d: node %d arrived" barrier node;
+      let bs = Runtime.barrier_state rt barrier in
+      let marcel = Runtime.marcel rt in
+      Marcel.Mutex.lock marcel bs.Runtime.barrier_mutex;
+      let generation = bs.Runtime.barrier_generation in
+      bs.Runtime.barrier_arrived <- bs.Runtime.barrier_arrived + 1;
+      if bs.Runtime.barrier_arrived = bs.Runtime.barrier_parties then begin
+        bs.Runtime.barrier_arrived <- 0;
+        bs.Runtime.barrier_generation <- generation + 1;
+        Marcel.Cond.broadcast marcel bs.Runtime.barrier_cond
+      end
+      else
+        while bs.Runtime.barrier_generation = generation do
+          Marcel.Cond.wait marcel bs.Runtime.barrier_cond bs.Runtime.barrier_mutex
+        done;
+      Marcel.Mutex.unlock marcel bs.Runtime.barrier_mutex;
+      (Ack, Driver.Request)
+  | _ -> invalid_arg "Dsm_comm: bad payload for barrier service"
+
+let init (rt : Runtime.t) =
+  (match rt.Runtime.services with
+  | Some _ -> invalid_arg "Dsm_comm.init: already initialised"
+  | None -> ());
+  let rpc = Runtime.rpc rt in
+  let services =
+    {
+      Runtime.srv_request = Rpc.register rpc ~name:"dsm.request" (on_request rt);
+      srv_send_page = Rpc.register rpc ~name:"dsm.send_page" (on_send_page rt);
+      srv_invalidate = Rpc.register rpc ~name:"dsm.invalidate" (on_invalidate rt);
+      srv_diffs = Rpc.register rpc ~name:"dsm.diffs" (on_diffs rt);
+      srv_lock_acquire = Rpc.register rpc ~name:"dsm.lock_acquire" (on_lock_acquire rt);
+      srv_lock_release = Rpc.register rpc ~name:"dsm.lock_release" (on_lock_release rt);
+      srv_barrier = Rpc.register rpc ~name:"dsm.barrier" (on_barrier rt);
+    }
+  in
+  rt.Runtime.services <- Some services
+
+(* --- senders --- *)
+
+let send_request rt ~to_ ~page ~mode ~requester =
+  let srv = (Runtime.services rt).Runtime.srv_request in
+  Rpc.oneway (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
+    (Page_request
+       { page; mode; requester; sent_at = Engine.now (Runtime.engine rt) })
+
+let send_page rt ~to_ ~page ~grant ~ownership ~copyset ~req_mode =
+  let node = Runtime.self_node rt in
+  let data = Bytes.copy (Frame_store.frame (Runtime.store rt node) page) in
+  let msg =
+    {
+      Protocol.page;
+      data;
+      grant;
+      ownership;
+      copyset;
+      sender = node;
+      req_mode;
+      sent_at = Engine.now (Runtime.engine rt);
+    }
+  in
+  Stats.incr rt.Runtime.instr Instrument.pages_sent;
+  let srv = (Runtime.services rt).Runtime.srv_send_page in
+  Rpc.oneway (Runtime.rpc rt) ~dst:to_ ~service:srv
+    ~cost:(Driver.Bulk (Bytes.length data))
+    (Page_data msg)
+
+let call_invalidate rt ~to_ ~page =
+  let node = Runtime.self_node rt in
+  Stats.incr rt.Runtime.instr Instrument.invalidations;
+  let srv = (Runtime.services rt).Runtime.srv_invalidate in
+  ignore
+    (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
+       (Invalidate { page; sender = node }))
+
+let call_diffs rt ~to_ ~diffs ~release =
+  let node = Runtime.self_node rt in
+  let bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 diffs in
+  Stats.add rt.Runtime.instr Instrument.diffs_sent (List.length diffs);
+  Stats.add rt.Runtime.instr Instrument.diff_bytes bytes;
+  let srv = (Runtime.services rt).Runtime.srv_diffs in
+  ignore
+    (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:(Driver.Bulk bytes)
+       (Diffs { diffs; sender = node; release }))

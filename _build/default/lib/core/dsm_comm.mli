@@ -1,0 +1,71 @@
+(** The DSM communication module: message constructors, RPC services and
+    their dispatch to protocol actions.
+
+    This is the second half of the paper's generic core (Section 2.2): it
+    provides the "limited set of communication routines" all page-based DSM
+    protocols need — requesting a page, sending a page, invalidating,
+    sending diffs — implemented on PM2's RPC mechanism, and dispatches each
+    incoming message to the per-page protocol's server action.
+
+    Diff application is protocol-sensitive (a home receiving release-time
+    diffs may have to invalidate third-party copies), so protocols may
+    override the default apply-only behaviour with [set_diff_handler]. *)
+
+open Dsmpm2_sim
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+(** The DSM message vocabulary, as extensions of the RPC payload type. *)
+type Rpc.payload +=
+  | Page_request of {
+      page : int;
+      mode : Access.mode;
+      requester : int;
+      sent_at : Time.t;
+    }
+  | Page_data of Protocol.page_message
+  | Invalidate of { page : int; sender : int }
+  | Diffs of { diffs : Diff.t list; sender : int; release : bool }
+  | Lock_op of { lock : int; node : int; tid : int }
+  | Barrier_wait of { barrier : int; node : int }
+  | Ack
+
+val init : Runtime.t -> unit
+(** Registers all DSM services with the runtime's RPC layer.  Must be called
+    exactly once, before any shared allocation. *)
+
+(** {1 Senders} — used by {!Protocol_lib} and protocol implementations. *)
+
+val send_request :
+  Runtime.t -> to_:int -> page:int -> mode:Access.mode -> requester:int -> unit
+(** One-way page request (cost: one control message).  May be called from a
+    handler thread to forward a request along the probable-owner chain. *)
+
+val send_page :
+  Runtime.t ->
+  to_:int ->
+  page:int ->
+  grant:Access.t ->
+  ownership:bool ->
+  copyset:int list ->
+  req_mode:Access.mode ->
+  unit
+(** Sends this node's current copy of [page] (cost: one bulk transfer of a
+    page).  Dispatches to the receiver protocol's [receive_page_server]. *)
+
+val call_invalidate : Runtime.t -> to_:int -> page:int -> unit
+(** Synchronous invalidation (waits for the ack). *)
+
+val call_diffs : Runtime.t -> to_:int -> diffs:Diff.t list -> release:bool -> unit
+(** Sends diffs to their (common) home node and waits for the ack.  The home
+    applies them via the diff handler of each page's protocol. *)
+
+type diff_handler =
+  Runtime.t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
+
+val set_diff_handler : Runtime.t -> protocol:int -> diff_handler -> unit
+(** Overrides diff processing for pages of [protocol].  The default handler
+    applies the diff to the local frame under the entry mutex. *)
+
+val apply_diff_locally : Runtime.t -> node:int -> Diff.t -> unit
+(** The default behaviour, exposed so custom handlers can reuse it. *)

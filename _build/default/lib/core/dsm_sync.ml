@@ -1,0 +1,86 @@
+open Dsmpm2_net
+open Dsmpm2_pm2
+
+let barrier_hook_id bid = -bid - 1
+
+let lock_create (rt : Runtime.t) ?protocol ?manager () =
+  let id = rt.next_lock in
+  rt.next_lock <- id + 1;
+  let lock =
+    {
+      Runtime.lock_id = id;
+      lock_manager = (match manager with Some m -> m | None -> id mod Runtime.nodes rt);
+      lock_protocol =
+        (match protocol with Some p -> p | None -> rt.Runtime.default_protocol);
+      lock_held = false;
+      lock_holder = -1;
+      lock_queue = Marcel.Cond.create ();
+      lock_mutex = Marcel.Mutex.create ();
+      lock_acquisitions = 0;
+      lock_ext = Page_table.No_ext;
+    }
+  in
+  Hashtbl.add rt.Runtime.locks id lock;
+  id
+
+let lock_acquire rt id =
+  let ls = Runtime.lock_state rt id in
+  let node = Runtime.self_node rt in
+  let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
+  let services = Runtime.services rt in
+  ignore
+    (Rpc.call (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
+       ~service:services.Runtime.srv_lock_acquire ~cost:Driver.Request
+       (Dsm_comm.Lock_op { lock = id; node; tid }));
+  let proto = Runtime.proto rt ls.Runtime.lock_protocol in
+  proto.Protocol.lock_acquire rt ~node ~lock:id
+
+let lock_release rt id =
+  let ls = Runtime.lock_state rt id in
+  let node = Runtime.self_node rt in
+  let proto = Runtime.proto rt ls.Runtime.lock_protocol in
+  proto.Protocol.lock_release rt ~node ~lock:id;
+  let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
+  let services = Runtime.services rt in
+  Rpc.oneway (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
+    ~service:services.Runtime.srv_lock_release ~cost:Driver.Request
+    (Dsm_comm.Lock_op { lock = id; node; tid })
+
+let with_lock rt id f =
+  lock_acquire rt id;
+  Fun.protect ~finally:(fun () -> lock_release rt id) f
+
+let lock_acquisitions rt id = (Runtime.lock_state rt id).Runtime.lock_acquisitions
+
+let barrier_create (rt : Runtime.t) ?protocol ?manager ~parties () =
+  if parties <= 0 then invalid_arg "Dsm_sync.barrier_create: parties must be positive";
+  let id = rt.next_barrier in
+  rt.next_barrier <- id + 1;
+  let barrier =
+    {
+      Runtime.barrier_id = id;
+      barrier_manager = (match manager with Some m -> m | None -> id mod Runtime.nodes rt);
+      barrier_parties = parties;
+      barrier_protocol =
+        (match protocol with Some p -> p | None -> rt.Runtime.default_protocol);
+      barrier_arrived = 0;
+      barrier_generation = 0;
+      barrier_cond = Marcel.Cond.create ();
+      barrier_mutex = Marcel.Mutex.create ();
+    }
+  in
+  Hashtbl.add rt.Runtime.barriers id barrier;
+  id
+
+let barrier_wait rt id =
+  let bs = Runtime.barrier_state rt id in
+  let node = Runtime.self_node rt in
+  let proto = Runtime.proto rt bs.Runtime.barrier_protocol in
+  let hook = barrier_hook_id id in
+  proto.Protocol.lock_release rt ~node ~lock:hook;
+  let services = Runtime.services rt in
+  ignore
+    (Rpc.call (Runtime.rpc rt) ~dst:bs.Runtime.barrier_manager
+       ~service:services.Runtime.srv_barrier ~cost:Driver.Request
+       (Dsm_comm.Barrier_wait { barrier = id; node }));
+  proto.Protocol.lock_acquire rt ~node ~lock:hook

@@ -1,0 +1,33 @@
+(** DSM synchronization objects with consistency hooks.
+
+    Locks and barriers are the synchronization points at which weak
+    consistency models take their consistency actions (paper Section 2.2).
+    Each object lives on a manager node and is driven by RPC; around every
+    operation the protocol's [lock_acquire]/[lock_release] actions run on
+    the {e client} node:
+
+    - lock acquire: manager grant first, then the [lock_acquire] action;
+    - lock release: the [lock_release] action first, then the manager
+      release;
+    - barrier: [lock_release] before arriving, [lock_acquire] after the
+      barrier opens (a barrier is a release followed by an acquire).
+
+    The hook receives a synthetic negative id for barriers so protocols can
+    tell the two apart if they care. *)
+
+val lock_create : Runtime.t -> ?protocol:int -> ?manager:int -> unit -> int
+(** [manager] defaults to [id mod nodes]; [protocol] (whose hooks the lock
+    triggers) defaults to the runtime's default protocol at creation time. *)
+
+val lock_acquire : Runtime.t -> int -> unit
+val lock_release : Runtime.t -> int -> unit
+val with_lock : Runtime.t -> int -> (unit -> 'a) -> 'a
+
+val lock_acquisitions : Runtime.t -> int -> int
+(** How many times the lock was granted (for tests and reports). *)
+
+val barrier_create : Runtime.t -> ?protocol:int -> ?manager:int -> parties:int -> unit -> int
+val barrier_wait : Runtime.t -> int -> unit
+
+val barrier_hook_id : int -> int
+(** The synthetic lock id passed to protocol hooks for barrier [bid]. *)

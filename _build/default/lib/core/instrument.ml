@@ -1,0 +1,35 @@
+open Dsmpm2_sim
+
+let stage_fault = "stage.fault"
+let stage_request = "stage.request"
+let stage_transfer = "stage.transfer"
+let stage_overhead_server = "stage.overhead_server"
+let stage_overhead_client = "stage.overhead_client"
+let stage_migration = "stage.migration"
+let stage_total = "stage.total"
+let read_faults = "fault.read"
+let write_faults = "fault.write"
+let pages_sent = "page.sent"
+let invalidations = "invalidate.sent"
+let diffs_sent = "diff.sent"
+let diff_bytes = "diff.bytes"
+let check_misses = "check.miss"
+let inline_checks = "check.count"
+
+let row ppf stats name key =
+  Format.fprintf ppf "%-20s %8.1f@." name (Time.to_us (Stats.span_mean stats key))
+
+let pp_page_breakdown ppf stats =
+  row ppf stats "Page fault" stage_fault;
+  row ppf stats "Request page" stage_request;
+  row ppf stats "Page transfer" stage_transfer;
+  Format.fprintf ppf "%-20s %8.1f@." "Protocol overhead"
+    (Time.to_us (Stats.span_mean stats stage_overhead_server)
+    +. Time.to_us (Stats.span_mean stats stage_overhead_client));
+  row ppf stats "Total" stage_total
+
+let pp_migration_breakdown ppf stats =
+  row ppf stats "Page fault" stage_fault;
+  row ppf stats "Thread migration" stage_migration;
+  row ppf stats "Protocol overhead" stage_overhead_client;
+  row ppf stats "Total" stage_total

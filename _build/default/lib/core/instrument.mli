@@ -1,0 +1,43 @@
+(** Well-known instrumentation keys and report formatting.
+
+    The DSM layers time each stage of a remote access with the names below;
+    the Table 3 / Table 4 benches print breakdowns straight from these
+    counters.  All stages are {!Dsmpm2_sim.Stats} duration spans. *)
+
+open Dsmpm2_sim
+
+val stage_fault : string
+(** Page-fault detection (signal catch + decode in the paper): 11 us. *)
+
+val stage_request : string
+(** Page request propagation, including forwarding hops. *)
+
+val stage_transfer : string
+(** Page (or migration payload) transfer time. *)
+
+val stage_overhead_server : string
+(** Owner/home-side protocol processing. *)
+
+val stage_overhead_client : string
+(** Requester-side page installation and table update. *)
+
+val stage_migration : string
+(** Thread-migration time (Table 4). *)
+
+val stage_total : string
+(** Whole fault, detection to resumed access. *)
+
+val read_faults : string
+val write_faults : string
+val pages_sent : string
+val invalidations : string
+val diffs_sent : string
+val diff_bytes : string
+val check_misses : string
+val inline_checks : string
+
+val pp_page_breakdown : Format.formatter -> Stats.t -> unit
+(** Mean per-stage costs in the row layout of the paper's Table 3. *)
+
+val pp_migration_breakdown : Format.formatter -> Stats.t -> unit
+(** Mean per-stage costs in the row layout of the paper's Table 4. *)

@@ -1,0 +1,51 @@
+open Dsmpm2_sim
+open Dsmpm2_pm2
+
+let trace rt = Pm2.trace rt.Runtime.pm2
+let enable rt on = Trace.enable (trace rt) on
+let enabled rt = Trace.enabled (trace rt)
+
+let record rt ~category fmt =
+  Trace.recordf (trace rt) (Runtime.engine rt) ~category fmt
+
+type summary_line = {
+  category : string;
+  events : int;
+  first_us : float;
+  last_us : float;
+}
+
+let summary rt =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cat = e.Trace.category in
+      let first, last, n =
+        match Hashtbl.find_opt tbl cat with
+        | Some (f, l, n) -> (min f e.Trace.at, max l e.Trace.at, n + 1)
+        | None -> (e.Trace.at, e.Trace.at, 1)
+      in
+      Hashtbl.replace tbl cat (first, last, n))
+    (Trace.entries (trace rt));
+  Hashtbl.fold
+    (fun category (first, last, events) acc ->
+      { category; events; first_us = Time.to_us first; last_us = Time.to_us last } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (b.events, b.category) (a.events, a.category))
+
+let report ppf rt =
+  Format.fprintf ppf "Post-mortem monitoring report@.";
+  Format.fprintf ppf "%-16s %8s %12s %12s@." "category" "events" "first(us)" "last(us)";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%-16s %8d %12.1f %12.1f@." l.category l.events l.first_us
+        l.last_us)
+    (summary rt);
+  Format.fprintf ppf "@.Per-stage costs (mean):@.";
+  List.iter
+    (fun (name, total, n) ->
+      if n > 0 then
+        Format.fprintf ppf "%-28s %10.1f us x %d@." name
+          (Time.to_us total /. float_of_int n)
+          n)
+    (Stats.spans rt.Runtime.instr)

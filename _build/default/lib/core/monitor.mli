@@ -1,0 +1,34 @@
+(** Post-mortem monitoring, the PM2 feature the paper's evaluation leans on:
+    "very precise post-mortem monitoring tools are available in the PM2
+    platform, providing the user with valuable information on the time spent
+    within each elementary function".
+
+    When enabled, the DSM layers record every protocol-level event (faults,
+    requests served, pages sent, invalidations, diffs, lock and barrier
+    traffic) into the runtime's trace; after the run, [report] summarises
+    them per category, and the raw trace remains available for fine-grained
+    inspection. *)
+
+val enable : Runtime.t -> bool -> unit
+val enabled : Runtime.t -> bool
+
+val trace : Runtime.t -> Dsmpm2_sim.Trace.t
+(** The raw event log (chronological). *)
+
+val record :
+  Runtime.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Used by the core and the protocol library; free when disabled. *)
+
+type summary_line = {
+  category : string;
+  events : int;
+  first_us : float;
+  last_us : float;
+}
+
+val summary : Runtime.t -> summary_line list
+(** Event counts and activity window per category, sorted by count. *)
+
+val report : Format.formatter -> Runtime.t -> unit
+(** The post-mortem report: the per-category summary followed by the
+    per-stage mean costs accumulated by the instrumentation layer. *)

@@ -1,0 +1,75 @@
+open Dsmpm2_pm2
+
+type ext = ..
+type ext += No_ext
+
+type entry = {
+  page : int;
+  mutable rights : Dsmpm2_mem.Access.t;
+  mutable prob_owner : int;
+  mutable home : int;
+  mutable copyset : int list;
+  mutable protocol : int;
+  mutable faulting : bool;
+  mutable pinned : bool;
+  fault_done : Marcel.Cond.t;
+  entry_mutex : Marcel.Mutex.t;
+  mutable twin : bytes option;
+  mutable ext : ext;
+}
+
+type t = {
+  table_node : int;
+  entries : (int, entry) Hashtbl.t;
+  node_exts : (int, ext) Hashtbl.t;
+}
+
+exception Not_mapped of int
+
+let create ~node = { table_node = node; entries = Hashtbl.create 256; node_exts = Hashtbl.create 8 }
+let node t = t.table_node
+
+let declare t ~page ~home ~owner ~protocol ~rights =
+  if Hashtbl.mem t.entries page then
+    invalid_arg (Printf.sprintf "Page_table.declare: page %d already mapped" page);
+  let entry =
+    {
+      page;
+      rights;
+      prob_owner = owner;
+      home;
+      copyset = [];
+      protocol;
+      faulting = false;
+      pinned = false;
+      fault_done = Marcel.Cond.create ();
+      entry_mutex = Marcel.Mutex.create ();
+      twin = None;
+      ext = No_ext;
+    }
+  in
+  Hashtbl.add t.entries page entry;
+  entry
+
+let find t page =
+  match Hashtbl.find_opt t.entries page with
+  | Some e -> e
+  | None -> raise (Not_mapped page)
+
+let find_opt t page = Hashtbl.find_opt t.entries page
+let mem t page = Hashtbl.mem t.entries page
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> compare a.page b.page)
+
+let copyset_add e n =
+  if not (List.mem n e.copyset) then
+    e.copyset <- List.sort compare (n :: e.copyset)
+
+let copyset_remove e n = e.copyset <- List.filter (fun m -> m <> n) e.copyset
+
+let node_ext t ~protocol =
+  match Hashtbl.find_opt t.node_exts protocol with Some e -> e | None -> No_ext
+
+let set_node_ext t ~protocol ext = Hashtbl.replace t.node_exts protocol ext

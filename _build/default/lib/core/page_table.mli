@@ -1,0 +1,77 @@
+(** The DSM page manager's distributed table (one instance per node).
+
+    Following the paper's design discussion (Section 2.2), the entry layout
+    carries the fields "common to virtually all protocols" — access rights,
+    probable owner, home node, copyset, the protocol id — plus an {e
+    extensible} slot ([ext], and a per-node [node_ext] map) so that "new
+    information fields can be added, as needed by the protocols of interest"
+    without touching the generic core.  A field may have different semantics
+    in different protocols and may be left unused by some (e.g. [prob_owner]
+    is the dynamic-manager chain for [li_hudak] but frozen at [home] for the
+    home-based protocols).
+
+    Entries also carry the fault-coalescing state ([faulting] + condition)
+    that makes the table safe for an arbitrary number of concurrent threads
+    per node: concurrent faults on one page coalesce, faults on different
+    pages proceed in parallel. *)
+
+open Dsmpm2_pm2
+
+type ext = ..
+(** Protocol-specific page or node state. *)
+
+type ext += No_ext
+
+type entry = {
+  page : int;
+  mutable rights : Dsmpm2_mem.Access.t;
+  mutable prob_owner : int;
+  mutable home : int;
+  mutable copyset : int list;  (** sorted, without duplicates *)
+  mutable protocol : int;
+  mutable faulting : bool;  (** a local fault is in progress on this page *)
+  mutable pinned : bool;
+      (** a fault was just satisfied and the faulting thread has not yet
+          retried its access; remote services must wait (see
+          {!Protocol_lib.wait_for_service}) so the local access cannot be
+          starved by back-to-back ownership requests *)
+  fault_done : Marcel.Cond.t;
+  entry_mutex : Marcel.Mutex.t;  (** serialises server-side transitions *)
+  mutable twin : bytes option;
+  mutable ext : ext;
+}
+
+type t
+
+exception Not_mapped of int
+(** Raised when touching a page no allocation ever declared: the simulated
+    equivalent of a segmentation fault outside the DSM area. *)
+
+val create : node:int -> t
+val node : t -> int
+
+val declare :
+  t ->
+  page:int ->
+  home:int ->
+  owner:int ->
+  protocol:int ->
+  rights:Dsmpm2_mem.Access.t ->
+  entry
+(** Adds an entry for [page]; raises [Invalid_argument] if already present. *)
+
+val find : t -> int -> entry
+(** @raise Not_mapped if the page was never declared. *)
+
+val find_opt : t -> int -> entry option
+val mem : t -> int -> bool
+val entries : t -> entry list
+(** Sorted by page number. *)
+
+val copyset_add : entry -> int -> unit
+val copyset_remove : entry -> int -> unit
+
+val node_ext : t -> protocol:int -> ext
+(** Per-(node, protocol) state; [No_ext] when never set. *)
+
+val set_node_ext : t -> protocol:int -> ext -> unit

@@ -1,0 +1,57 @@
+open Dsmpm2_sim
+open Dsmpm2_mem
+
+type detection = Page_fault | Inline_check
+
+type page_message = {
+  page : int;
+  data : bytes;
+  grant : Access.t;
+  ownership : bool;
+  copyset : int list;
+  sender : int;
+  req_mode : Access.mode;
+  sent_at : Time.t;
+}
+
+type 'rt t = {
+  name : string;
+  detection : detection;
+  read_fault : 'rt -> node:int -> page:int -> unit;
+  write_fault : 'rt -> node:int -> page:int -> unit;
+  read_server : 'rt -> node:int -> page:int -> requester:int -> unit;
+  write_server : 'rt -> node:int -> page:int -> requester:int -> unit;
+  invalidate_server : 'rt -> node:int -> page:int -> sender:int -> unit;
+  receive_page_server : 'rt -> node:int -> msg:page_message -> unit;
+  lock_acquire : 'rt -> node:int -> lock:int -> unit;
+  lock_release : 'rt -> node:int -> lock:int -> unit;
+  on_local_write :
+    ('rt -> node:int -> page:int -> offset:int -> value:int -> unit) option;
+}
+
+type 'rt registry = { mutable protocols : 'rt t array }
+
+let no_action _ ~node:_ ~lock:_ = ()
+let create_registry () = { protocols = [||] }
+
+let register reg proto =
+  let id = Array.length reg.protocols in
+  reg.protocols <- Array.append reg.protocols [| proto |];
+  id
+
+let find reg id =
+  if id < 0 || id >= Array.length reg.protocols then
+    invalid_arg (Printf.sprintf "Protocol.find: unknown protocol id %d" id);
+  reg.protocols.(id)
+
+let find_by_name reg name =
+  let rec search i =
+    if i >= Array.length reg.protocols then None
+    else if String.equal reg.protocols.(i).name name then Some (i, reg.protocols.(i))
+    else search (i + 1)
+  in
+  search 0
+
+let count reg = Array.length reg.protocols
+
+let all reg = Array.to_list (Array.mapi (fun i p -> (i, p)) reg.protocols)

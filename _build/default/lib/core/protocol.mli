@@ -1,0 +1,79 @@
+(** The protocol policy layer: a consistency protocol is a set of 8 actions.
+
+    This is the paper's Table 1 verbatim.  Designing a protocol in DSM-PM2
+    consists of providing these routines (built from the {!Protocol_lib}
+    toolbox or from scratch) and registering the record; the generic core
+    calls them automatically:
+
+    - [read_fault] / [write_fault] run on the faulting node, in the faulting
+      thread, when an access lacks rights;
+    - [read_server] / [write_server] run on a node receiving a request for
+      read/write access (in a fresh handler thread);
+    - [invalidate_server] runs on receiving an invalidation request;
+    - [receive_page_server] runs on receiving a page;
+    - [lock_acquire] runs after a DSM lock has been acquired (and after a
+      barrier releases);
+    - [lock_release] runs before a DSM lock is released (and before a barrier
+      is entered).
+
+    The record is polymorphic in the runtime type ['rt] to break the module
+    cycle between the registry (below the runtime) and the built-in protocols
+    (above it); everywhere in this code base ['rt] is {!Runtime.t}. *)
+
+open Dsmpm2_sim
+open Dsmpm2_mem
+
+type detection = Page_fault | Inline_check
+(** How accesses to shared data are checked.  [Page_fault] charges the fault
+    cost only on misses (the default); [Inline_check] charges a per-access
+    locality check and no fault cost — the paper's [java_ic] vs [java_pf]
+    distinction (Section 3.3). *)
+
+type page_message = {
+  page : int;
+  data : bytes;
+  grant : Access.t;  (** rights the receiver may install *)
+  ownership : bool;  (** whether page ownership transfers with the copy *)
+  copyset : int list;  (** transferred with ownership (MRSW protocols) *)
+  sender : int;
+  req_mode : Access.mode;  (** the mode of the fault being satisfied *)
+  sent_at : Time.t;  (** instrumentation: transfer-stage timing *)
+}
+
+type 'rt t = {
+  name : string;
+  detection : detection;
+  read_fault : 'rt -> node:int -> page:int -> unit;
+  write_fault : 'rt -> node:int -> page:int -> unit;
+  read_server : 'rt -> node:int -> page:int -> requester:int -> unit;
+  write_server : 'rt -> node:int -> page:int -> requester:int -> unit;
+  invalidate_server : 'rt -> node:int -> page:int -> sender:int -> unit;
+  receive_page_server : 'rt -> node:int -> msg:page_message -> unit;
+  lock_acquire : 'rt -> node:int -> lock:int -> unit;
+  lock_release : 'rt -> node:int -> lock:int -> unit;
+  on_local_write :
+    ('rt -> node:int -> page:int -> offset:int -> value:int -> unit) option;
+      (** Not one of the paper's 8 actions: in DSM-PM2 proper, the Java
+          protocols record modifications inside Hyperion's [put] access
+          primitive.  This optional hook is that integration point — the
+          core write path calls it after every successful shared write so
+          that on-the-fly diff recording also works through the plain
+          [Dsm.write_*] API.  [None] for all non-recording protocols. *)
+}
+
+type 'rt registry
+
+val no_action : 'rt -> node:int -> lock:int -> unit
+(** A lock hook that does nothing (strong-consistency protocols). *)
+
+val create_registry : unit -> 'rt registry
+
+val register : 'rt registry -> 'rt t -> int
+(** [dsm_create_protocol]: returns the new protocol's identifier. *)
+
+val find : 'rt registry -> int -> 'rt t
+(** @raise Invalid_argument on an unknown id. *)
+
+val find_by_name : 'rt registry -> string -> (int * 'rt t) option
+val count : 'rt registry -> int
+val all : 'rt registry -> (int * 'rt t) list

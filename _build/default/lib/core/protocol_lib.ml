@@ -1,0 +1,109 @@
+open Dsmpm2_sim
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+let charge_span rt key us =
+  Marcel.compute (Runtime.marcel rt) us;
+  Stats.add_span rt.Runtime.instr key (Time.of_us us)
+
+let server_overhead rt =
+  charge_span rt Instrument.stage_overhead_server rt.Runtime.costs.protocol_server_us
+
+let client_overhead rt =
+  charge_span rt Instrument.stage_overhead_client rt.Runtime.costs.protocol_client_us
+
+let migration_overhead rt =
+  charge_span rt Instrument.stage_overhead_client rt.Runtime.costs.migration_protocol_us
+
+let with_entry rt (e : Page_table.entry) f =
+  let marcel = Runtime.marcel rt in
+  Marcel.Mutex.lock marcel e.entry_mutex;
+  Fun.protect ~finally:(fun () -> Marcel.Mutex.unlock marcel e.entry_mutex) f
+
+let wait_while_faulting rt (e : Page_table.entry) =
+  let marcel = Runtime.marcel rt in
+  while e.faulting do
+    Marcel.Cond.wait marcel e.fault_done e.entry_mutex
+  done
+
+let complete_fault rt (e : Page_table.entry) =
+  (* Pin the page until the faulting thread has retried its access, so a
+     queued remote request cannot snatch the page first (the retry happens
+     inside the fault handler in a SIGSEGV-based implementation). *)
+  if e.faulting then e.pinned <- true;
+  e.faulting <- false;
+  Marcel.Cond.broadcast (Runtime.marcel rt) e.fault_done
+
+let wait_for_service rt (e : Page_table.entry) =
+  let marcel = Runtime.marcel rt in
+  while e.faulting || e.pinned do
+    Marcel.Cond.wait marcel e.fault_done e.entry_mutex
+  done
+
+let unpin rt (e : Page_table.entry) =
+  if e.pinned then begin
+    e.pinned <- false;
+    Marcel.Cond.broadcast (Runtime.marcel rt) e.fault_done
+  end
+
+let fetch_page rt ~node ~page ~mode ~from =
+  let e = Runtime.entry rt ~node ~page in
+  with_entry rt e (fun () ->
+      if e.faulting then
+        (* Coalesce with the in-flight fault; the caller re-checks rights. *)
+        wait_while_faulting rt e
+      else begin
+        e.faulting <- true;
+        Dsm_comm.send_request rt ~to_:from ~page ~mode ~requester:node;
+        wait_while_faulting rt e
+      end)
+
+let install_page rt ~node (msg : Protocol.page_message) =
+  Frame_store.install (Runtime.store rt node) msg.Protocol.page msg.Protocol.data;
+  let e = Runtime.entry rt ~node ~page:msg.Protocol.page in
+  e.rights <- msg.Protocol.grant
+
+let invalidate_copies rt ~page ~targets =
+  let node = Runtime.self_node rt in
+  let marcel = Runtime.marcel rt in
+  let targets = List.sort_uniq compare (List.filter (fun n -> n <> node) targets) in
+  match targets with
+  | [] -> ()
+  | [ target ] -> Dsm_comm.call_invalidate rt ~to_:target ~page
+  | targets ->
+      let helpers =
+        List.map
+          (fun target ->
+            Marcel.spawn marcel ~node (fun () ->
+                Dsm_comm.call_invalidate rt ~to_:target ~page))
+          targets
+      in
+      List.iter (fun th -> Marcel.join marcel th) helpers
+
+let drop_copy rt ~node ~page =
+  let e = Runtime.entry rt ~node ~page in
+  e.rights <- Access.No_access;
+  e.twin <- None;
+  Frame_store.drop (Runtime.store rt node) page
+
+let make_twin rt ~node (e : Page_table.entry) =
+  e.twin <- Some (Diff.make_twin (Frame_store.frame (Runtime.store rt node) e.page))
+
+let diff_against_twin rt ~node (e : Page_table.entry) =
+  match e.twin with
+  | None -> None
+  | Some twin ->
+      let current = Frame_store.frame (Runtime.store rt node) e.page in
+      let diff = Diff.compute ~page:e.page ~twin ~current in
+      if Diff.is_empty diff then None else Some diff
+
+let group_by_home rt ~node pages =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun page ->
+      let e = Runtime.entry rt ~node ~page in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl e.home) in
+      Hashtbl.replace tbl e.home (page :: existing))
+    pages;
+  Hashtbl.fold (fun home pages acc -> (home, List.rev pages) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

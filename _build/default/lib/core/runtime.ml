@@ -1,0 +1,120 @@
+open Dsmpm2_sim
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+type costs = {
+  page_fault_us : float;
+  protocol_server_us : float;
+  protocol_client_us : float;
+  migration_protocol_us : float;
+  inline_check_us : float;
+}
+
+let default_costs =
+  {
+    page_fault_us = 11.;
+    protocol_server_us = 13.;
+    protocol_client_us = 13.;
+    migration_protocol_us = 1.;
+    inline_check_us = 0.05;
+  }
+
+type lock_state = {
+  lock_id : int;
+  lock_manager : int;
+  mutable lock_protocol : int;
+  mutable lock_held : bool;
+  mutable lock_holder : int;
+  lock_queue : Marcel.Cond.t;
+  lock_mutex : Marcel.Mutex.t;
+  mutable lock_acquisitions : int;
+  mutable lock_ext : Page_table.ext;
+}
+
+type barrier_state = {
+  barrier_id : int;
+  barrier_manager : int;
+  barrier_parties : int;
+  mutable barrier_protocol : int;
+  mutable barrier_arrived : int;
+  mutable barrier_generation : int;
+  barrier_cond : Marcel.Cond.t;
+  barrier_mutex : Marcel.Mutex.t;
+}
+
+type services = {
+  srv_request : Rpc.service;
+  srv_send_page : Rpc.service;
+  srv_invalidate : Rpc.service;
+  srv_diffs : Rpc.service;
+  srv_lock_acquire : Rpc.service;
+  srv_lock_release : Rpc.service;
+  srv_barrier : Rpc.service;
+}
+
+type t = {
+  pm2 : Pm2.t;
+  geo : Page.geometry;
+  tables : Page_table.t array;
+  stores : Frame_store.t array;
+  registry : t Protocol.registry;
+  mutable default_protocol : int;
+  costs : costs;
+  instr : Stats.t;
+  mutable services : services option;
+  locks : (int, lock_state) Hashtbl.t;
+  mutable next_lock : int;
+  barriers : (int, barrier_state) Hashtbl.t;
+  mutable next_barrier : int;
+  mutable fault_loop_limit : int;
+  diff_handlers : (int, diff_handler) Hashtbl.t;
+}
+
+and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
+
+let create ?(costs = default_costs) pm2 =
+  let n = Pm2.nodes pm2 in
+  let geo = Page.geometry ~size:(Isoalloc.page_size (Pm2.iso pm2)) in
+  {
+    pm2;
+    geo;
+    tables = Array.init n (fun node -> Page_table.create ~node);
+    stores = Array.init n (fun _ -> Frame_store.create ~geometry:geo);
+    registry = Protocol.create_registry ();
+    default_protocol = 0;
+    costs;
+    instr = Stats.create ();
+    services = None;
+    locks = Hashtbl.create 16;
+    next_lock = 0;
+    barriers = Hashtbl.create 16;
+    next_barrier = 0;
+    fault_loop_limit = 1000;
+    diff_handlers = Hashtbl.create 8;
+  }
+
+let nodes t = Pm2.nodes t.pm2
+let marcel t = Pm2.marcel t.pm2
+let engine t = Pm2.engine t.pm2
+let rpc t = Pm2.rpc t.pm2
+let self_node t = Pm2.self_node t.pm2
+let table t node = t.tables.(node)
+let store t node = t.stores.(node)
+let proto t id = Protocol.find t.registry id
+
+let services t =
+  match t.services with
+  | Some s -> s
+  | None -> failwith "Runtime.services: Dsm_comm.init has not run"
+
+let entry t ~node ~page = Page_table.find t.tables.(node) page
+
+let lock_state t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Runtime.lock_state: unknown lock %d" id)
+
+let barrier_state t id =
+  match Hashtbl.find_opt t.barriers id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Runtime.barrier_state: unknown barrier %d" id)

@@ -1,0 +1,103 @@
+(** The DSM-PM2 runtime state: everything the generic core and the protocols
+    share.
+
+    One [Runtime.t] models one application run on one cluster: a PM2 runtime
+    (threads + network + RPC), a page table and frame store per node, the
+    protocol registry, the synchronization-object directories and the cost
+    model.  The user-facing API lives in {!Dsm}; protocol implementations use
+    this module together with {!Protocol_lib} and {!Dsm_comm}. *)
+
+open Dsmpm2_sim
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+type costs = {
+  page_fault_us : float;
+      (** catching and decoding the access fault (paper: 11 us) *)
+  protocol_server_us : float;
+      (** owner/home-side request processing (half of the paper's 26 us) *)
+  protocol_client_us : float;
+      (** requester-side page installation (other half of the 26 us) *)
+  migration_protocol_us : float;
+      (** protocol overhead of a migration-based fault (paper: < 1 us) *)
+  inline_check_us : float;
+      (** one [java_ic] locality check (a few cycles on a 450 MHz PII) *)
+}
+
+val default_costs : costs
+
+type lock_state = {
+  lock_id : int;
+  lock_manager : int;  (** managing node *)
+  mutable lock_protocol : int;
+  (* manager-side state: *)
+  mutable lock_held : bool;
+  mutable lock_holder : int;  (** tid of the current holder, -1 if free *)
+  lock_queue : Marcel.Cond.t;
+  lock_mutex : Marcel.Mutex.t;
+  mutable lock_acquisitions : int;
+  mutable lock_ext : Page_table.ext;
+      (** protocol-specific lock state (e.g. entry-consistency bindings) *)
+}
+
+type barrier_state = {
+  barrier_id : int;
+  barrier_manager : int;
+  barrier_parties : int;
+  mutable barrier_protocol : int;
+  (* manager-side state: *)
+  mutable barrier_arrived : int;
+  mutable barrier_generation : int;
+  barrier_cond : Marcel.Cond.t;
+  barrier_mutex : Marcel.Mutex.t;
+}
+
+type services = {
+  srv_request : Rpc.service;
+  srv_send_page : Rpc.service;
+  srv_invalidate : Rpc.service;
+  srv_diffs : Rpc.service;
+  srv_lock_acquire : Rpc.service;
+  srv_lock_release : Rpc.service;
+  srv_barrier : Rpc.service;
+}
+
+type t = {
+  pm2 : Pm2.t;
+  geo : Page.geometry;
+  tables : Page_table.t array;
+  stores : Frame_store.t array;
+  registry : t Protocol.registry;
+  mutable default_protocol : int;
+  costs : costs;
+  instr : Stats.t;
+  mutable services : services option;  (** set once by {!Dsm_comm.init} *)
+  locks : (int, lock_state) Hashtbl.t;
+  mutable next_lock : int;
+  barriers : (int, barrier_state) Hashtbl.t;
+  mutable next_barrier : int;
+  mutable fault_loop_limit : int;
+      (** safety bound on fault-retry iterations per access *)
+  diff_handlers : (int, diff_handler) Hashtbl.t;
+      (** per-protocol diff processing, see {!Dsm_comm.set_diff_handler} *)
+}
+
+and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
+
+val create : ?costs:costs -> Pm2.t -> t
+val nodes : t -> int
+val marcel : t -> Marcel.t
+val engine : t -> Engine.t
+val rpc : t -> Rpc.t
+val self_node : t -> int
+val table : t -> int -> Page_table.t
+val store : t -> int -> Frame_store.t
+val proto : t -> int -> t Protocol.t
+val services : t -> services
+(** @raise Failure if {!Dsm_comm.init} has not run. *)
+
+val entry : t -> node:int -> page:int -> Page_table.entry
+(** Shorthand for [Page_table.find (table t node) page]. *)
+
+val lock_state : t -> int -> lock_state
+val barrier_state : t -> int -> barrier_state

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Builtin Driver Dsm Dsmpm2_apps Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Format Instrument List Network Stats Time Tsp

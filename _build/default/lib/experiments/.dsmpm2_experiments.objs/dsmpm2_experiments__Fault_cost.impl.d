@@ -1,0 +1,1 @@
+lib/experiments/fault_cost.ml: Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_protocols Dsmpm2_sim Format Instrument List Stats Time

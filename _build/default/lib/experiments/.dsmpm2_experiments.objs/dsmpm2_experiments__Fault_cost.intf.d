@@ -1,0 +1,1 @@
+lib/experiments/fault_cost.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/fig4_tsp.ml: Dsmpm2_apps Format List Tsp

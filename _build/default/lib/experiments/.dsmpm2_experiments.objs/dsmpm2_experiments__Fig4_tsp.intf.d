@@ -1,0 +1,1 @@
+lib/experiments/fig4_tsp.mli: Format

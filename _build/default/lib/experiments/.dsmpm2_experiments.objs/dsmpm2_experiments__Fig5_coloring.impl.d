@@ -1,0 +1,1 @@
+lib/experiments/fig5_coloring.ml: Dsmpm2_apps Format List Map_coloring

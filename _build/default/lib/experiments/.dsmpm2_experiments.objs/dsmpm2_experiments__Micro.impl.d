@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Driver Dsmpm2_net Dsmpm2_pm2 Dsmpm2_sim Engine Format List Pm2 Rpc Time

@@ -1,0 +1,1 @@
+lib/experiments/sharing_patterns.mli: Format

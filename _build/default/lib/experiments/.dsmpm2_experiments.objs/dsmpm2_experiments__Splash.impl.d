@@ -1,0 +1,1 @@
+lib/experiments/splash.ml: Dsmpm2_apps Format Jacobi List Lu Matmul Sort

@@ -1,0 +1,1 @@
+lib/experiments/table2_inventory.ml: Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_protocols Format List

@@ -1,0 +1,1 @@
+lib/experiments/table2_inventory.mli: Format

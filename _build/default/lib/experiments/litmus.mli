@@ -1,0 +1,58 @@
+(** Memory-model litmus tests, run against every protocol.
+
+    The platform's purpose is to let protocol designers "compare their
+    protocols within a common environment"; litmus tests are the sharpest
+    such comparison.  Three classics, each swept over thread start offsets
+    and initial cache states (a deterministic simulator explores one
+    interleaving per configuration, so the sweep is what surfaces
+    relaxations):
+
+    - {b MP} (message passing): T0 writes [x:=1] then [flag:=1]; T1 reads
+      [flag] then [x].  Sequential consistency forbids seeing [flag = 1]
+      with [x = 0]; protocols that defer invalidation (eager/lazy release
+      consistency, Java consistency) exhibit it when T1 holds a stale cached
+      copy of [x].
+    - {b SB} (store buffering): T0 does [x:=1; r1:=y], T1 does [y:=1;
+      r2:=x].  SC forbids [r1 = r2 = 0]; stale caches allow it.
+    - {b CoRR} (coherence of read-read): T1 reads [x] twice while T0 writes
+      it; no protocol may let the two reads go backwards ([r1 = 1] then
+      [r2 = 0]) — per-location coherence holds even for the weak models.
+
+    [x] and [flag]/[y] live on different pages so the per-page protocols
+    treat them independently. *)
+
+type kind = Mp | Sb | Corr
+
+type observation = { r1 : int; r2 : int }
+
+val violates : kind -> observation -> bool
+(** Whether the observation is forbidden under sequential consistency (MP,
+    SB) or under cache coherence (CoRR). *)
+
+type cell = {
+  protocol : string;
+  kind : kind;
+  configurations : int;  (** sweep size *)
+  violations : int;  (** configurations whose observation was forbidden *)
+}
+
+type cache_mode = No_cache | Cache_all | Cache_payload_only
+
+val run_one :
+  protocol:string -> kind:kind -> cache:cache_mode -> offset_us:float -> observation
+(** One configuration: [cache] controls which variables the observer caches
+    before the writer starts ([Cache_payload_only] caches [x] but not the
+    flag — the configuration that exposes MP violations in the relaxed
+    models); [offset_us] delays the observer. *)
+
+val sweep : protocol:string -> kind:kind -> cell
+(** Runs the standard sweep (3 cache modes x offsets 0..1000 us). *)
+
+val run : unit -> cell list
+(** Every kind under every registered protocol. *)
+
+val sequentially_consistent_protocols : string list
+(** The protocols for which the harness must observe zero MP/SB
+    violations. *)
+
+val print : Format.formatter -> cell list -> unit

@@ -1,0 +1,180 @@
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+
+type cell = {
+  pattern : string;
+  protocol : string;
+  time_ms : float;
+  correct : bool;
+  read_faults : int;
+  write_faults : int;
+  pages_sent : int;
+  diff_bytes : int;
+  messages : int;
+}
+
+let patterns = [ "migratory"; "producer_consumer"; "read_mostly"; "false_sharing" ]
+
+let protocols =
+  [
+    "li_hudak"; "li_hudak_fixed"; "migrate_thread"; "erc_sw"; "hbrc_mw";
+    "java_pf"; "entry_ec"; "write_update";
+  ]
+
+let nodes = 4
+let rounds = 20
+
+(* The authoritative copy of [addr] at quiescence: the node holding write
+   access (MRSW owner) if any, else the home's reference copy. *)
+let authoritative dsm addr =
+  let rec find n =
+    if n >= nodes then Dsm.unsafe_peek dsm ~node:0 addr
+    else if Dsm.unsafe_rights dsm ~node:n ~addr = Dsmpm2_mem.Access.Read_write then
+      Dsm.unsafe_peek dsm ~node:n addr
+    else find (n + 1)
+  in
+  find 0
+
+(* One datum bounced around under a lock: each node increments it [rounds]
+   times; the final count is the oracle. *)
+let migratory dsm proto =
+  let x = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) 8 in
+  let lock = Dsm.lock_create dsm ~protocol:proto () in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for _ = 1 to rounds do
+             Dsm.with_lock dsm lock (fun () ->
+                 Dsm.write_int dsm x (Dsm.read_int dsm x + 1));
+             Dsm.compute dsm 100.
+           done))
+  done;
+  fun () -> authoritative dsm x = nodes * rounds
+
+(* Node 0 produces a 16-word block each phase; consumers read and sum it
+   after the barrier. *)
+let producer_consumer dsm proto =
+  let words = 16 in
+  let block = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) (words * 8) in
+  let barrier = Dsm.barrier_create dsm ~protocol:proto ~parties:nodes () in
+  let ok = ref true in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for phase = 1 to rounds do
+             if node = 0 then
+               for w = 0 to words - 1 do
+                 Dsm.write_int dsm (block + (w * 8)) ((phase * 100) + w)
+               done;
+             Dsm.barrier_wait dsm barrier;
+             if node <> 0 then begin
+               let sum = ref 0 in
+               for w = 0 to words - 1 do
+                 sum := !sum + Dsm.read_int dsm (block + (w * 8))
+               done;
+               let expected = (words * phase * 100) + (words * (words - 1) / 2) in
+               if !sum <> expected then ok := false
+             end;
+             Dsm.barrier_wait dsm barrier
+           done))
+  done;
+  fun () -> !ok
+
+(* Everybody hammers reads; node 0 writes occasionally under a lock. *)
+let read_mostly dsm proto =
+  let x = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) 8 in
+  let lock = Dsm.lock_create dsm ~protocol:proto () in
+  let monotone = ref true in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           let last = ref 0 in
+           for round = 1 to rounds * 4 do
+             if node = 0 && round mod 16 = 0 then
+               Dsm.with_lock dsm lock (fun () ->
+                   Dsm.write_int dsm x (Dsm.read_int dsm x + 1))
+             else begin
+               let v = Dsm.with_lock dsm lock (fun () -> Dsm.read_int dsm x) in
+               if v < !last then monotone := false;
+               last := v
+             end;
+             Dsm.compute dsm 50.
+           done))
+  done;
+  fun () -> !monotone && Dsm.unsafe_peek dsm ~node:0 x > 0
+
+(* Disjoint words of one page written concurrently by all nodes: page-level
+   false sharing, variable-level race freedom. *)
+let false_sharing dsm proto =
+  let page_addr = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) 4096 in
+  let barrier = Dsm.barrier_create dsm ~protocol:proto ~parties:nodes () in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           let addr = page_addr + (node * 8) in
+           for round = 1 to rounds do
+             Dsm.write_int dsm addr ((node * 1000) + round);
+             Dsm.compute dsm 100.;
+             ignore round
+           done;
+           Dsm.barrier_wait dsm barrier))
+  done;
+  fun () ->
+    (* after the final barrier every node's slot holds its last write *)
+    let ok = ref true in
+    for node = 0 to nodes - 1 do
+      if authoritative dsm (page_addr + (node * 8)) <> (node * 1000) + rounds then
+        ok := false
+    done;
+    !ok
+
+let run_one ~pattern ~protocol =
+  let dsm = Dsm.create ~nodes ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  let proto = Option.get (Dsm.protocol_by_name dsm protocol) in
+  let check =
+    match pattern with
+    | "migratory" -> migratory dsm proto
+    | "producer_consumer" -> producer_consumer dsm proto
+    | "read_mostly" -> read_mostly dsm proto
+    | "false_sharing" -> false_sharing dsm proto
+    | other -> invalid_arg ("Sharing_patterns: unknown pattern " ^ other)
+  in
+  Dsm.run dsm;
+  let stats = Dsm.stats dsm in
+  {
+    pattern;
+    protocol;
+    time_ms = Dsm.now_us dsm /. 1000.;
+    correct = check ();
+    read_faults = Stats.count stats Instrument.read_faults;
+    write_faults = Stats.count stats Instrument.write_faults;
+    pages_sent = Stats.count stats Instrument.pages_sent;
+    diff_bytes = Stats.count stats Instrument.diff_bytes;
+    messages = Network.messages_sent (Dsmpm2_pm2.Pm2.network (Dsm.pm2 dsm));
+  }
+
+let run () =
+  List.concat_map
+    (fun pattern -> List.map (fun protocol -> run_one ~pattern ~protocol) protocols)
+    patterns
+
+let print ppf cells =
+  Format.fprintf ppf
+    "Sharing-pattern study (4 nodes, BIP/Myrinet, %d rounds per node)@." rounds;
+  List.iter
+    (fun pattern ->
+      Format.fprintf ppf "@.%s:@." pattern;
+      Format.fprintf ppf "  %-16s %10s %8s %8s %8s %8s %10s@." "protocol" "time(ms)"
+        "correct" "rfaults" "wfaults" "pages" "diffbytes";
+      List.iter
+        (fun c ->
+          if c.pattern = pattern then
+            Format.fprintf ppf "  %-16s %10.1f %8b %8d %8d %8d %10d@." c.protocol
+              c.time_ms c.correct c.read_faults c.write_faults c.pages_sent
+              c.diff_bytes)
+        cells)
+    patterns

@@ -1,0 +1,22 @@
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+
+type row = { name : string; consistency : string; features : string; registered : bool }
+
+let run () =
+  let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  List.map
+    (fun (name, consistency, features) ->
+      { name; consistency; features; registered = Dsm.protocol_by_name dsm name <> None })
+    Builtin.summary
+
+let print ppf rows =
+  Format.fprintf ppf "Table 2: consistency protocols available in the library@.";
+  Format.fprintf ppf "%-16s %-12s %s@." "Protocol" "Consistency" "Basic features";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %-12s %s%s@." r.name r.consistency r.features
+        (if r.registered then "" else "  [NOT REGISTERED!]"))
+    rows

@@ -1,0 +1,7 @@
+(** Table 2: the built-in protocol inventory, printed from the live registry
+    so the documentation cannot drift from the code. *)
+
+type row = { name : string; consistency : string; features : string; registered : bool }
+
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

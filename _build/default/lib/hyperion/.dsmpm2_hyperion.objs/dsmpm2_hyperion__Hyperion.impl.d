@@ -1,0 +1,1 @@
+lib/hyperion/hyperion.ml: Dsm Dsmpm2_core Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_protocols Hashtbl Java_common List Page Page_table Printf Runtime

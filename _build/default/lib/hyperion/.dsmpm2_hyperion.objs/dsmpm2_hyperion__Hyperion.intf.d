@@ -1,0 +1,1 @@
+lib/hyperion/hyperion.mli: Dsm Dsmpm2_core

@@ -1,0 +1,73 @@
+(** A miniature Hyperion runtime: the Java-object memory module that the
+    paper's Section 3.3 co-designs with the [java_ic]/[java_pf] protocols.
+
+    Hyperion compiles threaded Java to C over DSM-PM2; its memory module
+    sees the world as {e objects} with word-sized fields, allocated on a
+    {e home} node (the "main memory" of the JMM), cached at most once per
+    node, and accessed through [get]/[put] primitives.  Monitors provide
+    mutual exclusion and the JMM consistency actions: entering a monitor
+    flushes the node's object cache, exiting transmits recorded local
+    modifications to main memory.
+
+    This module is a thin veneer over {!Dsm}: objects are carved out of
+    [dsm_malloc]'d pages homed on the requested node; [get]/[put] go through
+    the DSM access path, so the per-access inline-check cost (under
+    [java_ic]) or page-fault cost (under [java_pf]) is charged exactly as
+    the protocol prescribes. *)
+
+open Dsmpm2_core
+
+type t
+
+val create : Dsm.t -> protocol:int -> t
+(** [protocol] must be one of the two Java protocols (or a user protocol
+    with the same contract). *)
+
+val dsm : t -> Dsm.t
+val protocol : t -> int
+
+type obj
+(** A handle on a shared object: an iso-address plus a field count. *)
+
+val new_obj : t -> ?home:int -> fields:int -> unit -> obj
+(** Allocates an object of [fields] word-sized fields on [home] (default:
+    the calling thread's node — objects are initially stored on their home
+    node).  Objects are packed into pages per home node, so a node's objects
+    share pages; objects never straddle a page. *)
+
+val new_array : t -> ?home:int -> len:int -> unit -> obj
+(** An array object: [len] word elements. *)
+
+val addr : obj -> int
+val field_count : obj -> int
+val home : t -> obj -> int
+
+val get : t -> obj -> int -> int
+(** [get t o i] reads field [i].  The Hyperion access primitive: under
+    [java_ic] this pays an inline locality check; under [java_pf] a fault is
+    taken only when the object's page is absent. *)
+
+val put : t -> obj -> int -> int -> unit
+(** [put t o i v] writes field [i] and records the modification on the fly
+    (object-field granularity) for the next main-memory update. *)
+
+type monitor
+
+val new_monitor : t -> ?manager:int -> unit -> monitor
+
+val monitor_enter : t -> monitor -> unit
+(** JMM entry action: acquires the monitor's lock, then flushes the node's
+    object cache. *)
+
+val monitor_exit : t -> monitor -> unit
+(** JMM exit action: transmits local modifications to main memory, then
+    releases the lock. *)
+
+val synchronized : t -> monitor -> (unit -> 'a) -> 'a
+val main_memory_update : t -> unit
+(** Explicitly transmit pending modification records (normally done by
+    [monitor_exit]); the primitive Hyperion's runtime calls. *)
+
+val peek_main_memory : t -> obj -> int -> int
+(** Test/debug view: the field value in the reference copy on the object's
+    home node. *)

@@ -1,0 +1,1 @@
+lib/mem/diff.ml: Array Bytes Format Int64 List Page

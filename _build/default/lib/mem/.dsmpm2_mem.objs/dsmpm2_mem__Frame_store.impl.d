@@ -1,0 +1,1 @@
+lib/mem/frame_store.ml: Bytes Char Hashtbl Int64 Page Printf

@@ -1,0 +1,21 @@
+(** Page access rights, the lattice maintained by the page manager.
+
+    This is the software equivalent of the [mprotect] settings of a real
+    page-based DSM: [No_access] makes any access fault, [Read_only] makes
+    writes fault, [Read_write] never faults. *)
+
+type t = No_access | Read_only | Read_write
+
+type mode = Read | Write
+(** The kind of access being attempted (or requested from a remote node). *)
+
+val allows : t -> mode -> bool
+val includes : t -> t -> bool
+(** [includes a b] iff rights [a] permit everything [b] permits. *)
+
+val merge : t -> t -> t
+(** Least upper bound. *)
+
+val to_string : t -> string
+val mode_to_string : mode -> string
+val pp : Format.formatter -> t -> unit

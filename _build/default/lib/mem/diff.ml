@@ -1,0 +1,88 @@
+type t = { page : int; ranges : (int * bytes) list }
+
+let make_twin = Bytes.copy
+
+let compute ~page ~twin ~current =
+  let n = Bytes.length twin in
+  if Bytes.length current <> n then invalid_arg "Diff.compute: length mismatch";
+  (* Scan for maximal runs of differing bytes. *)
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else if Bytes.get twin i = Bytes.get current i then scan (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && Bytes.get twin !j <> Bytes.get current !j do incr j done;
+      let data = Bytes.sub current i (!j - i) in
+      scan !j ((i, data) :: acc)
+    end
+  in
+  { page; ranges = scan 0 [] }
+
+(* Normalises a list of (offset, data) patches into sorted, coalesced,
+   non-overlapping ranges; later patches win where they overlap earlier
+   ones. *)
+let normalise patches =
+  match patches with
+  | [] -> []
+  | _ ->
+      let min_off = List.fold_left (fun a (o, _) -> min a o) max_int patches in
+      let max_end =
+        List.fold_left (fun a (o, d) -> max a (o + Bytes.length d)) 0 patches
+      in
+      let width = max_end - min_off in
+      let buf = Bytes.make width '\000' in
+      let touched = Array.make width false in
+      List.iter
+        (fun (o, d) ->
+          Bytes.blit d 0 buf (o - min_off) (Bytes.length d);
+          for k = o - min_off to o - min_off + Bytes.length d - 1 do
+            touched.(k) <- true
+          done)
+        patches;
+      let rec scan i acc =
+        if i >= width then List.rev acc
+        else if not touched.(i) then scan (i + 1) acc
+        else begin
+          let j = ref i in
+          while !j < width && touched.(!j) do incr j done;
+          let data = Bytes.sub buf i (!j - i) in
+          scan !j ((i + min_off, data) :: acc)
+        end
+      in
+      scan 0 []
+
+let of_words ~geometry ~page words =
+  let size = Page.size geometry in
+  let patches =
+    List.map
+      (fun (off, v) ->
+        if off land 7 <> 0 || off < 0 || off + 8 > size then
+          invalid_arg "Diff.of_words: bad offset";
+        let d = Bytes.create 8 in
+        Bytes.set_int64_le d 0 (Int64.of_int v);
+        (off, d))
+      words
+  in
+  { page; ranges = normalise patches }
+
+let apply t target =
+  List.iter
+    (fun (off, data) ->
+      if off < 0 || off + Bytes.length data > Bytes.length target then
+        invalid_arg "Diff.apply: range out of bounds";
+      Bytes.blit data 0 target off (Bytes.length data))
+    t.ranges
+
+let merge older newer =
+  if older.page <> newer.page then invalid_arg "Diff.merge: page mismatch";
+  { page = older.page; ranges = normalise (older.ranges @ newer.ranges) }
+
+let is_empty t = t.ranges = []
+let range_count t = List.length t.ranges
+let payload_bytes t = List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 t.ranges
+let wire_bytes t = payload_bytes t + (8 * range_count t)
+
+let pp ppf t =
+  Format.fprintf ppf "diff(page %d:" t.page;
+  List.iter (fun (o, d) -> Format.fprintf ppf " %d+%d" o (Bytes.length d)) t.ranges;
+  Format.fprintf ppf ")"

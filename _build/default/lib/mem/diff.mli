@@ -1,0 +1,41 @@
+(** Page twins and diffs, the multiple-writer machinery of [hbrc_mw] and the
+    Java protocols.
+
+    A {e twin} is a snapshot of a page taken before local writes; a {e diff}
+    is the compact list of byte ranges where the current page departs from
+    its twin.  Diffs travel to the page's home node, which applies them to
+    the reference copy.  Word-granularity diffs ([of_words]) implement the
+    paper's "on-the-fly diff recording" used by [java_ic]/[java_pf]. *)
+
+type t = { page : int; ranges : (int * bytes) list }
+(** Ranges are (offset, data), sorted by offset, non-overlapping,
+    non-adjacent. *)
+
+val make_twin : bytes -> bytes
+(** A snapshot copy of the page. *)
+
+val compute : page:int -> twin:bytes -> current:bytes -> t
+(** Byte ranges where [current] differs from [twin]. *)
+
+val of_words : geometry:Page.geometry -> page:int -> (int * int) list -> t
+(** [(offset, value)] word-granularity write records; later records win on
+    the same offset.  Offsets must be 8-aligned and in page range. *)
+
+val apply : t -> bytes -> unit
+(** Patches the target page in place. *)
+
+val merge : t -> t -> t
+(** [merge older newer]: the effect of applying [older] then [newer],
+    normalised. Pages must match. *)
+
+val is_empty : t -> bool
+val range_count : t -> int
+
+val payload_bytes : t -> int
+(** Bytes of modified data carried by the diff. *)
+
+val wire_bytes : t -> int
+(** Modelled wire size: payload plus an 8-byte header per range (offset +
+    length). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = { geo : Page.geometry; frames : (int, bytes) Hashtbl.t }
+
+let create ~geometry = { geo = geometry; frames = Hashtbl.create 64 }
+let geometry t = t.geo
+let has_frame t page = Hashtbl.mem t.frames page
+
+let frame t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make (Page.size t.geo) '\000' in
+      Hashtbl.add t.frames page b;
+      b
+
+let peek t page = Hashtbl.find_opt t.frames page
+
+let install t page data =
+  if Bytes.length data <> Page.size t.geo then
+    invalid_arg "Frame_store.install: wrong page length";
+  Hashtbl.replace t.frames page (Bytes.copy data)
+
+let drop t page = Hashtbl.remove t.frames page
+let frame_count t = Hashtbl.length t.frames
+
+let check_word_aligned addr =
+  if addr land 7 <> 0 then
+    invalid_arg (Printf.sprintf "Frame_store: unaligned word access at %#x" addr)
+
+let read_int t ~addr =
+  check_word_aligned addr;
+  let b = frame t (Page.page_of_addr t.geo addr) in
+  Int64.to_int (Bytes.get_int64_le b (Page.offset_of_addr t.geo addr))
+
+let write_int t ~addr v =
+  check_word_aligned addr;
+  let b = frame t (Page.page_of_addr t.geo addr) in
+  Bytes.set_int64_le b (Page.offset_of_addr t.geo addr) (Int64.of_int v)
+
+let read_byte t ~addr =
+  let b = frame t (Page.page_of_addr t.geo addr) in
+  Char.code (Bytes.get b (Page.offset_of_addr t.geo addr))
+
+let write_byte t ~addr v =
+  if v < 0 || v > 255 then invalid_arg "Frame_store.write_byte: out of range";
+  let b = frame t (Page.page_of_addr t.geo addr) in
+  Bytes.set b (Page.offset_of_addr t.geo addr) (Char.chr v)
+
+let copy_page = Bytes.copy

@@ -1,0 +1,35 @@
+(** Per-node physical page frames.
+
+    Each node materialises frames lazily (a frame appears the first time the
+    node touches or receives the page) and reads/writes DSM words — 8-byte
+    little-endian integers — at byte offsets inside them.  Dropping a frame
+    models an invalidation that discards the local copy. *)
+
+type t
+
+val create : geometry:Page.geometry -> t
+val geometry : t -> Page.geometry
+
+val has_frame : t -> int -> bool
+val frame : t -> int -> bytes
+(** Returns the frame for the page, creating a zeroed one if absent. *)
+
+val peek : t -> int -> bytes option
+(** The frame if present, without creating it. *)
+
+val install : t -> int -> bytes -> unit
+(** Replaces (or creates) the frame with a copy of [bytes] (which must have
+    page length). *)
+
+val drop : t -> int -> unit
+val frame_count : t -> int
+
+val read_int : t -> addr:int -> int
+(** Reads the 8-byte word at [addr] ([addr] must be 8-aligned). *)
+
+val write_int : t -> addr:int -> int -> unit
+
+val read_byte : t -> addr:int -> int
+val write_byte : t -> addr:int -> int -> unit
+
+val copy_page : bytes -> bytes

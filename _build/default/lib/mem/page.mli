@@ -1,0 +1,28 @@
+(** Page geometry and address arithmetic.
+
+    The DSM address space is a flat range of byte addresses split into
+    fixed-size pages; the paper (and this reproduction) uses 4 kB pages. *)
+
+val default_size : int
+(** 4096 bytes. *)
+
+type geometry
+
+val geometry : size:int -> geometry
+(** [size] must be a power of two. *)
+
+val size : geometry -> int
+
+val page_of_addr : geometry -> int -> int
+(** Page number containing the address. *)
+
+val offset_of_addr : geometry -> int -> int
+val base_of_page : geometry -> int -> int
+(** First address of the page. *)
+
+val pages_of_range : geometry -> addr:int -> len:int -> int list
+(** All page numbers overlapping [addr, addr+len). [len > 0]. *)
+
+val word_bytes : int
+(** Width of a DSM word: 8 bytes.  Word accesses must not straddle a page
+    boundary (guaranteed by 8-byte allocation alignment). *)

@@ -1,0 +1,1 @@
+lib/net/driver.ml: Dsmpm2_sim Format List String Time

@@ -1,0 +1,1 @@
+lib/net/driver.mli: Dsmpm2_sim Format Time

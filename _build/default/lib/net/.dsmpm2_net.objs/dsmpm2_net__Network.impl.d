@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Driver Dsmpm2_sim Engine Stats Time

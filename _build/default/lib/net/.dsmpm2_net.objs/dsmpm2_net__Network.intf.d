@@ -1,0 +1,1 @@
+lib/net/network.mli: Driver Dsmpm2_sim Engine Stats Time

@@ -1,0 +1,39 @@
+(** Network cost models: the simulated counterpart of the Madeleine drivers.
+
+    The paper runs on four cluster configurations; each becomes a [Driver.t]
+    whose parameters are calibrated so that the model reproduces the paper's
+    measured microsecond figures (Tables 3 and 4, and the null-RPC and
+    thread-migration latencies of Section 2.1).  See DESIGN.md section 6 for
+    the calibration procedure. *)
+
+open Dsmpm2_sim
+
+type t = {
+  name : string;
+  null_rpc_us : float;  (** minimal one-way RPC latency (paper section 2.1) *)
+  request_us : float;  (** small control message incl. dispatch (Table 3) *)
+  byte_us : float;  (** per-byte streaming cost, from nominal link bandwidth *)
+  page_base_us : float;  (** fixed overhead of a bulk (page/diff) transfer *)
+  migration_base_us : float;  (** fixed overhead of a thread migration *)
+}
+
+type cost =
+  | Null_rpc  (** an empty RPC invocation *)
+  | Request  (** a small protocol control message (page request, ack, ...) *)
+  | Bulk of int  (** a data transfer of [n] bytes (page, diff, update) *)
+  | Migration of int  (** a thread migration carrying [n] bytes of state *)
+
+val delay : t -> cost -> Time.t
+(** One-way latency of a message of the given kind on this driver. *)
+
+val bip_myrinet : t
+val tcp_myrinet : t
+val tcp_fast_ethernet : t
+val sisci_sci : t
+
+val all : t list
+(** The four platforms of the paper's evaluation, in the column order of its
+    Tables 3 and 4. *)
+
+val by_name : string -> t option
+val pp : Format.formatter -> t -> unit

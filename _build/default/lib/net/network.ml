@@ -1,0 +1,69 @@
+open Dsmpm2_sim
+
+type t = {
+  eng : Engine.t;
+  net_driver : Driver.t;
+  nnodes : int;
+  last_delivery : Time.t array;
+      (* index src*nnodes+dst: latest delivery time scheduled on that link *)
+  jitter : (src:int -> dst:int -> Time.t -> Time.t) option;
+  mutable sent : int;
+  mutable bytes : int;
+  net_stats : Stats.t;
+}
+
+let create ?jitter eng ~driver ~nodes =
+  if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
+  {
+    eng;
+    net_driver = driver;
+    nnodes = nodes;
+    last_delivery = Array.make (nodes * nodes) Time.zero;
+    jitter;
+    sent = 0;
+    bytes = 0;
+    net_stats = Stats.create ();
+  }
+
+let driver t = t.net_driver
+let nodes t = t.nnodes
+let messages_sent t = t.sent
+let bytes_sent t = t.bytes
+let stats t = t.net_stats
+
+let kind_name = function
+  | Driver.Null_rpc -> "msg.null_rpc"
+  | Driver.Request -> "msg.request"
+  | Driver.Bulk _ -> "msg.bulk"
+  | Driver.Migration _ -> "msg.migration"
+
+let payload_bytes = function
+  | Driver.Null_rpc | Driver.Request -> 0
+  | Driver.Bulk n | Driver.Migration n -> n
+
+let send t ~src ~dst ~cost k =
+  if src < 0 || src >= t.nnodes || dst < 0 || dst >= t.nnodes then
+    invalid_arg "Network.send: node id out of range";
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + payload_bytes cost;
+  Stats.incr t.net_stats (kind_name cost);
+  if src = dst then Engine.after t.eng Time.zero k
+  else begin
+    let delay = Driver.delay t.net_driver cost in
+    let delay =
+      match t.jitter with
+      | None -> delay
+      | Some f ->
+          let d = f ~src ~dst delay in
+          if d < 0 then invalid_arg "Network: jitter returned negative delay";
+          d
+    in
+    let link = (src * t.nnodes) + dst in
+    let arrival =
+      Time.max
+        Time.(Engine.now t.eng + delay)
+        Time.(t.last_delivery.(link) + Time.of_ns 1)
+    in
+    t.last_delivery.(link) <- arrival;
+    Engine.at t.eng arrival k
+  end

@@ -1,0 +1,35 @@
+(** Point-to-point message delivery between simulated nodes.
+
+    Guarantees FIFO ordering per directed link (as TCP, BIP and SISCI all do
+    for a connection), charges the driver's cost model for every message, and
+    exposes traffic counters.  An optional jitter hook perturbs latencies for
+    the failure-injection tests; jitter never reorders a link. *)
+
+open Dsmpm2_sim
+
+type t
+
+val create :
+  ?jitter:(src:int -> dst:int -> Time.t -> Time.t) ->
+  Engine.t ->
+  driver:Driver.t ->
+  nodes:int ->
+  t
+(** [jitter] maps the nominal delay of each message to an effective delay; it
+    must return a non-negative time. *)
+
+val driver : t -> Driver.t
+val nodes : t -> int
+
+val send : t -> src:int -> dst:int -> cost:Driver.cost -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~cost k] delivers the message after the modelled delay
+    and then runs [k] (in event context, not in a fiber).  Loopback
+    ([src = dst]) is free and still asynchronous.  Node ids must be in
+    range. *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+(** Counts payload bytes of [Bulk] and [Migration] messages. *)
+
+val stats : t -> Stats.t
+(** Per-kind message counters ("msg.request", "msg.bulk", ...). *)

@@ -1,0 +1,1 @@
+lib/pm2/balancer.ml: Array Cpu Dsmpm2_sim Engine List Marcel Pm2 Time

@@ -1,0 +1,1 @@
+lib/pm2/balancer.mli: Pm2

@@ -1,0 +1,1 @@
+lib/pm2/isoalloc.mli:

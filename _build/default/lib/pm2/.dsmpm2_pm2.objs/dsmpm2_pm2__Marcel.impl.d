@@ -1,0 +1,1 @@
+lib/pm2/marcel.ml: Array Cpu Dsmpm2_sim Engine Fun Hashtbl List Printf Queue Time

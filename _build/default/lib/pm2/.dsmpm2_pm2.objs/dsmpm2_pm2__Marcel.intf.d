@@ -1,0 +1,1 @@
+lib/pm2/marcel.mli: Cpu Dsmpm2_sim Engine

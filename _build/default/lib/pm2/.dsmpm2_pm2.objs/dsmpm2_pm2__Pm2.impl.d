@@ -1,0 +1,1 @@
+lib/pm2/pm2.ml: Driver Dsmpm2_net Dsmpm2_sim Engine Isoalloc Marcel Network Rpc Time Trace

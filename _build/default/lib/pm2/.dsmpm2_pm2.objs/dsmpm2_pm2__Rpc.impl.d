@@ -1,0 +1,1 @@
+lib/pm2/rpc.ml: Array Driver Dsmpm2_net Dsmpm2_sim Engine Marcel Network

@@ -1,0 +1,1 @@
+lib/pm2/rpc.mli: Driver Dsmpm2_net Marcel Network

@@ -1,0 +1,72 @@
+open Dsmpm2_sim
+
+type config = { interval_us : float; threshold : int }
+
+let default_config = { interval_us = 5_000.; threshold = 1 }
+
+type t = {
+  pm2 : Pm2.t;
+  config : config;
+  mutable running : bool;
+  mutable moves : int;
+  mutable tick_count : int;
+}
+
+let moves_requested t = t.moves
+let ticks t = t.tick_count
+let stop t = t.running <- false
+
+(* Load of a node: its migratable threads that are not already scheduled to
+   leave, plus any CPU backlog as a tie-breaker signal. *)
+let load marcel node =
+  let movable =
+    List.filter
+      (fun th -> Marcel.is_migratable th && Marcel.pending_move th = None)
+      (Marcel.live_threads marcel ~node)
+  in
+  (List.length movable, movable)
+
+let rebalance t =
+  let marcel = Pm2.marcel t.pm2 in
+  let nodes = Pm2.nodes t.pm2 in
+  let loads = Array.init nodes (fun node -> load marcel node) in
+  let weight node = fst loads.(node) + min 1 (Cpu.queue_length (Marcel.cpu marcel node)) in
+  let busiest = ref 0 and idlest = ref 0 in
+  for node = 1 to nodes - 1 do
+    if weight node > weight !busiest then busiest := node;
+    if weight node < weight !idlest then idlest := node
+  done;
+  if weight !busiest - weight !idlest > t.config.threshold then begin
+    match snd loads.(!busiest) with
+    | th :: _ ->
+        Marcel.request_move th ~dst:!idlest;
+        t.moves <- t.moves + 1
+    | [] -> ()
+  end
+
+let any_migratable_alive t =
+  let marcel = Pm2.marcel t.pm2 in
+  let rec scan node =
+    node < Pm2.nodes t.pm2
+    && (List.exists Marcel.is_migratable (Marcel.live_threads marcel ~node)
+       || scan (node + 1))
+  in
+  scan 0
+
+let start ?(config = default_config) pm2 =
+  if config.interval_us <= 0. then invalid_arg "Balancer: interval must be positive";
+  let t = { pm2; config; running = true; moves = 0; tick_count = 0 } in
+  let eng = Pm2.engine pm2 in
+  let rec tick first =
+    Engine.after eng (Time.of_us config.interval_us) (fun () ->
+        if t.running then begin
+          t.tick_count <- t.tick_count + 1;
+          if any_migratable_alive t then begin
+            rebalance t;
+            tick false
+          end
+          else if first then tick false (* grace tick: workers may not have started *)
+        end)
+  in
+  tick true;
+  t

@@ -1,0 +1,33 @@
+(** Dynamic load balancing by preemptive thread migration.
+
+    The paper motivates PM2's migration mechanism with exactly this
+    (Section 2.1): "the load of each processing node can be evaluated
+    according to some measure, and balanced using preemptive migration",
+    independently of the application.  This daemon samples every node's
+    load — its migratable (application) threads, breaking ties with CPU
+    queue length — at a fixed period, and when the spread exceeds a
+    threshold asks threads on the most loaded node to move to the least
+    loaded one.  The move itself happens at the thread's next safe point
+    ({!Pm2.migrate_if_requested}, reached through the DSM compute hooks),
+    which is how "preemptive" user-level migration works in practice.
+
+    The daemon terminates itself once no migratable thread remains alive,
+    so simulations still run to completion. *)
+
+type config = {
+  interval_us : float;  (** sampling period (default 5000 us) *)
+  threshold : int;  (** act when max load - min load exceeds this (default 1) *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> Pm2.t -> t
+(** Launches the daemon fiber.  Call before [Pm2.run]/[Dsm.run]. *)
+
+val stop : t -> unit
+(** Makes the daemon exit at its next tick. *)
+
+val moves_requested : t -> int
+val ticks : t -> int

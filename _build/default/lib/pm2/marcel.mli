@@ -1,0 +1,120 @@
+(** Marcel: the simulated user-level thread package of PM2.
+
+    Threads are engine fibers with node affinity and a stack-size attribute
+    (which determines the cost of migrating them, see {!Pm2.migrate}).  Each
+    node has a single CPU; [compute] occupies it, and the [charge]/[flush]
+    pair lets compute-bound application code accumulate virtual CPU time
+    cheaply and pay it in one chunk before its next interaction.
+
+    Mutexes and condition variables have POSIX semantics.  In the real system
+    they only synchronise threads of one node; here all simulated state lives
+    in one OCaml heap, so they work anywhere, but the DSM layers use them
+    node-locally, as Marcel does. *)
+
+open Dsmpm2_sim
+
+type t
+(** A Marcel runtime: an engine plus one CPU per node. *)
+
+type thread
+
+val create : Engine.t -> nodes:int -> t
+val engine : t -> Engine.t
+val node_count : t -> int
+val cpu : t -> int -> Cpu.t
+
+val spawn :
+  t ->
+  ?stack_bytes:int ->
+  ?attached_bytes:int ->
+  ?migratable:bool ->
+  node:int ->
+  (unit -> unit) ->
+  thread
+(** Starts a thread on [node].  [stack_bytes] defaults to 1024 (the "minimal
+    stack" of the paper's migration measurements); [attached_bytes] models
+    private iso-allocated data that travels with the thread on migration
+    (default 0).  [migratable] (default false) marks the thread as a
+    candidate for preemptive migration by the load balancer — application
+    workers are migratable, protocol handler threads are not. *)
+
+val self : t -> thread
+(** The calling thread.  Raises [Failure] outside of a Marcel thread. *)
+
+val self_opt : t -> thread option
+val tid : thread -> int
+val node : thread -> int
+val stack_bytes : thread -> int
+val attached_bytes : thread -> int
+val set_attached_bytes : thread -> int -> unit
+val footprint_bytes : thread -> int
+(** Stack + descriptor (256 B) + attached data: the payload size of a
+    migration. *)
+
+val is_alive : thread -> bool
+val is_migratable : thread -> bool
+
+val request_move : thread -> dst:int -> unit
+(** Asks a migratable thread to move to [dst]; honoured at its next safe
+    point (see {!Pm2.migrate_if_requested}).  Ignored for non-migratable
+    threads. *)
+
+val pending_move : thread -> int option
+val clear_move : thread -> unit
+
+val live_threads : t -> node:int -> thread list
+(** The live threads currently hosted by [node], by ascending tid. *)
+
+val join : t -> thread -> unit
+(** Blocks the calling thread until [thread] terminates. *)
+
+val yield : t -> unit
+(** Relinquishes control; the thread is rescheduled at the current time. *)
+
+val compute : t -> float -> unit
+(** [compute t us] occupies the calling thread's node CPU for [us]
+    microseconds of virtual time (plus queueing), after first paying any
+    pending [charge]d work. *)
+
+val charge : t -> float -> unit
+(** Accumulates [us] microseconds of pending CPU work on the calling thread
+    without touching the event queue. *)
+
+val flush_charges : t -> unit
+(** Pays all pending [charge]d work as a single [compute].  Called
+    automatically by the communication layers before any interaction. *)
+
+val set_node : t -> thread -> int -> unit
+(** Re-homes a thread; used by the migration machinery only.  Pending charges
+    must have been flushed first. *)
+
+module Mutex : sig
+  type marcel = t
+  type t
+
+  val create : unit -> t
+  val lock : marcel -> t -> unit
+  val try_lock : marcel -> t -> bool
+  val unlock : marcel -> t -> unit
+  val locked : t -> bool
+end
+
+module Cond : sig
+  type marcel = t
+  type t
+
+  val create : unit -> t
+  val wait : marcel -> t -> Mutex.t -> unit
+  val signal : marcel -> t -> unit
+  val broadcast : marcel -> t -> unit
+end
+
+module Sem : sig
+  type marcel = t
+  type t
+
+  val create : int -> t
+  val acquire : marcel -> t -> unit
+  val release : marcel -> t -> unit
+  val value : t -> int
+end

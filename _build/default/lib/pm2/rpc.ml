@@ -1,0 +1,66 @@
+open Dsmpm2_sim
+open Dsmpm2_net
+
+type payload = ..
+type payload += Unit
+
+type handler = src:int -> payload -> payload * Driver.cost
+type service = int
+
+type t = {
+  marcel : Marcel.t;
+  net : Network.t;
+  mutable services : (string * handler) array;
+  mutable calls : int;
+}
+
+let create marcel net = { marcel; net; services = [||]; calls = 0 }
+let marcel t = t.marcel
+let network t = t.net
+let calls_made t = t.calls
+
+let register t ~name handler =
+  let id = Array.length t.services in
+  t.services <- Array.append t.services [| (name, handler) |];
+  id
+
+let service_name t s = fst t.services.(s)
+
+(* Delivers the request on [dst]: a fresh handler thread runs the service
+   body, then sends the reply back (or drops it for one-way requests). *)
+let serve t ~src ~dst ~service ~reply payload =
+  let _, handler = t.services.(service) in
+  ignore
+    (Marcel.spawn t.marcel ~node:dst (fun () ->
+         let result, reply_cost = handler ~src payload in
+         Marcel.flush_charges t.marcel;
+         match reply with
+         | None -> ()
+         | Some k -> Network.send t.net ~src:dst ~dst:src ~cost:reply_cost (fun () -> k result)))
+
+let call t ~dst ~service ~cost payload =
+  let th = Marcel.self t.marcel in
+  let src = Marcel.node th in
+  Marcel.flush_charges t.marcel;
+  t.calls <- t.calls + 1;
+  let result = ref Unit in
+  Engine.suspend (Marcel.engine t.marcel) (fun resume ->
+      Network.send t.net ~src ~dst ~cost (fun () ->
+          serve t ~src ~dst ~service
+            ~reply:
+              (Some
+                 (fun reply ->
+                   result := reply;
+                   resume ()))
+            payload));
+  !result
+
+let oneway_from t ~src ~dst ~service ~cost payload =
+  t.calls <- t.calls + 1;
+  Network.send t.net ~src ~dst ~cost (fun () ->
+      serve t ~src ~dst ~service ~reply:None payload)
+
+let oneway t ~dst ~service ~cost payload =
+  let th = Marcel.self t.marcel in
+  Marcel.flush_charges t.marcel;
+  oneway_from t ~src:(Marcel.node th) ~dst ~service ~cost payload

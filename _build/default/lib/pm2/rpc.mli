@@ -1,0 +1,46 @@
+(** PM2's Remote Procedure Call mechanism, on top of the network layer.
+
+    A service is a named handler; invoking it sends a request message (whose
+    cost on the wire is chosen by the caller: a control message, a bulk
+    transfer, ...) to the destination node, where the handler runs in a
+    freshly spawned Marcel thread — the paper's "invocations can involve the
+    creation of a new thread".  [call] blocks the calling thread until the
+    reply arrives; [oneway] returns immediately.
+
+    Payloads use an extensible variant so that each subsystem (DSM
+    communication, locks, barriers, Hyperion) declares its own message
+    constructors without this module knowing about them. *)
+
+open Dsmpm2_net
+
+type payload = ..
+type payload += Unit
+
+type t
+
+type handler = src:int -> payload -> payload * Driver.cost
+(** Runs on the destination node in a new thread; returns the reply and its
+    wire cost. *)
+
+type service
+
+val create : Marcel.t -> Network.t -> t
+val marcel : t -> Marcel.t
+val network : t -> Network.t
+
+val register : t -> name:string -> handler -> service
+val service_name : t -> service -> string
+
+val call : t -> dst:int -> service:service -> cost:Driver.cost -> payload -> payload
+(** Blocking invocation from the calling Marcel thread.  Pending CPU charges
+    are flushed first.  [dst] may equal the caller's node (loopback). *)
+
+val oneway : t -> dst:int -> service:service -> cost:Driver.cost -> payload -> unit
+(** Fire-and-forget invocation; the handler still runs (its reply is
+    discarded).  May also be called from plain event context by giving the
+    source node explicitly with [oneway_from]. *)
+
+val oneway_from :
+  t -> src:int -> dst:int -> service:service -> cost:Driver.cost -> payload -> unit
+
+val calls_made : t -> int

@@ -1,0 +1,1 @@
+lib/protocols/builtin.ml: Dsm Dsmpm2_core Entry_ec Erc_sw Hbrc_mw Hybrid_rw Java_ic Java_pf Li_hudak Li_hudak_fixed Migrate_thread Write_update

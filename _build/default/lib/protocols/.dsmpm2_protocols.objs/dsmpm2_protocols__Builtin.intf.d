@@ -1,0 +1,1 @@
+lib/protocols/builtin.mli: Dsm Dsmpm2_core

@@ -1,0 +1,1 @@
+lib/protocols/entry_ec.ml: Dsm Dsmpm2_core Java_common List Page_table Protocol Runtime

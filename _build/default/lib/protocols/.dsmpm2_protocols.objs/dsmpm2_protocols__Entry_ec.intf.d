@@ -1,0 +1,1 @@
+lib/protocols/entry_ec.mli: Dsmpm2_core Protocol Runtime

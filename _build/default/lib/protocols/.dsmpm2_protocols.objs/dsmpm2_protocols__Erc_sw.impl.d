@@ -1,0 +1,1 @@
+lib/protocols/erc_sw.ml: Access Dsm_comm Dsmpm2_core Dsmpm2_mem Li_hudak List Page_table Protocol Protocol_lib Runtime

@@ -1,0 +1,1 @@
+lib/protocols/erc_sw.mli: Dsmpm2_core Protocol Runtime

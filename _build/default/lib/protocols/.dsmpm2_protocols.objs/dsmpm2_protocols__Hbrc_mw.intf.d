@@ -1,0 +1,1 @@
+lib/protocols/hbrc_mw.mli: Dsmpm2_core Protocol Runtime

@@ -1,0 +1,1 @@
+lib/protocols/hybrid_rw.ml: Dsmpm2_core Li_hudak Migrate_thread Page_table Protocol Runtime

@@ -1,0 +1,1 @@
+lib/protocols/hybrid_rw.mli: Dsmpm2_core Protocol Runtime

@@ -1,0 +1,1 @@
+lib/protocols/java_common.ml: Access Diff Dsm_comm Dsmpm2_core Dsmpm2_mem Hashtbl List Option Page_table Protocol Protocol_lib Runtime

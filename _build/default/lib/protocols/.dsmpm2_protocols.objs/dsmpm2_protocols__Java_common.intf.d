@@ -1,0 +1,1 @@
+lib/protocols/java_common.mli: Dsmpm2_core Protocol Runtime

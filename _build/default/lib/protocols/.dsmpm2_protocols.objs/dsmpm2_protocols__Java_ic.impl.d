@@ -1,0 +1,1 @@
+lib/protocols/java_ic.ml: Dsmpm2_core Java_common Protocol

@@ -1,0 +1,1 @@
+lib/protocols/java_ic.mli: Dsmpm2_core Protocol Runtime

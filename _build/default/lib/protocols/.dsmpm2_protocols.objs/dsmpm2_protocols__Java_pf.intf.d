@@ -1,0 +1,1 @@
+lib/protocols/java_pf.mli: Dsmpm2_core Protocol Runtime

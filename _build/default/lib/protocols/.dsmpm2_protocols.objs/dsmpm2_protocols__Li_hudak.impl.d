@@ -1,0 +1,1 @@
+lib/protocols/li_hudak.ml: Access Dsm_comm Dsmpm2_core Dsmpm2_mem List Page_table Protocol Protocol_lib Runtime

@@ -1,0 +1,1 @@
+lib/protocols/li_hudak.mli: Dsmpm2_core Protocol Runtime

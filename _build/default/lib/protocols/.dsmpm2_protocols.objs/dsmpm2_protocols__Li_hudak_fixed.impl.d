@@ -1,0 +1,1 @@
+lib/protocols/li_hudak_fixed.ml: Access Dsmpm2_core Dsmpm2_mem Li_hudak Page_table Protocol Protocol_lib Runtime

@@ -1,0 +1,1 @@
+lib/protocols/li_hudak_fixed.mli: Dsmpm2_core Protocol Runtime

@@ -1,0 +1,1 @@
+lib/protocols/migrate_thread.ml: Dsm_comm Dsmpm2_core Dsmpm2_mem Dsmpm2_pm2 Dsmpm2_sim Engine Instrument Li_hudak Page_table Pm2 Printf Protocol Protocol_lib Runtime Stats Time

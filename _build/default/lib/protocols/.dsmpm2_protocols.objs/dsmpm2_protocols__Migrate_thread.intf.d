@@ -1,0 +1,1 @@
+lib/protocols/migrate_thread.mli: Dsmpm2_core Protocol Runtime

@@ -1,0 +1,1 @@
+lib/protocols/write_update.ml: Access Diff Dsm_comm Dsmpm2_core Dsmpm2_mem Dsmpm2_pm2 Li_hudak List Marcel Page_table Protocol Protocol_lib Runtime

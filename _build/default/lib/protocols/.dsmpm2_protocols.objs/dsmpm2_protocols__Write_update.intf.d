@@ -1,0 +1,1 @@
+lib/protocols/write_update.mli: Dsmpm2_core Protocol Runtime

@@ -1,0 +1,38 @@
+(** Registration of the six built-in protocols (paper Table 2).
+
+    Registering returns the protocol identifiers in one record, after which
+    they can be used exactly like user-defined protocols: as the default
+    protocol, as [dsm_malloc] attributes, or as components of hybrid
+    protocols. *)
+
+open Dsmpm2_core
+
+type ids = {
+  li_hudak : int;  (** sequential consistency, MRSW, dynamic manager *)
+  migrate_thread : int;  (** sequential consistency via thread migration *)
+  erc_sw : int;  (** eager release consistency, MRSW *)
+  hbrc_mw : int;  (** home-based release consistency, MRMW, twins+diffs *)
+  java_ic : int;  (** Java consistency, inline checks *)
+  java_pf : int;  (** Java consistency, page faults *)
+}
+
+val register_all : Dsm.t -> ids
+(** Registers the six protocols (and the home-side diff handler of
+    [hbrc_mw]) and makes [li_hudak] the default protocol, as in the paper's
+    example programs. *)
+
+val summary : (string * string * string) list
+(** [(name, consistency model, basic features)] — the rows of the paper's
+    Table 2, for documentation and the bench inventory. *)
+
+type extra_ids = {
+  li_hudak_fixed : int;  (** fixed-manager variant of li_hudak *)
+  hybrid_rw : int;  (** read-replicate / write-migrate hybrid (section 2.3) *)
+  entry_ec : int;  (** Midway-style entry consistency *)
+  write_update : int;  (** write-update protocol (processor consistency) *)
+}
+
+val register_extras : Dsm.t -> extra_ids
+(** Registers the protocols this reproduction adds beyond the paper's Table
+    2: the fixed-distributed-manager MRSW variant and the section-2.3 hybrid.
+    Call after {!register_all}. *)

@@ -1,0 +1,28 @@
+(** [entry_ec]: entry consistency, Midway-style (Bershad et al.), built to
+    demonstrate the platform's extensibility.
+
+    The paper's generic core was designed so that "weaker consistency
+    models, like release, entry, or scope consistency" can associate their
+    consistency actions with synchronization objects (Section 2.2).  Entry
+    consistency is the strongest test of that claim: shared data is
+    explicitly {e bound} to a lock, and synchronization only makes the
+    {e bound} data consistent — an acquire invalidates only the pages bound
+    to that lock, a release pushes only their modifications, and everything
+    else stays untouched (no whole-cache flushes, no global diffs).
+
+    Mechanically the protocol is home-based MRMW with on-the-fly write
+    recording (shared with the Java protocols); only the lock hooks differ.
+    Locks with no binding degrade to Java-consistency behaviour (flush
+    everything), which is always safe.  Barrier hooks also flush everything:
+    a barrier is a global synchronization point. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t
+
+val bind : Runtime.t -> lock:int -> addr:int -> size:int -> unit
+(** Associates the pages of [addr, addr+size) with [lock]; cumulative over
+    multiple calls.  The region should be allocated under this protocol. *)
+
+val bound_pages : Runtime.t -> lock:int -> int list
+(** Sorted; empty when the lock has no binding. *)

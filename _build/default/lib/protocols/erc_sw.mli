@@ -1,0 +1,20 @@
+(** [erc_sw]: eager release consistency, MRSW, dynamic distributed manager.
+
+    Fault handling follows the same dynamic-distributed-manager scheme as
+    {!Li_hudak} — replication on read faults, page-plus-ownership migration
+    on write faults — but consistency actions are deferred to release
+    points: writers do not invalidate reader copies when they gain write
+    access; instead, "pages in the copyset get invalidated on lock release"
+    (paper Section 3.2).  The owner also keeps writing while read copies
+    exist (single writer per node, readers possibly stale until the writer's
+    next release), which is exactly the relaxation release consistency
+    permits for data-race-free programs. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t
+
+val pending_writes : Runtime.t -> node:int -> int list
+(** Pages this node has written (or could have written) since its last
+    release: the set the next release will invalidate.  Sorted; exposed for
+    tests. *)

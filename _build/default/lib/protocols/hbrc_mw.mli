@@ -1,0 +1,29 @@
+(** [hbrc_mw]: home-based (lazy) release consistency, multiple writers.
+
+    The paper's Section 3.2: each page has a fixed home node where the
+    reference copy lives and where threads always have write access.  A
+    non-home node faults a copy in from the home; on a write fault it makes
+    a {e twin} of the page before writing.  At lock release, diffs (current
+    page vs twin) are computed and sent to the home, which applies them and
+    then invalidates third-party nodes holding copies; an invalidated node
+    that is itself dirty first computes and sends its own diffs to the home
+    (the "twinning technique" of Keleher et al.).
+
+    Two deliberate simplifications over the literature, documented in
+    DESIGN.md: the home's own writes are not twinned (home threads write the
+    reference copy directly), and acquires conservatively flush all locally
+    cached copies of hbrc pages instead of tracking per-interval write
+    notices.  Both preserve release consistency for data-race-free
+    programs. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t
+
+val register_diff_handler : Runtime.t -> protocol:int -> unit
+(** Installs the home-side release processing (apply diffs, then invalidate
+    third parties).  {!Builtin.register_all} calls this. *)
+
+val dirty_pages : Runtime.t -> node:int -> int list
+(** Pages with a live twin on this node (written since the last flush);
+    sorted, for tests. *)

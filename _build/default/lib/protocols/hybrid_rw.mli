@@ -1,0 +1,17 @@
+(** [hybrid_rw]: page replication on read faults, thread migration on write
+    faults — the mixed approach of the paper's Section 2.3 ("one may thus
+    consider hybrid approaches such as page replication on read fault (like
+    in the li_hudak protocol) and thread migration on write fault (like in
+    the migrate_thread protocol)"), assembled entirely from routines the two
+    built-in protocols export.
+
+    The page itself never moves: its home node keeps ownership forever, so
+    writers jump to the data while readers pull copies to themselves.
+    Sequential consistency holds because the owner downgrades itself when
+    serving a read copy, which forces its next write to fault and invalidate
+    every replica (li_hudak's upgrade path).  Good for read-mostly data with
+    occasional writers; see the ablation bench. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t

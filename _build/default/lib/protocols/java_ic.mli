@@ -1,0 +1,11 @@
+(** [java_ic]: Java consistency with inline locality checks.
+
+    The variant used when the Hyperion compiler emits explicit [get]/[put]
+    access primitives: every shared access pays an explicit check for a
+    local copy, bypassing the page-fault mechanism entirely (paper Section
+    3.3).  Cheap faults, but a per-access tax — the trade-off the paper's
+    Figure 5 measures against {!Java_pf}. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t

@@ -1,0 +1,3 @@
+open Dsmpm2_core
+
+let protocol = Java_common.make ~name:"java_pf" ~detection:Protocol.Page_fault

@@ -1,0 +1,11 @@
+(** [java_pf]: Java consistency with page-fault access detection.
+
+    Same home-based MRMW protocol as {!Java_ic}, but accesses to non-local
+    objects are detected through page faults: local accesses are free, and
+    only genuine misses pay the fault cost.  The paper's Figure 5 shows this
+    wins when locality is good (local objects are used intensively, remote
+    accesses are rare). *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t

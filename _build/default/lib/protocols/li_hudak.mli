@@ -1,0 +1,23 @@
+(** [li_hudak]: sequential consistency, MRSW, dynamic distributed manager.
+
+    The paper's default protocol (Table 2): a variant of Li & Hudak's
+    dynamic distributed manager algorithm, as adapted to multithreading by
+    Mueller for DSM-Threads.  Page replication on read faults, page
+    migration (with ownership) on write faults; requests chase the
+    probable-owner chain with path compression on write requests.
+
+    Multithreading adaptation: the "single writer" is a node, not a thread —
+    all threads of the owning node share the same writable copy — and
+    concurrent faults on one page coalesce per node while faults on distinct
+    pages proceed in parallel. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t
+
+val serve_read :
+  Runtime.t -> node:int -> page:int -> requester:int -> grant_downgrades_owner:bool -> unit
+(** The owner-side read service, exposed for reuse: adds the requester to the
+    copyset and ships a read-only copy.  When [grant_downgrades_owner] is
+    true the owner drops to read-only rights (sequential consistency); the
+    eager-release-consistency protocol reuses this with [false]. *)

@@ -1,0 +1,37 @@
+open Dsmpm2_mem
+open Dsmpm2_core
+
+(* Faults differ from li_hudak in one way only: requests go to the fixed
+   manager (the home) rather than chasing the local probable-owner hint.
+   The manager's own [prob_owner] field is authoritative: li_hudak's
+   write-forwarding path compression keeps it pointing at the current owner
+   (the manager forwards every write request and records the requester as
+   the new owner), and the shared server actions do the rest. *)
+
+let read_fault rt ~node ~page =
+  let e = Runtime.entry rt ~node ~page in
+  if node = e.Page_table.home then
+    (* The manager itself faulted: its table points straight at the owner. *)
+    Protocol_lib.fetch_page rt ~node ~page ~mode:Access.Read
+      ~from:e.Page_table.prob_owner
+  else
+    Protocol_lib.fetch_page rt ~node ~page ~mode:Access.Read ~from:e.Page_table.home
+
+let write_fault rt ~node ~page =
+  let e = Runtime.entry rt ~node ~page in
+  if e.Page_table.prob_owner = node then
+    (* Already the owner: reuse li_hudak's in-place upgrade. *)
+    Li_hudak.protocol.Protocol.write_fault rt ~node ~page
+  else if node = e.Page_table.home then
+    Protocol_lib.fetch_page rt ~node ~page ~mode:Access.Write
+      ~from:e.Page_table.prob_owner
+  else
+    Protocol_lib.fetch_page rt ~node ~page ~mode:Access.Write ~from:e.Page_table.home
+
+let protocol =
+  {
+    Li_hudak.protocol with
+    Protocol.name = "li_hudak_fixed";
+    read_fault;
+    write_fault;
+  }

@@ -1,0 +1,19 @@
+(** [li_hudak_fixed]: sequential consistency, MRSW, {e fixed} distributed
+    manager.
+
+    The paper's page-manager layer "could be exploited to implement
+    protocols which need a fixed page manager, as well as protocols based on
+    a dynamic page manager" (Section 2.2, citing Li & Hudak's
+    classification).  This protocol is the fixed-manager counterpart of
+    {!Li_hudak}: every fault sends its request to the page's {e home} node
+    (the manager), which forwards it to the current owner recorded in its
+    table.  Requests therefore take at most two hops, at the price of
+    funnelling all of a page's traffic through its manager — the classic
+    trade-off against the dynamic manager's probable-owner chains.
+
+    Owner-side behaviour (replication on reads, page-plus-ownership
+    migration on writes, eager invalidation) is shared with {!Li_hudak}. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t

@@ -1,0 +1,21 @@
+(** [migrate_thread]: sequential consistency through thread migration.
+
+    The paper's novel protocol (Section 3.1, Figure 3): pages never move —
+    each page has a unique node holding it with read-write access, recorded
+    in a fixed distributed manager — and a faulting thread simply migrates
+    to the node owning the data, then retries the access, which the
+    iso-address property makes transparent.  The whole protocol is
+    essentially one call to PM2's thread-migration primitive, which is why
+    its protocol overhead is under a microsecond (Table 4).
+
+    The server actions still serve read-only replicas so that hybrid
+    protocols ("replicate on read fault, migrate on write fault", Section
+    2.3) can be assembled from this module and {!Li_hudak}. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t
+
+val migrate_on_fault : Runtime.t -> node:int -> page:int -> unit
+(** The fault action itself (migrate to the page's owner and charge the
+    migration-protocol overhead), exposed for hybrid protocols. *)

@@ -1,0 +1,25 @@
+(** [write_update]: a write-update protocol (Firefly/Dragon lineage).
+
+    Instead of invalidating reader copies, the owning node pushes every
+    committed word to its copyset and waits for the acknowledgements, so
+    replicas never go stale and read-mostly data is never re-fetched.
+    Ownership still migrates MRSW-style on write faults (dynamic
+    distributed manager), with the copyset travelling along; the previous
+    owner keeps its copy and joins the copyset.
+
+    The model this buys is {e processor consistency}, not sequential
+    consistency: writes by one node are seen in order everywhere (FIFO
+    links + synchronous update), and the message-passing (MP) litmus shape
+    is therefore forbidden, but two nodes writing concurrently can each
+    read their own write before the other's update lands, so store
+    buffering (SB) is observable.  The litmus bench measures exactly this
+    signature.
+
+    The write path pays one update round per word written while copies
+    exist — the classic write-update trade-off against invalidation
+    protocols; see the read-mostly row of the sharing-pattern study where
+    it shines. *)
+
+open Dsmpm2_core
+
+val protocol : Runtime.t Protocol.t

@@ -1,0 +1,28 @@
+(** A simulated single-core CPU, modelled as a non-preemptive FIFO resource.
+
+    Each simulated node owns one CPU (the paper's testbed uses one 450 MHz
+    Pentium II per node).  [compute] occupies the CPU for a span of virtual
+    time; fibers contending for the same CPU queue up in FIFO order.  This is
+    what makes load imbalance observable: in the TSP experiment of the paper's
+    Figure 4, the [migrate_thread] protocol funnels every worker onto the node
+    owning the shared bound, whose CPU then serialises them. *)
+
+type t
+
+val create : ?quantum:Time.t -> name:string -> unit -> t
+(** [quantum] (default 50 us) is the round-robin time slice: a computation
+    holds the CPU for at most one quantum before requeueing behind waiters,
+    modelling Marcel's preemptive user-level scheduling — protocol handler
+    threads are never starved by long application compute bursts. *)
+
+val name : t -> string
+
+val compute : Engine.t -> t -> Time.t -> unit
+(** [compute eng cpu dt] blocks the calling fiber while it occupies [cpu] for
+    [dt] of virtual time (plus any queueing delay).  [dt = 0] is a no-op. *)
+
+val busy_time : t -> Time.t
+(** Cumulated occupied time, for utilisation reports. *)
+
+val queue_length : t -> int
+(** Fibers currently waiting for the CPU (excluding the holder). *)

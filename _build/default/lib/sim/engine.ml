@@ -1,0 +1,112 @@
+type event = { time : Time.t; seq : int; action : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable executed : int;
+  mutable next_fiber : int;
+  mutable current : int option;
+}
+
+exception Stalled of int
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:cmp_event;
+    seq = 0;
+    live = 0;
+    executed = 0;
+    next_fiber = 0;
+    current = None;
+  }
+
+let now t = t.clock
+let live_fibers t = t.live
+let events_executed t = t.executed
+let current_fiber t = t.current
+
+let at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d is in the past (now %d)" time t.clock);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.add t.queue { time; seq; action }
+
+let after t dt action = at t Time.(t.clock + dt) action
+
+(* Runs a slice of fiber [fid]'s code (its body or a resumed continuation)
+   with [current] set for the duration, so that thread packages built on top
+   can implement "self". *)
+let in_fiber t fid f =
+  let prev = t.current in
+  t.current <- Some fid;
+  Fun.protect ~finally:(fun () -> t.current <- prev) f
+
+(* Runs [f] as the body of fiber [fid] under the Suspend handler.  The fiber
+   accounting ([live]) brackets the whole fiber lifetime: a suspended fiber
+   remains live until its continuation eventually terminates. *)
+let start_fiber t fid f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then invalid_arg "Engine: fiber resumed twice";
+                    resumed := true;
+                    at t t.clock (fun () -> in_fiber t fid (fun () -> continue k ()))
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  in_fiber t fid (fun () -> match_with f () handler)
+
+let spawn t f =
+  let fid = t.next_fiber in
+  t.next_fiber <- fid + 1;
+  t.live <- t.live + 1;
+  after t Time.zero (fun () -> start_fiber t fid f);
+  fid
+
+let suspend _t register = Effect.perform (Suspend register)
+let sleep t dt = suspend t (fun resume -> after t dt resume)
+
+let run ?limit t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek t.queue with
+    | None ->
+        if t.live > 0 then raise (Stalled t.live);
+        continue_ := false
+    | Some ev ->
+        (match limit with
+        | Some l when ev.time > l -> continue_ := false
+        | Some _ | None ->
+            (match Heap.pop t.queue with
+            | None -> assert false
+            | Some ev ->
+                t.clock <- ev.time;
+                t.executed <- t.executed + 1;
+                ev.action ()))
+  done

@@ -1,0 +1,63 @@
+(** Deterministic discrete-event simulation engine with effect-based fibers.
+
+    The engine owns a virtual clock and an event queue ordered by
+    [(time, sequence number)], so two runs over the same inputs execute events
+    in exactly the same order.  Code running inside the engine is organised as
+    {e fibers}: lightweight cooperative threads implemented with OCaml 5
+    effect handlers.  A fiber suspends by capturing its continuation and
+    handing a resume thunk to whoever will wake it (a timer, a message
+    delivery, a mutex holder, ...).  Resumption is always mediated by the
+    event queue: calling the thunk schedules the continuation at the current
+    virtual time rather than running it inline, which keeps stack discipline
+    simple and execution order deterministic.
+
+    This module plays the role of the operating-system kernel in the paper's
+    stack: everything above (Marcel threads, Madeleine messaging, the DSM
+    protocols) is built from [spawn], [suspend] and [after]. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val at : t -> Time.t -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] to run at absolute virtual [time] (which must
+    not be in the past). *)
+
+val after : t -> Time.t -> (unit -> unit) -> unit
+(** [after t dt f] schedules [f] at [now t + dt]. *)
+
+val spawn : t -> (unit -> unit) -> int
+(** [spawn t f] schedules a new fiber running [f] at the current time and
+    returns its fiber id.  While the fiber (or one of its resumed
+    continuations) is executing, [current_fiber t] returns this id. *)
+
+val current_fiber : t -> int option
+(** The id of the fiber whose code is executing right now, or [None] when
+    running in plain event context (timer callbacks, message deliveries). *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] suspends the calling fiber.  [register] receives a
+    resume thunk; calling the thunk (at most once) schedules the fiber's
+    continuation at the virtual time of the call.  Must be called from within
+    a fiber. *)
+
+val sleep : t -> Time.t -> unit
+(** Suspends the calling fiber for [dt] of virtual time. *)
+
+val run : ?limit:Time.t -> t -> unit
+(** Executes events until the queue drains or the clock would pass [limit].
+    Raises [Stalled] if fibers remain suspended with an empty queue and a
+    positive count of live fibers (i.e. a deadlock in simulated code). *)
+
+exception Stalled of int
+(** Raised by [run] when [n] fibers are still alive but no event can wake
+    them. *)
+
+val live_fibers : t -> int
+(** Number of spawned fibers that have neither finished nor died. *)
+
+val events_executed : t -> int
+(** Total events executed so far; a cheap progress/complexity metric. *)

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The simulator never uses [Stdlib.Random]; every source of randomness is an
+    explicit, seeded [Rng.t] so that runs are reproducible and independent
+    streams can be split off for independent components. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** A statistically independent stream derived from [t]. *)
+
+val bits64 : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit

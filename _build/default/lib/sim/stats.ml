@@ -1,0 +1,60 @@
+type t = {
+  counts : (string, int ref) Hashtbl.t;
+  durations : (string, (Time.t * int) ref) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 16; durations = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counts name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counts name r;
+      r
+
+let incr t name = Stdlib.incr (counter t name)
+let add t name n = counter t name := !(counter t name) + n
+let count t name = match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
+
+let span t name =
+  match Hashtbl.find_opt t.durations name with
+  | Some r -> r
+  | None ->
+      let r = ref (Time.zero, 0) in
+      Hashtbl.add t.durations name r;
+      r
+
+let add_span t name dt =
+  let r = span t name in
+  let total, n = !r in
+  r := (Time.(total + dt), n + 1)
+
+let span_total t name =
+  match Hashtbl.find_opt t.durations name with Some r -> fst !r | None -> Time.zero
+
+let span_mean t name =
+  match Hashtbl.find_opt t.durations name with
+  | None -> Time.zero
+  | Some r ->
+      let total, n = !r in
+      if n = 0 then Time.zero else total / n
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let spans t =
+  Hashtbl.fold (fun k r acc -> (k, fst !r, snd !r) :: acc) t.durations []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.durations
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t);
+  List.iter
+    (fun (k, total, n) ->
+      Format.fprintf ppf "%-32s %a (%d samples)@." k Time.pp total n)
+    (spans t)

@@ -1,0 +1,30 @@
+(** Named counters and duration accumulators.
+
+    Used by the DSM instrumentation layer to reproduce the per-step cost
+    breakdowns of the paper's Tables 3 and 4, and by benches for message and
+    fault counts. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val count : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+val add_span : t -> string -> Time.t -> unit
+(** Accumulates a duration under [name] and bumps its sample count. *)
+
+val span_total : t -> string -> Time.t
+val span_mean : t -> string -> Time.t
+(** 0 when no samples were recorded. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val spans : t -> (string * Time.t * int) list
+(** [(name, total, samples)], sorted by name. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type entry = { at : Time.t; category : string; message : string }
+
+type t = { mutable on : bool; mutable entries : entry list (* newest first *) }
+
+let create ?(enabled = false) () = { on = enabled; entries = [] }
+let enable t b = t.on <- b
+let enabled t = t.on
+
+let record t eng ~category message =
+  if t.on then t.entries <- { at = Engine.now eng; category; message } :: t.entries
+
+let recordf t eng ~category fmt =
+  if t.on then
+    Format.kasprintf
+      (fun message ->
+        t.entries <- { at = Engine.now eng; category; message } :: t.entries)
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.entries
+let by_category t c = List.filter (fun e -> String.equal e.category c) (entries t)
+let length t = List.length t.entries
+
+let hash t =
+  List.fold_left
+    (fun acc e -> Hashtbl.hash (acc, e.at, e.category, e.message))
+    0 t.entries
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%a] %-12s %s@." Time.pp e.at e.category e.message)
+    (entries t)
+
+let clear t = t.entries <- []

@@ -1,0 +1,34 @@
+(** Post-mortem event trace.
+
+    The paper highlights PM2's "very precise post-mortem monitoring tools"
+    as part of the platform's value; this module is their equivalent.  When
+    enabled, components record timestamped events; after the run the trace
+    can be dumped, filtered by category, or hashed (the hash is used by the
+    determinism tests: same seed => same trace). *)
+
+type t
+
+type entry = { at : Time.t; category : string; message : string }
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> bool -> unit
+val enabled : t -> bool
+
+val record : t -> Engine.t -> category:string -> string -> unit
+(** No-op when the trace is disabled. *)
+
+val recordf :
+  t -> Engine.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like [record] with a format string; the message is only built when the
+    trace is enabled. *)
+
+val entries : t -> entry list
+(** In chronological order. *)
+
+val by_category : t -> string -> entry list
+val length : t -> int
+val hash : t -> int
+(** Order-sensitive digest of the whole trace. *)
+
+val pp : Format.formatter -> t -> unit
+val clear : t -> unit

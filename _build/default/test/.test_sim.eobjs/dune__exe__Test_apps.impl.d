@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Dsmpm2_apps Fun Hashtbl Jacobi List Map_coloring Matmul Printf Tsp Us_states

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_net Dsmpm2_pm2 Dsmpm2_protocols Dsmpm2_sim Entry_ec List Network Option Printf QCheck QCheck_alcotest Rng

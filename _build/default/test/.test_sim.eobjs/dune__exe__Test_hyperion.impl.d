@@ -1,0 +1,1 @@
+test/test_hyperion.ml: Alcotest Array Builtin Driver Dsm Dsmpm2_core Dsmpm2_hyperion Dsmpm2_net Dsmpm2_protocols Java_common List

@@ -1,0 +1,1 @@
+test/test_mem.ml: Access Alcotest Bytes Char Diff Dsmpm2_mem Frame_store List Page QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Driver Dsmpm2_net Dsmpm2_sim Engine List Network Stats Time

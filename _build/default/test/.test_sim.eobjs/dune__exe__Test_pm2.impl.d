@@ -1,0 +1,1 @@
+test/test_pm2.ml: Alcotest Array Balancer Cpu Driver Dsmpm2_net Dsmpm2_pm2 Dsmpm2_sim Isoalloc List Marcel Pm2 Printf QCheck QCheck_alcotest Rpc Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Dsmpm2_sim Engine Format Fun Heap List QCheck QCheck_alcotest Rng Stats Time Trace

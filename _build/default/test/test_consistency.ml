@@ -1,0 +1,270 @@
+(* Cross-protocol consistency properties.
+
+   The central property: for DATA-RACE-FREE programs, every protocol —
+   whatever its laziness — must produce the results of some sequentially
+   consistent execution.  We exercise it with randomized lock-disciplined
+   increment programs whose final state is order-independent (each shared
+   variable ends up holding the sum of all increments applied to it), so
+   the expected outcome is computable without predicting the schedule.
+
+   Also here: determinism (same seed => identical virtual time and message
+   counts) and failure injection (network jitter must change timings only,
+   never DRF results). *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+
+let protocol_names =
+  [
+    "li_hudak"; "migrate_thread"; "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf";
+    "li_hudak_fixed"; "hybrid_rw"; "entry_ec"; "write_update";
+  ]
+
+type op = { lock : int; var : int; delta : int }
+
+type program = {
+  nodes : int;
+  vars : int;
+  locks : int;
+  ops_per_thread : op list array;  (** one op list per node *)
+  expected : int array;  (** per-var sum of all deltas *)
+}
+
+(* Each variable belongs to one lock domain (var mod locks); threads only
+   touch a variable under its lock: data-race-free by construction. *)
+let generate ~seed ~nodes ~vars ~locks ~ops_per_thread () =
+  let rng = Rng.create ~seed in
+  let expected = Array.make vars 0 in
+  let ops =
+    Array.init nodes (fun _ ->
+        List.init ops_per_thread (fun _ ->
+            let var = Rng.int rng vars in
+            let delta = 1 + Rng.int rng 9 in
+            expected.(var) <- expected.(var) + delta;
+            { lock = var mod locks; var; delta }))
+  in
+  { nodes; vars; locks; ops_per_thread = ops; expected }
+
+let execute ?jitter ~protocol ~home program =
+  let dsm = Dsm.create ?jitter ~nodes:program.nodes ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  let proto =
+    match Dsm.protocol_by_name dsm protocol with
+    | Some p -> p
+    | None -> invalid_arg protocol
+  in
+  let base = Dsm.malloc dsm ~protocol:proto ~home (program.vars * 8) in
+  let addr var = base + (var * 8) in
+  let locks =
+    Array.init program.locks (fun _ -> Dsm.lock_create dsm ~protocol:proto ())
+  in
+  (* Entry consistency needs its lock/data associations declared. *)
+  if protocol = "entry_ec" then
+    Array.iteri
+      (fun l lock ->
+        for var = 0 to program.vars - 1 do
+          if var mod program.locks = l then
+            Entry_ec.bind dsm ~lock ~addr:(addr var) ~size:8
+        done)
+      locks;
+  Array.iteri
+    (fun node ops ->
+      ignore
+        (Dsm.spawn dsm ~node (fun () ->
+             List.iter
+               (fun op ->
+                 Dsm.with_lock dsm locks.(op.lock) (fun () ->
+                     let v = Dsm.read_int dsm (addr op.var) in
+                     Dsm.write_int dsm (addr op.var) (v + op.delta));
+                 Dsm.compute dsm 5.)
+               ops)))
+    program.ops_per_thread;
+  Dsm.run dsm;
+  (* Read the final state DRF-style: a fresh thread takes each lock before
+     reading its variables (so weak protocols flush/refetch correctly). *)
+  let final = Array.make program.vars 0 in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         for var = 0 to program.vars - 1 do
+           Dsm.with_lock dsm locks.(var mod program.locks) (fun () ->
+               final.(var) <- Dsm.read_int dsm (addr var))
+         done));
+  Dsm.run dsm;
+  (dsm, final)
+
+let check_program ~protocol ~seed ~nodes =
+  let program = generate ~seed ~nodes ~vars:12 ~locks:3 ~ops_per_thread:15 () in
+  let _, final = execute ~protocol ~home:Dsm.Round_robin program in
+  final = program.expected
+
+let drf_property protocol =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "DRF increments are exact under %s" protocol)
+    ~count:15
+    QCheck.(pair (int_bound 10_000) (int_range 2 4))
+    (fun (seed, nodes) -> check_program ~protocol ~seed ~nodes)
+
+(* --- barrier-phase visibility: blind writes become visible to everyone
+   after the next barrier, for every protocol --- *)
+
+let barrier_phases ~protocol ~seed ~nodes ~vars ~phases =
+  let dsm = Dsm.create ~nodes ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  let proto = Option.get (Dsm.protocol_by_name dsm protocol) in
+  let base = Dsm.malloc dsm ~protocol:proto ~home:Dsm.Round_robin (vars * 8) in
+  let addr var = base + (var * 8) in
+  let barrier = Dsm.barrier_create dsm ~protocol:proto ~parties:nodes () in
+  let value phase var = (phase * 1000) + (var * 7) + seed in
+  let failures = ref [] in
+  let worker node () =
+    for phase = 1 to phases do
+      (* each var has exactly one writer per phase (rotating) *)
+      for var = 0 to vars - 1 do
+        if (var + phase) mod nodes = node then
+          Dsm.write_int dsm (addr var) (value phase var)
+      done;
+      Dsm.barrier_wait dsm barrier;
+      (* everyone reads everything *)
+      for var = 0 to vars - 1 do
+        let got = Dsm.read_int dsm (addr var) in
+        if got <> value phase var then
+          failures := (protocol, phase, var, got, value phase var) :: !failures
+      done;
+      Dsm.barrier_wait dsm barrier
+    done
+  in
+  for node = 0 to nodes - 1 do
+    ignore (Dsm.spawn dsm ~node (worker node))
+  done;
+  Dsm.run dsm;
+  !failures
+
+let test_barrier_visibility () =
+  List.iter
+    (fun protocol ->
+      let failures =
+        barrier_phases ~protocol ~seed:3 ~nodes:3 ~vars:9 ~phases:4
+      in
+      Alcotest.(check int)
+        (protocol ^ " all phase reads saw the phase writes")
+        0
+        (List.length failures))
+    protocol_names
+
+(* --- sequential-consistency litmus: lock-free visibility ordering --- *)
+
+let test_sc_no_lost_update_without_locks () =
+  (* Under sequential consistency, even lock-free alternating writers on
+     distinct variables of the same page never lose a committed write:
+     node 1 waits (in virtual time) for node 0's write to settle. *)
+  let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let ids = Builtin.register_all dsm in
+  let base = Dsm.malloc dsm ~protocol:ids.Builtin.li_hudak ~home:(Dsm.On_node 0) 16 in
+  ignore (Dsm.spawn dsm ~node:0 (fun () -> Dsm.write_int dsm base 1));
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.compute dsm 5_000.;
+         Dsm.write_int dsm (base + 8) 2;
+         (* same page: the earlier write must still be there *)
+         Alcotest.(check int) "no lost update" 1 (Dsm.read_int dsm base)));
+  Dsm.run dsm
+
+let test_sc_read_sees_latest_write () =
+  let dsm = Dsm.create ~nodes:3 ~driver:Driver.sisci_sci () in
+  let ids = Builtin.register_all dsm in
+  let x = Dsm.malloc dsm ~protocol:ids.Builtin.li_hudak ~home:(Dsm.On_node 0) 8 in
+  ignore (Dsm.spawn dsm ~node:1 (fun () -> Dsm.write_int dsm x 41));
+  ignore
+    (Dsm.spawn dsm ~node:2 (fun () ->
+         Dsm.compute dsm 10_000.;
+         (* long after the write settled, SC requires the fresh value *)
+         Alcotest.(check int) "fresh value" 41 (Dsm.read_int dsm x)));
+  Dsm.run dsm
+
+(* --- determinism --- *)
+
+let run_fingerprint ?jitter ~protocol ~seed () =
+  let program = generate ~seed ~nodes:3 ~vars:8 ~locks:2 ~ops_per_thread:12 () in
+  let dsm, final = execute ?jitter ~protocol ~home:Dsm.Round_robin program in
+  let net = Dsmpm2_pm2.Pm2.network (Dsm.pm2 dsm) in
+  (Dsm.now_us dsm, Network.messages_sent net, Array.to_list final)
+
+let test_deterministic_replay () =
+  List.iter
+    (fun protocol ->
+      let a = run_fingerprint ~protocol ~seed:99 () in
+      let b = run_fingerprint ~protocol ~seed:99 () in
+      Alcotest.(check (triple (float 0.) int (list int)))
+        (protocol ^ " identical replay") a b)
+    protocol_names
+
+let test_seed_changes_schedule () =
+  let _, m1, _ = run_fingerprint ~protocol:"li_hudak" ~seed:1 () in
+  let _, m2, _ = run_fingerprint ~protocol:"li_hudak" ~seed:2 () in
+  (* different programs: almost surely different traffic *)
+  Alcotest.(check bool) "different seeds differ" true (m1 <> m2 || m1 > 0)
+
+(* --- failure injection: jitter --- *)
+
+let slow_jitter ~src ~dst delay = if (src + dst) mod 2 = 0 then delay * 3 else delay
+
+let test_jitter_preserves_drf_results () =
+  List.iter
+    (fun protocol ->
+      let program = generate ~seed:7 ~nodes:3 ~vars:10 ~locks:2 ~ops_per_thread:12 () in
+      let _, baseline = execute ~protocol ~home:Dsm.Round_robin program in
+      let _, jittered = execute ~jitter:slow_jitter ~protocol ~home:Dsm.Round_robin program in
+      Alcotest.(check (list int))
+        (protocol ^ " jitter changes timing only")
+        (Array.to_list baseline) (Array.to_list jittered);
+      Alcotest.(check (list int))
+        (protocol ^ " result correct")
+        (Array.to_list program.expected)
+        (Array.to_list baseline))
+    protocol_names
+
+(* --- home placement must not affect results --- *)
+
+let test_home_placement_irrelevant_for_results () =
+  List.iter
+    (fun protocol ->
+      let program = generate ~seed:21 ~nodes:4 ~vars:16 ~locks:4 ~ops_per_thread:10 () in
+      List.iter
+        (fun home ->
+          let _, final = execute ~protocol ~home program in
+          Alcotest.(check (list int))
+            (protocol ^ " correct for this placement")
+            (Array.to_list program.expected)
+            (Array.to_list final))
+        [ Dsm.Round_robin; Dsm.On_node 0; Dsm.Block ])
+    protocol_names
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ("drf-property", List.map (fun p -> QCheck_alcotest.to_alcotest (drf_property p)) protocol_names);
+      ( "litmus",
+        [
+          Alcotest.test_case "no lost update on shared page" `Quick
+            test_sc_no_lost_update_without_locks;
+          Alcotest.test_case "read sees settled write" `Quick test_sc_read_sees_latest_write;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_schedule;
+        ] );
+      ( "barriers",
+        [ Alcotest.test_case "phase visibility, every protocol" `Quick test_barrier_visibility ] );
+      ( "failure-injection",
+        [ Alcotest.test_case "jitter changes timing only" `Quick test_jitter_preserves_drf_results ] );
+      ( "placement",
+        [
+          Alcotest.test_case "results independent of homes" `Quick
+            test_home_placement_irrelevant_for_results;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests of the experiment harness itself: the reproduced numbers must match
+   the paper where the paper gives numbers, and match its qualitative claims
+   where it gives shapes. *)
+
+open Dsmpm2_experiments
+
+let close ?(tolerance = 0.02) name expected actual =
+  let ok = Float.abs (actual -. expected) <= tolerance *. Float.abs expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.1f within %.0f%% of paper's %.1f" name actual
+       (100. *. tolerance) expected)
+    true ok
+
+let test_table3_matches_paper () =
+  let t = Fault_cost.run Fault_cost.Page_transfer in
+  List.iteri
+    (fun i driver ->
+      close
+        (driver ^ " Table 3 total")
+        (Fault_cost.paper_total t ~driver:i)
+        (Fault_cost.total t ~driver:i))
+    t.Fault_cost.drivers
+
+let test_table4_matches_paper () =
+  let t = Fault_cost.run Fault_cost.Thread_migration in
+  List.iteri
+    (fun i driver ->
+      close
+        (driver ^ " Table 4 total")
+        (Fault_cost.paper_total t ~driver:i)
+        (Fault_cost.total t ~driver:i))
+    t.Fault_cost.drivers
+
+let test_table3_stage_rows_match () =
+  let t = Fault_cost.run Fault_cost.Page_transfer in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i paper -> close (row.Fault_cost.operation ^ Printf.sprintf " col %d" i) paper row.Fault_cost.measured_us.(i))
+        row.Fault_cost.paper_us)
+    t.Fault_cost.rows
+
+let test_micro_matches_paper () =
+  let rows = Micro.run () in
+  List.iter
+    (fun r ->
+      Option.iter (fun p -> close (r.Micro.driver ^ " null RPC") p r.Micro.null_rpc_us) r.Micro.paper_null_rpc_us;
+      Option.iter (fun p -> close (r.Micro.driver ^ " migration") p r.Micro.migration_us) r.Micro.paper_migration_us)
+    rows
+
+let test_table2_all_registered () =
+  let rows = Table2_inventory.run () in
+  Alcotest.(check int) "six protocols" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Table2_inventory.name ^ " registered") true
+        r.Table2_inventory.registered)
+    rows
+
+(* Figure 4's qualitative claim: "all protocols based on page migration
+   perform better than the protocol using thread migration". *)
+let test_fig4_shape () =
+  let data = Fig4_tsp.run ~cities:11 ~node_counts:[ 4 ] () in
+  let time proto =
+    (List.find (fun c -> c.Fig4_tsp.protocol = proto) data.Fig4_tsp.cells)
+      .Fig4_tsp.time_ms
+  in
+  let mt = time "migrate_thread" in
+  List.iter
+    (fun proto ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%.1fms) beats migrate_thread (%.1fms)" proto (time proto) mt)
+        true
+        (time proto < mt))
+    [ "li_hudak"; "erc_sw"; "hbrc_mw" ];
+  Alcotest.(check bool) "everyone found the optimum" true
+    (List.for_all (fun c -> c.Fig4_tsp.best = data.Fig4_tsp.sequential_best) data.Fig4_tsp.cells)
+
+(* Figure 5's qualitative claim: java_pf outperforms java_ic. *)
+let test_fig5_shape () =
+  let data = Fig5_coloring.run ~node_counts:[ 2 ] () in
+  let cell proto = List.find (fun c -> c.Fig5_coloring.protocol = proto) data.Fig5_coloring.cells in
+  let ic = cell "java_ic" and pf = cell "java_pf" in
+  Alcotest.(check bool)
+    (Printf.sprintf "pf (%.1fms) beats ic (%.1fms)" pf.Fig5_coloring.time_ms
+       ic.Fig5_coloring.time_ms)
+    true
+    (pf.Fig5_coloring.time_ms < ic.Fig5_coloring.time_ms);
+  Alcotest.(check bool) "ic paid checks" true (ic.Fig5_coloring.inline_checks > 0);
+  Alcotest.(check int) "pf paid none" 0 pf.Fig5_coloring.inline_checks;
+  Alcotest.(check bool) "both optimal" true
+    (ic.Fig5_coloring.best_cost = data.Fig5_coloring.sequential_best
+    && pf.Fig5_coloring.best_cost = data.Fig5_coloring.sequential_best)
+
+(* The ablation's crossover claim: thread migration wins for small stacks,
+   page transfer wins for large ones (paper section 4 discussion). *)
+let test_ablation_stack_crossover () =
+  let data = Ablation.run () in
+  List.iter
+    (fun driver ->
+      let rows =
+        List.filter (fun r -> r.Ablation.driver = driver.Dsmpm2_net.Driver.name) data.Ablation.stack
+      in
+      let small = List.find (fun r -> r.Ablation.stack_bytes = 1024) rows in
+      let large = List.find (fun r -> r.Ablation.stack_bytes = 65536) rows in
+      Alcotest.(check bool)
+        (driver.Dsmpm2_net.Driver.name ^ ": migration wins small stacks")
+        true
+        (small.Ablation.thread_migration_us < small.Ablation.page_transfer_us);
+      Alcotest.(check bool)
+        (driver.Dsmpm2_net.Driver.name ^ ": page transfer wins large stacks")
+        true
+        (large.Ablation.page_transfer_us < large.Ablation.thread_migration_us))
+    Dsmpm2_net.Driver.all
+
+(* --- litmus tests --- *)
+
+let test_litmus_sc_protocols_never_violate () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun kind ->
+          let c = Litmus.sweep ~protocol ~kind in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: no forbidden outcomes" protocol)
+            0 c.Litmus.violations)
+        [ Litmus.Mp; Litmus.Sb; Litmus.Corr ])
+    Litmus.sequentially_consistent_protocols
+
+let test_litmus_weak_protocols_relax () =
+  (* Every relaxed protocol must exhibit the stale-read outcomes somewhere
+     in the sweep — that IS the relaxation. *)
+  List.iter
+    (fun protocol ->
+      let mp = Litmus.sweep ~protocol ~kind:Litmus.Mp in
+      let sb = Litmus.sweep ~protocol ~kind:Litmus.Sb in
+      Alcotest.(check bool) (protocol ^ " exhibits MP relaxation") true
+        (mp.Litmus.violations > 0);
+      Alcotest.(check bool) (protocol ^ " exhibits SB relaxation") true
+        (sb.Litmus.violations > 0))
+    [ "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf"; "entry_ec" ]
+
+let test_litmus_coherence_holds_for_all () =
+  List.iter
+    (fun protocol ->
+      let c = Litmus.sweep ~protocol ~kind:Litmus.Corr in
+      Alcotest.(check int) (protocol ^ " reads never go backwards") 0
+        c.Litmus.violations)
+    [
+      "li_hudak"; "migrate_thread"; "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf";
+      "li_hudak_fixed"; "hybrid_rw"; "entry_ec";
+    ]
+
+(* The relaxed outcomes disappear once the accesses are synchronized: the
+   same MP shape with a lock around each side observes only SC results. *)
+let test_litmus_locks_restore_sc () =
+  List.iter
+    (fun protocol ->
+      let dsm =
+        Dsmpm2_core.Dsm.create ~nodes:2 ~driver:Dsmpm2_net.Driver.bip_myrinet ()
+      in
+      ignore (Dsmpm2_protocols.Builtin.register_all dsm);
+      ignore (Dsmpm2_protocols.Builtin.register_extras dsm);
+      let module Dsm = Dsmpm2_core.Dsm in
+      let proto = Option.get (Dsm.protocol_by_name dsm protocol) in
+      let x = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) 8 in
+      let y = Dsm.malloc dsm ~protocol:proto ~home:(Dsm.On_node 0) 8 in
+      let lock = Dsm.lock_create dsm ~protocol:proto () in
+      (if protocol = "entry_ec" then begin
+         Dsmpm2_protocols.Entry_ec.bind dsm ~lock ~addr:x ~size:8;
+         Dsmpm2_protocols.Entry_ec.bind dsm ~lock ~addr:y ~size:8
+       end);
+      let r1 = ref (-1) and r2 = ref (-1) in
+      ignore
+        (Dsm.spawn dsm ~node:0 (fun () ->
+             Dsm.compute dsm 500.;
+             Dsm.with_lock dsm lock (fun () ->
+                 Dsm.write_int dsm x 1;
+                 Dsm.write_int dsm y 1)));
+      ignore
+        (Dsm.spawn dsm ~node:1 (fun () ->
+             (* adversarial pre-caching of the payload only *)
+             Dsm.with_lock dsm lock (fun () -> ignore (Dsm.read_int dsm x));
+             Dsm.compute dsm 700.;
+             Dsm.with_lock dsm lock (fun () ->
+                 r1 := Dsm.read_int dsm y;
+                 r2 := Dsm.read_int dsm x)));
+      Dsm.run dsm;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: locked MP never shows flag without payload" protocol)
+        false
+        (!r1 = 1 && !r2 = 0))
+    [ "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf"; "entry_ec" ]
+
+(* --- sharing patterns --- *)
+
+let test_patterns_all_correct () =
+  let cells = Sharing_patterns.run () in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s under %s" c.Sharing_patterns.pattern
+           c.Sharing_patterns.protocol)
+        true c.Sharing_patterns.correct)
+    cells
+
+let test_patterns_shapes () =
+  let cell ~pattern ~protocol =
+    Sharing_patterns.run_one ~pattern ~protocol
+  in
+  (* Multiple-writer protocols crush MRSW on false sharing. *)
+  let fs_mrsw = cell ~pattern:"false_sharing" ~protocol:"li_hudak" in
+  let fs_mw = cell ~pattern:"false_sharing" ~protocol:"hbrc_mw" in
+  Alcotest.(check bool)
+    (Printf.sprintf "false sharing: hbrc (%.1fms) beats li_hudak (%.1fms)"
+       fs_mw.Sharing_patterns.time_ms fs_mrsw.Sharing_patterns.time_ms)
+    true
+    (fs_mw.Sharing_patterns.time_ms < 0.5 *. fs_mrsw.Sharing_patterns.time_ms);
+  (* Thread migration is the natural protocol for migratory data. *)
+  let mig_mt = cell ~pattern:"migratory" ~protocol:"migrate_thread" in
+  let mig_li = cell ~pattern:"migratory" ~protocol:"li_hudak" in
+  Alcotest.(check bool)
+    (Printf.sprintf "migratory: migrate_thread (%.1fms) beats li_hudak (%.1fms)"
+       mig_mt.Sharing_patterns.time_ms mig_li.Sharing_patterns.time_ms)
+    true
+    (mig_mt.Sharing_patterns.time_ms < mig_li.Sharing_patterns.time_ms);
+  (* Replication shines on read-mostly data: the SC protocols keep their
+     copies valid, the weak ones re-fetch after every acquire. *)
+  let rm_li = cell ~pattern:"read_mostly" ~protocol:"li_hudak" in
+  let rm_hbrc = cell ~pattern:"read_mostly" ~protocol:"hbrc_mw" in
+  Alcotest.(check bool)
+    (Printf.sprintf "read-mostly: li_hudak (%.1fms) beats hbrc (%.1fms)"
+       rm_li.Sharing_patterns.time_ms rm_hbrc.Sharing_patterns.time_ms)
+    true
+    (rm_li.Sharing_patterns.time_ms < rm_hbrc.Sharing_patterns.time_ms)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper-numbers",
+        [
+          Alcotest.test_case "Table 3 totals" `Quick test_table3_matches_paper;
+          Alcotest.test_case "Table 4 totals" `Quick test_table4_matches_paper;
+          Alcotest.test_case "Table 3 all stages" `Quick test_table3_stage_rows_match;
+          Alcotest.test_case "micro (RPC, migration)" `Quick test_micro_matches_paper;
+          Alcotest.test_case "Table 2 inventory" `Quick test_table2_all_registered;
+        ] );
+      ( "paper-shapes",
+        [
+          Alcotest.test_case "Figure 4 shape" `Slow test_fig4_shape;
+          Alcotest.test_case "Figure 5 shape" `Slow test_fig5_shape;
+          Alcotest.test_case "stack-size crossover" `Slow test_ablation_stack_crossover;
+        ] );
+      ( "litmus",
+        [
+          Alcotest.test_case "SC protocols never violate" `Quick
+            test_litmus_sc_protocols_never_violate;
+          Alcotest.test_case "weak protocols relax" `Quick
+            test_litmus_weak_protocols_relax;
+          Alcotest.test_case "coherence holds for all" `Quick
+            test_litmus_coherence_holds_for_all;
+          Alcotest.test_case "locks restore SC outcomes" `Quick
+            test_litmus_locks_restore_sc;
+        ] );
+      ( "sharing-patterns",
+        [
+          Alcotest.test_case "all cells correct" `Quick test_patterns_all_correct;
+          Alcotest.test_case "qualitative shapes" `Quick test_patterns_shapes;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests of the paged-memory substrate: geometry, rights, frames, diffs. *)
+
+open Dsmpm2_mem
+
+let geo = Page.geometry ~size:4096
+
+(* --- Page --- *)
+
+let test_page_geometry () =
+  Alcotest.(check int) "size" 4096 (Page.size geo);
+  Alcotest.(check int) "page of addr" 2 (Page.page_of_addr geo 8192);
+  Alcotest.(check int) "offset" 100 (Page.offset_of_addr geo 4196);
+  Alcotest.(check int) "base" 8192 (Page.base_of_page geo 2);
+  Alcotest.(check (list int)) "range within page" [ 1 ] (Page.pages_of_range geo ~addr:4096 ~len:4096);
+  Alcotest.(check (list int)) "straddling range" [ 1; 2 ]
+    (Page.pages_of_range geo ~addr:8000 ~len:400)
+
+let test_page_rejects_bad_size () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Page.geometry: size must be a power of two") (fun () ->
+      ignore (Page.geometry ~size:3000))
+
+(* --- Access --- *)
+
+let test_access_lattice () =
+  Alcotest.(check bool) "none denies read" false (Access.allows Access.No_access Access.Read);
+  Alcotest.(check bool) "ro allows read" true (Access.allows Access.Read_only Access.Read);
+  Alcotest.(check bool) "ro denies write" false (Access.allows Access.Read_only Access.Write);
+  Alcotest.(check bool) "rw allows write" true (Access.allows Access.Read_write Access.Write);
+  Alcotest.(check bool) "rw includes ro" true (Access.includes Access.Read_write Access.Read_only);
+  Alcotest.(check bool) "ro excludes rw" false (Access.includes Access.Read_only Access.Read_write)
+
+let access_gen =
+  QCheck.Gen.oneofl [ Access.No_access; Access.Read_only; Access.Read_write ]
+
+let prop_access_merge_is_lub =
+  QCheck.Test.make ~name:"merge is least upper bound" ~count:100
+    (QCheck.make (QCheck.Gen.pair access_gen access_gen))
+    (fun (a, b) ->
+      let m = Access.merge a b in
+      Access.includes m a && Access.includes m b
+      && (m = a || m = b))
+
+(* --- Frame_store --- *)
+
+let test_frame_store_rw () =
+  let fs = Frame_store.create ~geometry:geo in
+  Frame_store.write_int fs ~addr:4096 123456789;
+  Alcotest.(check int) "read back" 123456789 (Frame_store.read_int fs ~addr:4096);
+  Alcotest.(check int) "negative values" (-42)
+    (Frame_store.write_int fs ~addr:4104 (-42);
+     Frame_store.read_int fs ~addr:4104);
+  Frame_store.write_byte fs ~addr:8192 200;
+  Alcotest.(check int) "byte" 200 (Frame_store.read_byte fs ~addr:8192);
+  Alcotest.(check int) "two frames" 2 (Frame_store.frame_count fs)
+
+let test_frame_store_unaligned_rejected () =
+  let fs = Frame_store.create ~geometry:geo in
+  Alcotest.check_raises "unaligned word"
+    (Invalid_argument "Frame_store: unaligned word access at 0x1001") (fun () ->
+      ignore (Frame_store.read_int fs ~addr:4097))
+
+let test_frame_store_install_copies () =
+  let fs = Frame_store.create ~geometry:geo in
+  let data = Bytes.make 4096 'x' in
+  Frame_store.install fs 7 data;
+  Bytes.set data 0 'y';
+  (* mutation of the source must not leak into the store *)
+  Alcotest.(check int) "deep copy" (Char.code 'x') (Frame_store.read_byte fs ~addr:(7 * 4096));
+  Frame_store.drop fs 7;
+  Alcotest.(check bool) "dropped" false (Frame_store.has_frame fs 7)
+
+let test_frame_store_install_wrong_size () =
+  let fs = Frame_store.create ~geometry:geo in
+  Alcotest.check_raises "length checked"
+    (Invalid_argument "Frame_store.install: wrong page length") (fun () ->
+      Frame_store.install fs 1 (Bytes.create 100))
+
+(* --- Diff --- *)
+
+let test_diff_compute_apply_roundtrip () =
+  let twin = Bytes.make 4096 '\000' in
+  let current = Bytes.copy twin in
+  Bytes.set current 10 'a';
+  Bytes.set current 11 'b';
+  Bytes.set current 100 'c';
+  let diff = Diff.compute ~page:0 ~twin ~current in
+  Alcotest.(check int) "two ranges" 2 (Diff.range_count diff);
+  Alcotest.(check int) "payload" 3 (Diff.payload_bytes diff);
+  Alcotest.(check int) "wire includes headers" (3 + 16) (Diff.wire_bytes diff);
+  let target = Bytes.copy twin in
+  Diff.apply diff target;
+  Alcotest.(check bytes) "apply reproduces" current target
+
+let test_diff_empty () =
+  let twin = Bytes.make 64 'z' in
+  let diff = Diff.compute ~page:0 ~twin ~current:(Bytes.copy twin) in
+  Alcotest.(check bool) "no changes, empty" true (Diff.is_empty diff)
+
+let prop_diff_roundtrip =
+  QCheck.Test.make ~name:"diff(twin, current) applied to twin = current" ~count:200
+    QCheck.(small_list (pair (int_bound 255) (int_bound 255)))
+    (fun writes ->
+      let twin = Bytes.make 256 '\000' in
+      let current = Bytes.copy twin in
+      List.iter (fun (off, v) -> Bytes.set current off (Char.chr v)) writes;
+      let diff = Diff.compute ~page:0 ~twin ~current in
+      let target = Bytes.copy twin in
+      Diff.apply diff target;
+      Bytes.equal target current)
+
+let prop_diff_merge_composes =
+  QCheck.Test.make ~name:"merge d1 d2 = apply d1 then d2" ~count:200
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 127) (int_bound 255)))
+        (small_list (pair (int_bound 127) (int_bound 255))))
+    (fun (w1, w2) ->
+      let base = Bytes.make 128 '\000' in
+      let v1 = Bytes.copy base in
+      List.iter (fun (o, v) -> Bytes.set v1 o (Char.chr v)) w1;
+      let d1 = Diff.compute ~page:3 ~twin:base ~current:v1 in
+      let v2 = Bytes.copy v1 in
+      List.iter (fun (o, v) -> Bytes.set v2 o (Char.chr v)) w2;
+      let d2 = Diff.compute ~page:3 ~twin:v1 ~current:v2 in
+      let merged = Diff.merge d1 d2 in
+      let sequential = Bytes.copy base in
+      Diff.apply d1 sequential;
+      Diff.apply d2 sequential;
+      let at_once = Bytes.copy base in
+      Diff.apply merged at_once;
+      Bytes.equal sequential at_once)
+
+let test_diff_of_words () =
+  let diff = Diff.of_words ~geometry:geo ~page:5 [ (0, 42); (16, 7); (8, 9) ] in
+  Alcotest.(check int) "coalesced adjacent words" 1 (Diff.range_count diff);
+  let target = Bytes.make 4096 '\000' in
+  Diff.apply diff target;
+  Alcotest.(check int64) "word 0" 42L (Bytes.get_int64_le target 0);
+  Alcotest.(check int64) "word 1" 9L (Bytes.get_int64_le target 8);
+  Alcotest.(check int64) "word 2" 7L (Bytes.get_int64_le target 16)
+
+let test_diff_of_words_last_wins () =
+  let diff = Diff.of_words ~geometry:geo ~page:0 [ (0, 1); (0, 2); (0, 3) ] in
+  let target = Bytes.make 4096 '\000' in
+  Diff.apply diff target;
+  Alcotest.(check int64) "last record wins" 3L (Bytes.get_int64_le target 0)
+
+let test_diff_of_words_validation () =
+  Alcotest.check_raises "unaligned offset" (Invalid_argument "Diff.of_words: bad offset")
+    (fun () -> ignore (Diff.of_words ~geometry:geo ~page:0 [ (3, 1) ]));
+  Alcotest.check_raises "out of page" (Invalid_argument "Diff.of_words: bad offset")
+    (fun () -> ignore (Diff.of_words ~geometry:geo ~page:0 [ (4096, 1) ]))
+
+let test_diff_merge_page_mismatch () =
+  let d1 = Diff.of_words ~geometry:geo ~page:1 [ (0, 1) ] in
+  let d2 = Diff.of_words ~geometry:geo ~page:2 [ (0, 1) ] in
+  Alcotest.check_raises "page mismatch" (Invalid_argument "Diff.merge: page mismatch")
+    (fun () -> ignore (Diff.merge d1 d2))
+
+let prop_pages_cover_range =
+  QCheck.Test.make ~name:"pages_of_range covers every byte" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 1 20_000))
+    (fun (addr, len) ->
+      let pages = Page.pages_of_range geo ~addr ~len in
+      let covers a = List.mem (Page.page_of_addr geo a) pages in
+      covers addr && covers (addr + len - 1)
+      && List.length pages = List.length (List.sort_uniq compare pages))
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"frame word write/read round trip" ~count:200
+    QCheck.(pair (int_range 0 511) int)
+    (fun (word, v) ->
+      let fs = Frame_store.create ~geometry:geo in
+      let addr = word * 8 in
+      Frame_store.write_int fs ~addr v;
+      Frame_store.read_int fs ~addr = v)
+
+let prop_diff_wire_accounting =
+  QCheck.Test.make ~name:"wire bytes = payload + 8 per range" ~count:200
+    QCheck.(small_list (pair (int_bound 255) (int_bound 255)))
+    (fun writes ->
+      let twin = Bytes.make 256 '\000' in
+      let current = Bytes.copy twin in
+      List.iter (fun (o, v) -> Bytes.set current o (Char.chr v)) writes;
+      let d = Diff.compute ~page:0 ~twin ~current in
+      Diff.wire_bytes d = Diff.payload_bytes d + (8 * Diff.range_count d))
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "geometry" `Quick test_page_geometry;
+          Alcotest.test_case "bad size" `Quick test_page_rejects_bad_size;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "lattice" `Quick test_access_lattice;
+          QCheck_alcotest.to_alcotest prop_access_merge_is_lub;
+        ] );
+      ( "frame_store",
+        [
+          Alcotest.test_case "read/write" `Quick test_frame_store_rw;
+          Alcotest.test_case "unaligned rejected" `Quick test_frame_store_unaligned_rejected;
+          Alcotest.test_case "install copies" `Quick test_frame_store_install_copies;
+          Alcotest.test_case "install size checked" `Quick test_frame_store_install_wrong_size;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "compute/apply" `Quick test_diff_compute_apply_roundtrip;
+          Alcotest.test_case "empty" `Quick test_diff_empty;
+          QCheck_alcotest.to_alcotest prop_diff_roundtrip;
+          QCheck_alcotest.to_alcotest prop_diff_merge_composes;
+          Alcotest.test_case "of_words" `Quick test_diff_of_words;
+          Alcotest.test_case "of_words last wins" `Quick test_diff_of_words_last_wins;
+          Alcotest.test_case "of_words validation" `Quick test_diff_of_words_validation;
+          Alcotest.test_case "merge page mismatch" `Quick test_diff_merge_page_mismatch;
+          QCheck_alcotest.to_alcotest prop_diff_wire_accounting;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pages_cover_range;
+          QCheck_alcotest.to_alcotest prop_word_roundtrip;
+        ] );
+    ]

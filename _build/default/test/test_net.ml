@@ -1,0 +1,164 @@
+(* Tests of the network layer: driver calibration and delivery semantics. *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+
+let us = Alcotest.float 0.01
+
+(* The drivers are calibrated against the paper's tables; these tests pin
+   the calibration down so a drive-by edit cannot silently skew every
+   experiment. *)
+let test_driver_calibration () =
+  let check_page d expected =
+    Alcotest.check us
+      (d.Driver.name ^ " 4kB page transfer")
+      expected
+      (Time.to_us (Driver.delay d (Driver.Bulk 4096)))
+  in
+  check_page Driver.bip_myrinet 138.;
+  check_page Driver.tcp_myrinet 343.;
+  check_page Driver.tcp_fast_ethernet 736.;
+  check_page Driver.sisci_sci 119.;
+  let check_req d expected =
+    Alcotest.check us (d.Driver.name ^ " request") expected
+      (Time.to_us (Driver.delay d Driver.Request))
+  in
+  check_req Driver.bip_myrinet 23.;
+  check_req Driver.tcp_myrinet 220.;
+  check_req Driver.tcp_fast_ethernet 220.;
+  check_req Driver.sisci_sci 38.;
+  let check_mig d expected =
+    (* 1 kB stack + 256 B descriptor *)
+    Alcotest.check us (d.Driver.name ^ " migration") expected
+      (Time.to_us (Driver.delay d (Driver.Migration 1280)))
+  in
+  check_mig Driver.bip_myrinet 75.;
+  check_mig Driver.tcp_myrinet 280.;
+  check_mig Driver.tcp_fast_ethernet 373.;
+  check_mig Driver.sisci_sci 62.;
+  Alcotest.check us "BIP null rpc" 8. (Time.to_us (Driver.delay Driver.bip_myrinet Driver.Null_rpc));
+  Alcotest.check us "SCI null rpc" 6. (Time.to_us (Driver.delay Driver.sisci_sci Driver.Null_rpc))
+
+let test_driver_by_name () =
+  Alcotest.(check bool) "found" true (Driver.by_name "SISCI/SCI" <> None);
+  Alcotest.(check bool) "not found" true (Driver.by_name "Carrier/Pigeon" = None);
+  Alcotest.(check int) "four platforms" 4 (List.length Driver.all)
+
+let test_driver_size_monotone () =
+  let d = Driver.bip_myrinet in
+  Alcotest.(check bool) "bigger bulk costs more" true
+    (Driver.delay d (Driver.Bulk 8192) > Driver.delay d (Driver.Bulk 4096));
+  Alcotest.(check bool) "bigger migration costs more" true
+    (Driver.delay d (Driver.Migration 64_000) > Driver.delay d (Driver.Migration 1280))
+
+let test_network_delivery_delay () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  let delivered_at = ref Time.zero in
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request (fun () ->
+      delivered_at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.check us "request delay" 23. (Time.to_us !delivered_at)
+
+let test_network_fifo_per_link () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  let log = ref [] in
+  (* A slow bulk then a fast request on the same link: FIFO must hold. *)
+  Network.send net ~src:0 ~dst:1 ~cost:(Driver.Bulk 4096) (fun () -> log := "bulk" :: !log);
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request (fun () -> log := "req" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "in-order delivery" [ "bulk"; "req" ] (List.rev !log)
+
+let test_network_loopback_free () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.tcp_fast_ethernet ~nodes:2 in
+  let at = ref (Time.of_us 999.) in
+  Network.send net ~src:1 ~dst:1 ~cost:(Driver.Bulk 4096) (fun () -> at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "loopback costs nothing" Time.zero !at
+
+let test_network_counters () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:3 in
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request ignore;
+  Network.send net ~src:1 ~dst:2 ~cost:(Driver.Bulk 100) ignore;
+  Network.send net ~src:2 ~dst:0 ~cost:(Driver.Migration 50) ignore;
+  Engine.run eng;
+  Alcotest.(check int) "messages" 3 (Network.messages_sent net);
+  Alcotest.(check int) "payload bytes" 150 (Network.bytes_sent net);
+  Alcotest.(check int) "request counter" 1 (Stats.count (Network.stats net) "msg.request");
+  Alcotest.(check int) "bulk counter" 1 (Stats.count (Network.stats net) "msg.bulk")
+
+let test_network_out_of_range () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Network.send: node id out of range") (fun () ->
+      Network.send net ~src:0 ~dst:5 ~cost:Driver.Request ignore)
+
+let test_network_jitter_applies () =
+  let eng = Engine.create () in
+  let jitter ~src:_ ~dst:_ d = 2 * d in
+  let net = Network.create ~jitter eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  let at = ref Time.zero in
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request (fun () -> at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.check us "doubled delay" 46. (Time.to_us !at)
+
+let test_bulk_zero_is_base_cost () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (d.Driver.name ^ " zero-byte bulk costs only the base")
+        true
+        (Time.to_us (Driver.delay d (Driver.Bulk 0)) = d.Driver.page_base_us))
+    Driver.all
+
+let test_network_self_send_counted () =
+  let eng = Engine.create () in
+  let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  Network.send net ~src:1 ~dst:1 ~cost:(Driver.Bulk 64) ignore;
+  Engine.run eng;
+  Alcotest.(check int) "loopback still counted" 1 (Network.messages_sent net);
+  Alcotest.(check int) "loopback bytes counted" 64 (Network.bytes_sent net)
+
+let test_network_jitter_never_reorders () =
+  let eng = Engine.create () in
+  (* Adversarial jitter: shrink the delay of every second message. *)
+  let flip = ref false in
+  let jitter ~src:_ ~dst:_ d =
+    flip := not !flip;
+    if !flip then d else d / 10
+  in
+  let net = Network.create ~jitter eng ~driver:Driver.tcp_fast_ethernet ~nodes:2 in
+  let log = ref [] in
+  for i = 1 to 6 do
+    Network.send net ~src:0 ~dst:1 ~cost:(Driver.Bulk 4096) (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO survives jitter" [ 1; 2; 3; 4; 5; 6 ] (List.rev !log)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "paper calibration" `Quick test_driver_calibration;
+          Alcotest.test_case "by_name" `Quick test_driver_by_name;
+          Alcotest.test_case "size monotone" `Quick test_driver_size_monotone;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery delay" `Quick test_network_delivery_delay;
+          Alcotest.test_case "FIFO per link" `Quick test_network_fifo_per_link;
+          Alcotest.test_case "loopback free" `Quick test_network_loopback_free;
+          Alcotest.test_case "counters" `Quick test_network_counters;
+          Alcotest.test_case "out of range" `Quick test_network_out_of_range;
+          Alcotest.test_case "jitter applies" `Quick test_network_jitter_applies;
+          Alcotest.test_case "jitter never reorders" `Quick
+            test_network_jitter_never_reorders;
+          Alcotest.test_case "zero-byte bulk" `Quick test_bulk_zero_is_base_cost;
+          Alcotest.test_case "self send counted" `Quick test_network_self_send_counted;
+        ] );
+    ]

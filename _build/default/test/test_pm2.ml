@@ -1,0 +1,419 @@
+(* Tests of the PM2 layer: Marcel threads, RPC, isomalloc, migration. *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_pm2
+
+let us = Alcotest.float 0.01
+
+let with_pm2 ?(nodes = 2) ?(driver = Driver.bip_myrinet) f =
+  let pm2 = Pm2.create ~nodes ~driver () in
+  f pm2;
+  pm2
+
+(* --- Marcel --- *)
+
+let test_spawn_self_join () =
+  let pm2 = Pm2.create ~nodes:3 ~driver:Driver.bip_myrinet () in
+  let marcel = Pm2.marcel pm2 in
+  let seen = ref (-1) in
+  let th =
+    Pm2.spawn pm2 ~node:2 (fun () ->
+        let self = Marcel.self marcel in
+        seen := Marcel.node self)
+  in
+  let joined = ref false in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         Marcel.join marcel th;
+         joined := true));
+  Pm2.run pm2;
+  Alcotest.(check int) "self node" 2 !seen;
+  Alcotest.(check bool) "joined" true !joined;
+  Alcotest.(check bool) "dead" false (Marcel.is_alive th)
+
+let test_self_outside_thread_fails () =
+  let pm2 = Pm2.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  Alcotest.check_raises "no self outside threads"
+    (Failure "Marcel.self: not running inside a Marcel thread") (fun () ->
+      ignore (Marcel.self (Pm2.marcel pm2)))
+
+let test_charge_then_compute_accounts () =
+  let final = ref 0. in
+  let pm2 =
+    with_pm2 (fun pm2 ->
+        ignore
+          (Pm2.spawn pm2 ~node:0 (fun () ->
+               Marcel.charge (Pm2.marcel pm2) 30.;
+               Marcel.charge (Pm2.marcel pm2) 12.;
+               (* compute flushes the 42us of pending work plus its own 8 *)
+               Marcel.compute (Pm2.marcel pm2) 8.;
+               final := Pm2.now_us pm2)))
+  in
+  Pm2.run pm2;
+  Alcotest.check us "pending work paid" 50. !final
+
+let test_pending_charges_paid_at_exit () =
+  let pm2 =
+    with_pm2 (fun pm2 ->
+        ignore (Pm2.spawn pm2 ~node:0 (fun () -> Marcel.charge (Pm2.marcel pm2) 75.)))
+  in
+  Pm2.run pm2;
+  Alcotest.check us "CPU busy for the charged work" 75.
+    (Time.to_us (Cpu.busy_time (Marcel.cpu (Pm2.marcel pm2) 0)))
+
+let test_mutex_mutual_exclusion () =
+  let pm2 = Pm2.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  let marcel = Pm2.marcel pm2 in
+  let mu = Marcel.Mutex.create () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Pm2.spawn pm2 ~node:0 (fun () ->
+           Marcel.Mutex.lock marcel mu;
+           incr inside;
+           max_inside := max !max_inside !inside;
+           Marcel.compute marcel 10.;
+           decr inside;
+           Marcel.Mutex.unlock marcel mu))
+  done;
+  Pm2.run pm2;
+  Alcotest.(check int) "never two inside" 1 !max_inside
+
+let test_mutex_trylock () =
+  let pm2 = Pm2.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  let marcel = Pm2.marcel pm2 in
+  let mu = Marcel.Mutex.create () in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         Alcotest.(check bool) "first trylock" true (Marcel.Mutex.try_lock marcel mu);
+         Alcotest.(check bool) "second fails" false (Marcel.Mutex.try_lock marcel mu);
+         Marcel.Mutex.unlock marcel mu;
+         Alcotest.(check bool) "after unlock" true (Marcel.Mutex.try_lock marcel mu)));
+  Pm2.run pm2
+
+let test_cond_signal_and_broadcast () =
+  let pm2 = Pm2.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  let marcel = Pm2.marcel pm2 in
+  let mu = Marcel.Mutex.create () and cv = Marcel.Cond.create () in
+  let ready = ref false and woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Pm2.spawn pm2 ~node:0 (fun () ->
+           Marcel.Mutex.lock marcel mu;
+           while not !ready do
+             Marcel.Cond.wait marcel cv mu
+           done;
+           incr woken;
+           Marcel.Mutex.unlock marcel mu))
+  done;
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         Marcel.compute marcel 5.;
+         Marcel.Mutex.lock marcel mu;
+         ready := true;
+         Marcel.Cond.broadcast marcel cv;
+         Marcel.Mutex.unlock marcel mu));
+  Pm2.run pm2;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_sem () =
+  let pm2 = Pm2.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  let marcel = Pm2.marcel pm2 in
+  let sem = Marcel.Sem.create 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Pm2.spawn pm2 ~node:0 (fun () ->
+           Marcel.Sem.acquire marcel sem;
+           incr inside;
+           max_inside := max !max_inside !inside;
+           Marcel.compute marcel 10.;
+           decr inside;
+           Marcel.Sem.release marcel sem))
+  done;
+  Pm2.run pm2;
+  Alcotest.(check int) "at most 2 inside" 2 !max_inside
+
+(* --- Isoalloc --- *)
+
+let test_isoalloc_basics () =
+  let iso = Isoalloc.create ~page_size:4096 () in
+  let a = Isoalloc.alloc iso 100 in
+  let b = Isoalloc.alloc iso 16 in
+  Alcotest.(check bool) "null page reserved" true (a >= 4096);
+  Alcotest.(check bool) "no overlap" true (b >= a + 100);
+  let p = Isoalloc.alloc_pages iso 2 in
+  Alcotest.(check int) "page aligned" 0 (p mod 4096);
+  Alcotest.(check int) "bytes tracked" (100 + 16 + 8192) (Isoalloc.allocated_bytes iso)
+
+let prop_isoalloc_no_overlap =
+  QCheck.Test.make ~name:"isomalloc allocations never overlap" ~count:100
+    QCheck.(small_list (int_range 1 10_000))
+    (fun sizes ->
+      let iso = Isoalloc.create ~page_size:4096 () in
+      let ranges = List.map (fun n -> (Isoalloc.alloc iso n, n)) sizes in
+      let sorted = List.sort compare ranges in
+      let rec ok = function
+        | (a1, n1) :: ((a2, _) :: _ as rest) -> a1 + n1 <= a2 && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok sorted && List.for_all (fun (a, _) -> a mod 8 = 0) ranges)
+
+let test_isoalloc_rejects_bad_input () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Isoalloc.create: page_size must be a power of two")
+    (fun () -> ignore (Isoalloc.create ~page_size:1000 ()));
+  let iso = Isoalloc.create ~page_size:4096 () in
+  Alcotest.check_raises "positive size"
+    (Invalid_argument "Isoalloc.alloc: size must be positive") (fun () ->
+      ignore (Isoalloc.alloc iso 0))
+
+(* --- RPC --- *)
+
+type Rpc.payload += Number of int
+
+let test_rpc_call_roundtrip () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  let handler_node = ref (-1) in
+  let service =
+    Rpc.register rpc ~name:"double" (fun ~src:_ payload ->
+        handler_node := Pm2.self_node pm2;
+        match payload with
+        | Number n -> (Number (2 * n), Driver.Request)
+        | _ -> (Rpc.Unit, Driver.Request))
+  in
+  let result = ref 0 and finished_at = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         (match Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request (Number 21) with
+         | Number n -> result := n
+         | _ -> ());
+         finished_at := Pm2.now_us pm2));
+  Pm2.run pm2;
+  Alcotest.(check int) "doubled" 42 !result;
+  Alcotest.(check int) "handler ran on destination" 1 !handler_node;
+  (* request (23us) + reply (23us) *)
+  Alcotest.check us "round trip time" 46. !finished_at;
+  Alcotest.(check int) "one call" 1 (Rpc.calls_made rpc)
+
+let test_rpc_handler_can_block () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  let service =
+    Rpc.register rpc ~name:"slow" (fun ~src:_ _ ->
+        Marcel.compute (Pm2.marcel pm2) 100.;
+        (Rpc.Unit, Driver.Request))
+  in
+  let finished_at = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         ignore (Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request Rpc.Unit);
+         finished_at := Pm2.now_us pm2));
+  Pm2.run pm2;
+  Alcotest.check us "handler compute included" 146. !finished_at
+
+let test_rpc_oneway () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  let got = ref 0 in
+  let service =
+    Rpc.register rpc ~name:"notify" (fun ~src payload ->
+        (match payload with Number n -> got := n + src | _ -> ());
+        (Rpc.Unit, Driver.Request))
+  in
+  let sent_then = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         Rpc.oneway rpc ~dst:1 ~service ~cost:Driver.Request (Number 7);
+         sent_then := Pm2.now_us pm2));
+  Pm2.run pm2;
+  Alcotest.(check int) "delivered with source" 7 !got;
+  Alcotest.check us "oneway does not block" 0. !sent_then
+
+let test_rpc_service_name () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  let s = Rpc.register rpc ~name:"a.service" (fun ~src:_ _ -> (Rpc.Unit, Driver.Request)) in
+  Alcotest.(check string) "name kept" "a.service" (Rpc.service_name rpc s)
+
+(* --- migration --- *)
+
+let test_migrate_cost_and_node () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.sisci_sci () in
+  let arrived = ref (-1) and took = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 ~stack_bytes:1024 (fun () ->
+         let t0 = Pm2.now_us pm2 in
+         Pm2.migrate pm2 ~dst:1;
+         took := Pm2.now_us pm2 -. t0;
+         arrived := Pm2.self_node pm2));
+  Pm2.run pm2;
+  Alcotest.(check int) "thread moved" 1 !arrived;
+  (* paper section 2.1: 62 us over SISCI/SCI for a minimal stack *)
+  Alcotest.check us "migration cost" 62. !took;
+  Alcotest.(check int) "counted" 1 (Pm2.migrations pm2)
+
+let test_migrate_to_self_is_noop () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.sisci_sci () in
+  let took = ref 99. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         let t0 = Pm2.now_us pm2 in
+         Pm2.migrate pm2 ~dst:0;
+         took := Pm2.now_us pm2 -. t0));
+  Pm2.run pm2;
+  Alcotest.check us "free" 0. !took;
+  Alcotest.(check int) "not counted" 0 (Pm2.migrations pm2)
+
+let test_migrate_attached_data_costs () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.sisci_sci () in
+  let took = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 ~stack_bytes:1024 ~attached_bytes:8192 (fun () ->
+         let t0 = Pm2.now_us pm2 in
+         Pm2.migrate pm2 ~dst:1;
+         took := Pm2.now_us pm2 -. t0));
+  Pm2.run pm2;
+  (* 62 us for the minimal footprint + 8192 B * 0.0125 us/B *)
+  Alcotest.check us "attached data travels too" (62. +. (8192. *. 0.0125)) !took
+
+let test_compute_follows_migration () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.sisci_sci () in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         Pm2.migrate pm2 ~dst:1;
+         Marcel.compute (Pm2.marcel pm2) 40.));
+  Pm2.run pm2;
+  Alcotest.check us "work lands on destination CPU" 40.
+    (Time.to_us (Cpu.busy_time (Marcel.cpu (Pm2.marcel pm2) 1)));
+  Alcotest.check us "origin CPU idle" 0.
+    (Time.to_us (Cpu.busy_time (Marcel.cpu (Pm2.marcel pm2) 0)))
+
+(* --- load balancer --- *)
+
+let test_balancer_spreads_threads () =
+  let pm2 = Pm2.create ~nodes:4 ~driver:Driver.bip_myrinet () in
+  (* 8 compute-bound migratable workers, all dumped on node 0; the balancer
+     must spread them out.  Workers hit a safe point between compute
+     slices. *)
+  let final = Array.make 8 (-1) in
+  for i = 0 to 7 do
+    ignore
+      (Pm2.spawn pm2 ~migratable:true ~node:0 (fun () ->
+           for _ = 1 to 40 do
+             Marcel.compute (Pm2.marcel pm2) 1_000.;
+             Pm2.migrate_if_requested pm2
+           done;
+           final.(i) <- Pm2.self_node pm2))
+  done;
+  let balancer = Balancer.start ~config:{ Balancer.interval_us = 2_000.; threshold = 1 } pm2 in
+  Pm2.run pm2;
+  Alcotest.(check bool) "balancer acted" true (Balancer.moves_requested balancer > 0);
+  let per_node = Array.make 4 0 in
+  Array.iter (fun n -> per_node.(n) <- per_node.(n) + 1) final;
+  (* With 8 equal workers over 4 nodes, no node should end hosting more
+     than half of them once balanced. *)
+  Array.iteri
+    (fun node count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d not overloaded (%d workers)" node count)
+        true (count <= 4))
+    per_node
+
+let test_balancer_improves_makespan () =
+  let makespan balance =
+    let pm2 = Pm2.create ~nodes:4 ~driver:Driver.bip_myrinet () in
+    for _ = 0 to 7 do
+      ignore
+        (Pm2.spawn pm2 ~migratable:true ~node:0 (fun () ->
+             for _ = 1 to 40 do
+               Marcel.compute (Pm2.marcel pm2) 1_000.;
+               Pm2.migrate_if_requested pm2
+             done))
+    done;
+    if balance then ignore (Balancer.start pm2);
+    Pm2.run pm2;
+    Pm2.now_us pm2
+  in
+  let unbalanced = makespan false and balanced = makespan true in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced (%.0fus) much faster than unbalanced (%.0fus)" balanced
+       unbalanced)
+    true
+    (balanced < 0.6 *. unbalanced)
+
+let test_balancer_ignores_non_migratable () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let final = ref (-1) in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         (* not migratable *)
+         for _ = 1 to 20 do
+           Marcel.compute (Pm2.marcel pm2) 1_000.;
+           Pm2.migrate_if_requested pm2
+         done;
+         final := Pm2.self_node pm2));
+  ignore (Balancer.start pm2);
+  Pm2.run pm2;
+  Alcotest.(check int) "thread stayed home" 0 !final
+
+let test_balancer_terminates_with_workers () =
+  (* The daemon must not keep the simulation alive after the last
+     migratable thread dies. *)
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  ignore
+    (Pm2.spawn pm2 ~migratable:true ~node:0 (fun () ->
+         Marcel.compute (Pm2.marcel pm2) 100.));
+  let balancer = Balancer.start pm2 in
+  Pm2.run pm2;
+  (* run returned: the engine drained *)
+  Alcotest.(check bool) "daemon ticked at least once" true (Balancer.ticks balancer >= 1)
+
+let () =
+  Alcotest.run "pm2"
+    [
+      ( "marcel",
+        [
+          Alcotest.test_case "spawn/self/join" `Quick test_spawn_self_join;
+          Alcotest.test_case "self outside thread" `Quick test_self_outside_thread_fails;
+          Alcotest.test_case "charge accounting" `Quick test_charge_then_compute_accounts;
+          Alcotest.test_case "charges paid at exit" `Quick
+            test_pending_charges_paid_at_exit;
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "trylock" `Quick test_mutex_trylock;
+          Alcotest.test_case "cond broadcast" `Quick test_cond_signal_and_broadcast;
+          Alcotest.test_case "semaphore" `Quick test_sem;
+        ] );
+      ( "isoalloc",
+        [
+          Alcotest.test_case "basics" `Quick test_isoalloc_basics;
+          QCheck_alcotest.to_alcotest prop_isoalloc_no_overlap;
+          Alcotest.test_case "input validation" `Quick test_isoalloc_rejects_bad_input;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "call round trip" `Quick test_rpc_call_roundtrip;
+          Alcotest.test_case "blocking handler" `Quick test_rpc_handler_can_block;
+          Alcotest.test_case "oneway" `Quick test_rpc_oneway;
+          Alcotest.test_case "service name" `Quick test_rpc_service_name;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "cost and node change" `Quick test_migrate_cost_and_node;
+          Alcotest.test_case "self migration free" `Quick test_migrate_to_self_is_noop;
+          Alcotest.test_case "attached data" `Quick test_migrate_attached_data_costs;
+          Alcotest.test_case "compute follows thread" `Quick
+            test_compute_follows_migration;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "spreads threads" `Quick test_balancer_spreads_threads;
+          Alcotest.test_case "improves makespan" `Quick test_balancer_improves_makespan;
+          Alcotest.test_case "ignores non-migratable" `Quick
+            test_balancer_ignores_non_migratable;
+          Alcotest.test_case "terminates with workers" `Quick
+            test_balancer_terminates_with_workers;
+        ] );
+    ]

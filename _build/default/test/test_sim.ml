@@ -1,0 +1,340 @@
+(* Unit and property tests of the discrete-event engine. *)
+
+open Dsmpm2_sim
+
+(* --- Time --- *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "1 us = 1000 ns" 1_000 (Time.of_us 1.);
+  Alcotest.(check (float 1e-9)) "round trip" 42.5 (Time.to_us (Time.of_us 42.5));
+  Alcotest.(check (float 1e-9)) "ms" 1.5 (Time.to_ms (Time.of_us 1_500.));
+  Alcotest.(check int) "rounding" 11 (Time.of_ns 11);
+  Alcotest.(check string) "pp us" "42.0us" (Format.asprintf "%a" Time.pp (Time.of_us 42.))
+
+(* --- Heap --- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "next" (Some 2) (Heap.pop h);
+  Heap.clear h;
+  Alcotest.(check (option int)) "cleared" None (Heap.pop h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:1 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split stream differs" false (Rng.bits64 a = Rng.bits64 c)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int in bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  Alcotest.(check (list int)) "same multiset" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+(* --- Engine --- *)
+
+let test_engine_event_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.at eng (Time.of_us 30.) (fun () -> log := 3 :: !log);
+  Engine.at eng (Time.of_us 10.) (fun () -> log := 1 :: !log);
+  Engine.at eng (Time.of_us 20.) (fun () -> log := 2 :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "events executed" 3 (Engine.events_executed eng)
+
+let test_engine_tie_break_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.at eng (Time.of_us 5.) (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "same-time events run FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_past_event_rejected () =
+  let eng = Engine.create () in
+  Engine.at eng (Time.of_us 10.) (fun () ->
+      Alcotest.check_raises "past is rejected"
+        (Invalid_argument "Engine.at: time 5000 is in the past (now 10000)")
+        (fun () -> Engine.at eng (Time.of_us 5.) ignore));
+  Engine.run eng
+
+let test_engine_sleep_advances_clock () =
+  let eng = Engine.create () in
+  let woke_at = ref Time.zero in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep eng (Time.of_us 100.);
+         woke_at := Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check int) "slept 100us" (Time.of_us 100.) !woke_at
+
+let test_engine_stalled_detection () =
+  let eng = Engine.create () in
+  ignore (Engine.spawn eng (fun () -> Engine.suspend eng (fun _resume -> ())));
+  Alcotest.check_raises "deadlock detected" (Engine.Stalled 1) (fun () ->
+      Engine.run eng)
+
+let test_engine_current_fiber () =
+  let eng = Engine.create () in
+  let inside = ref None and outside = ref (Some 0) in
+  let fid = Engine.spawn eng (fun () -> inside := Engine.current_fiber eng) in
+  Engine.at eng (Time.of_us 1.) (fun () -> outside := Engine.current_fiber eng);
+  Engine.run eng;
+  Alcotest.(check (option int)) "inside fiber" (Some fid) !inside;
+  Alcotest.(check (option int)) "event context has no fiber" None !outside
+
+let test_engine_resume_twice_rejected () =
+  let eng = Engine.create () in
+  let saved = ref ignore in
+  ignore (Engine.spawn eng (fun () -> Engine.suspend eng (fun resume -> saved := resume)));
+  Engine.at eng (Time.of_us 1.) (fun () -> !saved ());
+  Engine.at eng (Time.of_us 2.) (fun () ->
+      Alcotest.check_raises "double resume"
+        (Invalid_argument "Engine: fiber resumed twice") (fun () -> !saved ()));
+  Engine.run eng
+
+let test_engine_run_limit () =
+  let eng = Engine.create () in
+  let ran = ref 0 in
+  Engine.at eng (Time.of_us 10.) (fun () -> incr ran);
+  Engine.at eng (Time.of_us 1_000.) (fun () -> incr ran);
+  Engine.run ~limit:(Time.of_us 100.) eng;
+  Alcotest.(check int) "only early event ran" 1 !ran
+
+let test_engine_live_fibers () =
+  let eng = Engine.create () in
+  ignore (Engine.spawn eng (fun () -> Engine.sleep eng (Time.of_us 5.)));
+  Alcotest.(check int) "live before run" 1 (Engine.live_fibers eng);
+  Engine.run eng;
+  Alcotest.(check int) "none after" 0 (Engine.live_fibers eng)
+
+(* --- Cpu --- *)
+
+let test_cpu_serialises () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create ~name:"c" () in
+  let done_at = Array.make 2 Time.zero in
+  for i = 0 to 1 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           Cpu.compute eng cpu (Time.of_us 100.);
+           done_at.(i) <- Engine.now eng))
+  done;
+  Engine.run eng;
+  (* Round-robin slicing: both 100us jobs share the CPU and finish around
+     200us total; the CPU was busy for exactly the sum of the work. *)
+  Alcotest.(check int) "total busy time" (Time.of_us 200.) (Cpu.busy_time cpu);
+  let finish = max done_at.(0) done_at.(1) in
+  Alcotest.(check int) "makespan = serial sum" (Time.of_us 200.) finish
+
+let test_cpu_quantum_preempts () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create ~quantum:(Time.of_us 50.) ~name:"c" () in
+  let long_done = ref Time.zero and short_done = ref Time.zero in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Cpu.compute eng cpu (Time.of_us 1_000.);
+         long_done := Engine.now eng));
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep eng (Time.of_us 10.);
+         Cpu.compute eng cpu (Time.of_us 20.);
+         short_done := Engine.now eng));
+  Engine.run eng;
+  (* The short job arrives while the long one computes; slicing lets it
+     finish long before the 1000us job completes. *)
+  Alcotest.(check bool) "short job not starved" true (!short_done < Time.of_us 200.);
+  Alcotest.(check bool) "long job finishes last" true (!long_done >= Time.of_us 1_000.)
+
+let test_cpu_zero_compute_is_free () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create ~name:"c" () in
+  ignore (Engine.spawn eng (fun () -> Cpu.compute eng cpu Time.zero));
+  Engine.run eng;
+  Alcotest.(check int) "no busy time" Time.zero (Cpu.busy_time cpu)
+
+let test_engine_fiber_spawns_fiber () =
+  let eng = Engine.create () in
+  let inner_ran = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Engine.sleep eng (Time.of_us 5.);
+         ignore (Engine.spawn eng (fun () -> inner_ran := true))));
+  Engine.run eng;
+  Alcotest.(check bool) "nested spawn runs" true !inner_ran
+
+let test_cpu_fifo_order () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create ~quantum:(Time.of_us 1_000.) ~name:"c" () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           Engine.sleep eng (Time.of_ns i);
+           (* stagger arrival *)
+           Cpu.compute eng cpu (Time.of_us 10.);
+           order := i :: !order))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "grants follow arrival order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_cpu_busy_time_exact_under_slicing () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create ~quantum:(Time.of_us 7.) ~name:"c" () in
+  for _ = 1 to 3 do
+    ignore (Engine.spawn eng (fun () -> Cpu.compute eng cpu (Time.of_us 33.)))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "slices add up exactly" (Time.of_us 99.) (Cpu.busy_time cpu)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_bool_takes_both_values () =
+  let rng = Rng.create ~seed:11 in
+  let trues = ref 0 in
+  for _ = 1 to 200 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "mixed" true (!trues > 50 && !trues < 150)
+
+(* --- Trace and Stats --- *)
+
+let test_trace_records_in_order () =
+  let eng = Engine.create () in
+  let trace = Trace.create ~enabled:true () in
+  Engine.at eng (Time.of_us 2.) (fun () -> Trace.record trace eng ~category:"b" "two");
+  Engine.at eng (Time.of_us 1.) (fun () -> Trace.record trace eng ~category:"a" "one");
+  Engine.run eng;
+  let entries = Trace.entries trace in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  Alcotest.(check (list string)) "chronological" [ "one"; "two" ]
+    (List.map (fun e -> e.Trace.message) entries);
+  Alcotest.(check int) "by category" 1 (List.length (Trace.by_category trace "a"))
+
+let test_trace_disabled_is_free () =
+  let eng = Engine.create () in
+  let trace = Trace.create () in
+  Trace.record trace eng ~category:"x" "ignored";
+  Trace.recordf trace eng ~category:"x" "also %d" 42;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length trace)
+
+let test_trace_hash_distinguishes () =
+  let eng = Engine.create () in
+  let t1 = Trace.create ~enabled:true () and t2 = Trace.create ~enabled:true () in
+  Trace.record t1 eng ~category:"x" "a";
+  Trace.record t2 eng ~category:"x" "b";
+  Alcotest.(check bool) "different traces, different hash" false
+    (Trace.hash t1 = Trace.hash t2)
+
+let test_stats_counters_and_spans () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  Alcotest.(check int) "count a" 2 (Stats.count s "a");
+  Alcotest.(check int) "count b" 5 (Stats.count s "b");
+  Alcotest.(check int) "absent is 0" 0 (Stats.count s "zzz");
+  Stats.add_span s "t" (Time.of_us 10.);
+  Stats.add_span s "t" (Time.of_us 20.);
+  Alcotest.(check int) "span total" (Time.of_us 30.) (Stats.span_total s "t");
+  Alcotest.(check int) "span mean" (Time.of_us 15.) (Stats.span_mean s "t");
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.count s "a")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [ Alcotest.test_case "conversions" `Quick test_time_conversions ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic operations" `Quick test_heap_basic;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool mixes" `Quick test_rng_bool_takes_both_values;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_engine_event_order;
+          Alcotest.test_case "FIFO tie-break" `Quick test_engine_tie_break_fifo;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_event_rejected;
+          Alcotest.test_case "sleep advances clock" `Quick test_engine_sleep_advances_clock;
+          Alcotest.test_case "stall detection" `Quick test_engine_stalled_detection;
+          Alcotest.test_case "current fiber" `Quick test_engine_current_fiber;
+          Alcotest.test_case "double resume rejected" `Quick
+            test_engine_resume_twice_rejected;
+          Alcotest.test_case "run limit" `Quick test_engine_run_limit;
+          Alcotest.test_case "live fibers" `Quick test_engine_live_fibers;
+          Alcotest.test_case "fiber spawns fiber" `Quick test_engine_fiber_spawns_fiber;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "serialises work" `Quick test_cpu_serialises;
+          Alcotest.test_case "quantum preemption" `Quick test_cpu_quantum_preempts;
+          Alcotest.test_case "zero compute free" `Quick test_cpu_zero_compute_is_free;
+          Alcotest.test_case "FIFO grant order" `Quick test_cpu_fifo_order;
+          Alcotest.test_case "busy time exact under slicing" `Quick
+            test_cpu_busy_time_exact_under_slicing;
+        ] );
+      ( "trace+stats",
+        [
+          Alcotest.test_case "trace order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_free;
+          Alcotest.test_case "trace hash" `Quick test_trace_hash_distinguishes;
+          Alcotest.test_case "stats" `Quick test_stats_counters_and_spans;
+        ] );
+    ]
