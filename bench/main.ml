@@ -5,27 +5,74 @@
      dune exec bench/main.exe -- table3  -- a single experiment
      dune exec bench/main.exe -- bechamel
 
-   Experiments: micro table2 table3 table4 fig4 fig5 splash ablation. *)
+   Experiments: micro table2 table3 table4 fig4 fig5 splash ablation.
 
+   Each experiment also writes its results as BENCH_<name>.json in the
+   current directory, so successive runs leave a machine-readable perf
+   trajectory. *)
+
+open Dsmpm2_sim
 open Dsmpm2_experiments
 
 let ppf = Format.std_formatter
 
 let section title f =
   Format.fprintf ppf "@.=== %s ===@." title;
-  f ();
+  (match f () with
+  | None -> ()
+  | Some json ->
+      let file = "BENCH_" ^ title ^ ".json" in
+      Json.to_file file json;
+      Format.fprintf ppf "[wrote %s]@." file);
   Format.pp_print_flush ppf ()
 
-let run_micro () = Micro.print ppf (Micro.run ())
-let run_table2 () = Table2_inventory.print ppf (Table2_inventory.run ())
-let run_table3 () = Fault_cost.print ppf (Fault_cost.run Fault_cost.Page_transfer)
-let run_table4 () = Fault_cost.print ppf (Fault_cost.run Fault_cost.Thread_migration)
-let run_fig4 () = Fig4_tsp.print ppf (Fig4_tsp.run ())
-let run_fig5 () = Fig5_coloring.print ppf (Fig5_coloring.run ())
-let run_splash () = Splash.print ppf (Splash.run ())
-let run_ablation () = Ablation.print ppf (Ablation.run ())
-let run_litmus () = Litmus.print ppf (Litmus.run ())
-let run_patterns () = Sharing_patterns.print ppf (Sharing_patterns.run ())
+let run_micro () =
+  let t = Micro.run () in
+  Micro.print ppf t;
+  Some (Micro.to_json t)
+
+let run_table2 () =
+  let t = Table2_inventory.run () in
+  Table2_inventory.print ppf t;
+  Some (Table2_inventory.to_json t)
+
+let run_fault_cost policy () =
+  let t = Fault_cost.run policy in
+  Fault_cost.print ppf t;
+  Some (Fault_cost.to_json t)
+
+let run_table3 = run_fault_cost Fault_cost.Page_transfer
+let run_table4 = run_fault_cost Fault_cost.Thread_migration
+
+let run_fig4 () =
+  let t = Fig4_tsp.run () in
+  Fig4_tsp.print ppf t;
+  Some (Fig4_tsp.to_json t)
+
+let run_fig5 () =
+  let t = Fig5_coloring.run () in
+  Fig5_coloring.print ppf t;
+  Some (Fig5_coloring.to_json t)
+
+let run_splash () =
+  let t = Splash.run () in
+  Splash.print ppf t;
+  Some (Splash.to_json t)
+
+let run_ablation () =
+  let t = Ablation.run () in
+  Ablation.print ppf t;
+  Some (Ablation.to_json t)
+
+let run_litmus () =
+  let t = Litmus.run () in
+  Litmus.print ppf t;
+  Some (Litmus.to_json t)
+
+let run_patterns () =
+  let t = Sharing_patterns.run () in
+  Sharing_patterns.print ppf t;
+  Some (Sharing_patterns.to_json t)
 
 (* Bechamel micro-benchmarks of the simulator itself: how fast the host can
    execute one simulated cold read fault and one simulated TSP solve.  These
@@ -51,11 +98,24 @@ let bechamel_tests () =
     ignore
       (Dsmpm2_apps.Tsp.run { Dsmpm2_apps.Tsp.default with Dsmpm2_apps.Tsp.cities = 10 })
   in
+  (* Monitoring-disabled overhead: the same simulated workload with the
+     monitor explicitly off must cost the same as never mentioning it —
+     Trace.recordf and Monitor.emit call sites are supposed to be free. *)
+  let fault_once_monitored enabled () =
+    let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+    let ids = Builtin.register_all dsm in
+    Monitor.enable dsm enabled;
+    let x = Dsm.malloc dsm ~protocol:ids.Builtin.li_hudak ~home:(Dsm.On_node 1) 8 in
+    ignore (Dsm.spawn dsm ~node:0 (fun () -> ignore (Dsm.read_int dsm x)));
+    Dsm.run dsm
+  in
   let test name f = Test.make ~name (Staged.stage f) in
   Test.make_grouped ~name:"dsmpm2"
     [
       test "sim/read_fault_page_transfer" (fault_once `Page);
       test "sim/read_fault_thread_migration" (fault_once `Migrate);
+      test "sim/read_fault_monitor_disabled" (fault_once_monitored false);
+      test "sim/read_fault_monitor_enabled" (fault_once_monitored true);
       test "sim/tsp_10_cities_li_hudak" tsp_small;
     ]
 
@@ -106,7 +166,10 @@ let () =
         (fun name ->
           match List.assoc_opt name all with
           | Some f -> section name f
-          | None when name = "bechamel" -> section "bechamel" run_bechamel
+          | None when name = "bechamel" ->
+              section "bechamel" (fun () ->
+                  run_bechamel ();
+                  None)
           | None ->
               Format.fprintf ppf "unknown experiment %S; known: %s bechamel@." name
                 (String.concat " " (List.map fst all));

@@ -4,9 +4,23 @@
      dune exec bin/dsm_cli.exe -- table3
      dune exec bin/dsm_cli.exe -- tsp --protocol migrate_thread --nodes 8
      dune exec bin/dsm_cli.exe -- jacobi --protocol hbrc_mw --size 64
-     dune exec bin/dsm_cli.exe -- coloring --protocol java_ic --nodes 2 *)
+     dune exec bin/dsm_cli.exe -- coloring --protocol java_ic --nodes 2
+
+   Every subcommand accepts the observability flags:
+
+     --trace-out FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)
+     --trace-jsonl FILE  one typed event per line, machine-readable
+     --metrics-out FILE  stable JSON metrics snapshot
+     --report            post-mortem per-category / per-stage report
+
+   For the application subcommands these export the live trace of the run;
+   for the table/figure experiments (which run many simulations internally)
+   the trace flags are not applicable and --metrics-out / --report operate
+   on the experiment's result table. *)
 
 open Cmdliner
+open Dsmpm2_sim
+open Dsmpm2_core
 open Dsmpm2_experiments
 
 let ppf = Format.std_formatter
@@ -41,14 +55,114 @@ let protocol_arg default =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* --- observability flags, shared by every subcommand --- *)
+
+type obs = {
+  trace_out : string option;
+  trace_jsonl : string option;
+  metrics_out : string option;
+  report : bool;
+}
+
+let obs_term =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the event trace as Chrome trace_event JSON to $(docv).")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Write the event trace as JSON Lines (one event per line) to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot to $(docv).")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ] ~doc:"Print the post-mortem monitoring report after the run.")
+  in
+  Term.(
+    const (fun trace_out trace_jsonl metrics_out report ->
+        { trace_out; trace_jsonl; metrics_out; report })
+    $ trace_out $ trace_jsonl $ metrics_out $ report)
+
+let obs_wants_monitor o =
+  o.trace_out <> None || o.trace_jsonl <> None || o.report
+
+let to_formatter file f =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let fmt = Format.formatter_of_out_channel oc in
+      f fmt;
+      Format.pp_print_flush fmt ())
+
+(* Export hook for the application subcommands: enables the monitor before
+   the run via the app's [observe] hook and dumps everything afterwards. *)
+let app_observe obs =
+  let captured = ref None in
+  let observe dsm =
+    captured := Some dsm;
+    if obs_wants_monitor obs then Monitor.enable dsm true
+  in
+  let export ~name () =
+    match !captured with
+    | None -> ()
+    | Some dsm ->
+        let tr = Monitor.trace dsm in
+        Option.iter (fun file -> to_formatter file (fun fmt -> Trace.to_chrome fmt tr))
+          obs.trace_out;
+        Option.iter (fun file -> to_formatter file (fun fmt -> Trace.to_jsonl fmt tr))
+          obs.trace_jsonl;
+        Option.iter
+          (fun file -> Json.to_file file (Monitor.to_json ~experiment:name dsm))
+          obs.metrics_out;
+        if obs.report then Monitor.report ppf dsm
+  in
+  (observe, export)
+
+(* The table/figure experiments run many simulations internally, so there is
+   no single trace to export; --metrics-out and --report operate on the
+   result table instead. *)
+let experiment_obs obs ~name json =
+  if obs.trace_out <> None || obs.trace_jsonl <> None then
+    Format.fprintf ppf
+      "%s: --trace-out/--trace-jsonl only apply to application subcommands \
+       (tsp, jacobi, coloring); ignoring@."
+      name;
+  Option.iter (fun file -> Json.to_file file json) obs.metrics_out;
+  if obs.report then Format.fprintf ppf "%a@." Json.pp json
+
 let experiment name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ()) $ const ())
+  let run obs = experiment_obs obs ~name (f ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ obs_term)
 
 let tsp_cmd =
-  let run protocol nodes driver seed cities balance =
+  let run protocol nodes driver seed cities balance obs =
+    let observe, export = app_observe obs in
     let r =
       Dsmpm2_apps.Tsp.run
-        { Dsmpm2_apps.Tsp.default with protocol; nodes; driver; seed; cities; balance }
+        {
+          Dsmpm2_apps.Tsp.default with
+          protocol;
+          nodes;
+          driver;
+          seed;
+          cities;
+          balance;
+          observe = Some observe;
+        }
     in
     Format.fprintf ppf
       "tsp: protocol=%s nodes=%d cities=%d time=%.1fms best=%d expansions=%d \
@@ -58,7 +172,8 @@ let tsp_cmd =
       r.Dsmpm2_apps.Tsp.balancer_moves
       (r.Dsmpm2_apps.Tsp.read_faults + r.Dsmpm2_apps.Tsp.write_faults)
       r.Dsmpm2_apps.Tsp.messages
-      (String.concat ";" (List.map string_of_int r.Dsmpm2_apps.Tsp.final_node_of_thread))
+      (String.concat ";" (List.map string_of_int r.Dsmpm2_apps.Tsp.final_node_of_thread));
+    export ~name:"tsp" ()
   in
   let cities =
     Arg.(value & opt int 14 & info [ "cities" ] ~docv:"N" ~doc:"Number of cities.")
@@ -70,13 +185,22 @@ let tsp_cmd =
     (Cmd.info "tsp" ~doc:"Run the TSP branch-and-bound application.")
     Term.(
       const run $ protocol_arg "li_hudak" $ nodes_arg $ driver_arg $ seed_arg $ cities
-      $ balance)
+      $ balance $ obs_term)
 
 let jacobi_cmd =
-  let run protocol nodes driver size iterations =
+  let run protocol nodes driver size iterations obs =
+    let observe, export = app_observe obs in
     let r =
       Dsmpm2_apps.Jacobi.run
-        { Dsmpm2_apps.Jacobi.default with protocol; nodes; driver; size; iterations }
+        {
+          Dsmpm2_apps.Jacobi.default with
+          protocol;
+          nodes;
+          driver;
+          size;
+          iterations;
+          observe = Some observe;
+        }
     in
     let reference = Dsmpm2_apps.Jacobi.checksum_sequential ~size ~iterations in
     Format.fprintf ppf
@@ -85,7 +209,8 @@ let jacobi_cmd =
       protocol nodes size iterations r.Dsmpm2_apps.Jacobi.time_ms
       (if r.Dsmpm2_apps.Jacobi.checksum = reference then "OK" else "WRONG")
       (r.Dsmpm2_apps.Jacobi.read_faults + r.Dsmpm2_apps.Jacobi.write_faults)
-      r.Dsmpm2_apps.Jacobi.pages_transferred r.Dsmpm2_apps.Jacobi.diff_bytes
+      r.Dsmpm2_apps.Jacobi.pages_transferred r.Dsmpm2_apps.Jacobi.diff_bytes;
+    export ~name:"jacobi" ()
   in
   let size = Arg.(value & opt int 48 & info [ "size" ] ~docv:"N" ~doc:"Grid side.") in
   let iters =
@@ -93,47 +218,78 @@ let jacobi_cmd =
   in
   Cmd.v
     (Cmd.info "jacobi" ~doc:"Run the Jacobi relaxation kernel.")
-    Term.(const run $ protocol_arg "hbrc_mw" $ nodes_arg $ driver_arg $ size $ iters)
+    Term.(
+      const run $ protocol_arg "hbrc_mw" $ nodes_arg $ driver_arg $ size $ iters
+      $ obs_term)
 
 let coloring_cmd =
-  let run protocol nodes driver =
+  let run protocol nodes driver obs =
+    let observe, export = app_observe obs in
     let r =
       Dsmpm2_apps.Map_coloring.run
-        { Dsmpm2_apps.Map_coloring.default with protocol; nodes; driver }
+        {
+          Dsmpm2_apps.Map_coloring.default with
+          protocol;
+          nodes;
+          driver;
+          observe = Some observe;
+        }
     in
     Format.fprintf ppf
       "coloring: protocol=%s nodes=%d time=%.1fms cost=%d gets=%d checks=%d faults=%d@."
       protocol nodes r.Dsmpm2_apps.Map_coloring.time_ms
       r.Dsmpm2_apps.Map_coloring.best_cost r.Dsmpm2_apps.Map_coloring.gets
       r.Dsmpm2_apps.Map_coloring.inline_checks
-      (r.Dsmpm2_apps.Map_coloring.read_faults + r.Dsmpm2_apps.Map_coloring.write_faults)
+      (r.Dsmpm2_apps.Map_coloring.read_faults + r.Dsmpm2_apps.Map_coloring.write_faults);
+    export ~name:"coloring" ()
   in
   Cmd.v
     (Cmd.info "coloring" ~doc:"Run the Hyperion-style map-colouring application.")
-    Term.(const run $ protocol_arg "java_pf" $ nodes_arg $ driver_arg)
+    Term.(const run $ protocol_arg "java_pf" $ nodes_arg $ driver_arg $ obs_term)
 
 let experiments =
   [
     experiment "micro" "PM2 micro-benchmarks (paper section 2.1)." (fun () ->
-        Micro.print ppf (Micro.run ()));
+        let t = Micro.run () in
+        Micro.print ppf t;
+        Micro.to_json t);
     experiment "table2" "Protocol inventory (paper Table 2)." (fun () ->
-        Table2_inventory.print ppf (Table2_inventory.run ()));
+        let t = Table2_inventory.run () in
+        Table2_inventory.print ppf t;
+        Table2_inventory.to_json t);
     experiment "table3" "Read-fault breakdown, page transfer (paper Table 3)." (fun () ->
-        Fault_cost.print ppf (Fault_cost.run Fault_cost.Page_transfer));
+        let t = Fault_cost.run Fault_cost.Page_transfer in
+        Fault_cost.print ppf t;
+        Fault_cost.to_json t);
     experiment "table4" "Read-fault breakdown, thread migration (paper Table 4)."
-      (fun () -> Fault_cost.print ppf (Fault_cost.run Fault_cost.Thread_migration));
+      (fun () ->
+        let t = Fault_cost.run Fault_cost.Thread_migration in
+        Fault_cost.print ppf t;
+        Fault_cost.to_json t);
     experiment "fig4" "TSP protocol comparison (paper Figure 4)." (fun () ->
-        Fig4_tsp.print ppf (Fig4_tsp.run ()));
+        let t = Fig4_tsp.run () in
+        Fig4_tsp.print ppf t;
+        Fig4_tsp.to_json t);
     experiment "fig5" "Java consistency comparison (paper Figure 5)." (fun () ->
-        Fig5_coloring.print ppf (Fig5_coloring.run ()));
+        let t = Fig5_coloring.run () in
+        Fig5_coloring.print ppf t;
+        Fig5_coloring.to_json t);
     experiment "splash" "SPLASH-style kernel study (paper section 5)." (fun () ->
-        Splash.print ppf (Splash.run ()));
+        let t = Splash.run () in
+        Splash.print ppf t;
+        Splash.to_json t);
     experiment "ablation" "Stack-size and sync-frequency ablations." (fun () ->
-        Ablation.print ppf (Ablation.run ()));
+        let t = Ablation.run () in
+        Ablation.print ppf t;
+        Ablation.to_json t);
     experiment "litmus" "Memory-model litmus tests across all protocols." (fun () ->
-        Litmus.print ppf (Litmus.run ()));
+        let t = Litmus.run () in
+        Litmus.print ppf t;
+        Litmus.to_json t);
     experiment "patterns" "Sharing-pattern study across all protocols." (fun () ->
-        Sharing_patterns.print ppf (Sharing_patterns.run ()));
+        let t = Sharing_patterns.run () in
+        Sharing_patterns.print ppf t;
+        Sharing_patterns.to_json t);
   ]
 
 let () =

@@ -10,6 +10,9 @@ type config = {
   driver : Driver.t;
   protocol : string;
   point_us : float;
+  observe : (Dsm.t -> unit) option;
+      (* called with the runtime before any thread starts, so callers can
+         enable monitoring or keep a handle for post-run export *)
 }
 
 let default =
@@ -20,6 +23,7 @@ let default =
     driver = Driver.bip_myrinet;
     protocol = "hbrc_mw";
     point_us = Workloads.jacobi_point_us;
+    observe = None;
   }
 
 type result = {
@@ -69,6 +73,7 @@ let run config =
   let size = config.size in
   let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
   ignore (Builtin.register_all dsm);
+  (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match Dsm.protocol_by_name dsm config.protocol with
     | Some p -> p

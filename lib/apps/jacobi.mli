@@ -19,6 +19,9 @@ type config = {
   driver : Driver.t;
   protocol : string;
   point_us : float;
+  observe : (Dsmpm2_core.Dsm.t -> unit) option;
+      (** called with the runtime before any thread starts — enable
+          monitoring here and keep the handle for post-run export *)
 }
 
 val default : config

@@ -10,6 +10,9 @@ type config = {
   color_costs : int array;
   refresh_period : int;
   expand_us : float;
+  observe : (Dsm.t -> unit) option;
+      (* called with the runtime before any thread starts, so callers can
+         enable monitoring or keep a handle for post-run export *)
 }
 
 let default =
@@ -20,6 +23,7 @@ let default =
     color_costs = [| 1; 2; 3; 4 |];
     refresh_period = 4000;
     expand_us = Workloads.coloring_expand_us;
+    observe = None;
   }
 
 type result = {
@@ -76,6 +80,7 @@ let solve_sequential ?(color_costs = default.color_costs) () =
 let run config =
   let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
   let ids = Builtin.register_all dsm in
+  (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match config.protocol with
     | "java_ic" -> ids.Builtin.java_ic

@@ -25,6 +25,9 @@ type config = {
   color_costs : int array;  (** four colours with different costs *)
   refresh_period : int;  (** expansions between bound refreshes *)
   expand_us : float;
+  observe : (Dsmpm2_core.Dsm.t -> unit) option;
+      (** called with the runtime before any thread starts — enable
+          monitoring here and keep the handle for post-run export *)
 }
 
 val default : config

@@ -12,6 +12,9 @@ type config = {
   refresh_period : int;
   expand_us : float;
   balance : bool;  (* run the PM2 load balancer alongside the workers *)
+  observe : (Dsm.t -> unit) option;
+      (* called with the runtime before any thread starts, so callers can
+         enable monitoring or keep a handle for post-run export *)
 }
 
 let default =
@@ -24,6 +27,7 @@ let default =
     refresh_period = 2000;
     expand_us = Workloads.tsp_expand_us;
     balance = false;
+    observe = None;
   }
 
 type result = {
@@ -104,6 +108,7 @@ let run config =
   let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
   let ids = Builtin.register_all dsm in
   ignore ids;
+  (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match Dsm.protocol_by_name dsm config.protocol with
     | Some p -> p

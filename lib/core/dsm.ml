@@ -154,18 +154,36 @@ let ensure_access (rt : t) ~addr ~mode =
             (match mode with
             | Access.Read -> Instrument.read_faults
             | Access.Write -> Instrument.write_faults);
+          Metrics.incr rt.Runtime.metrics ~node ~protocol:proto.Protocol.name
+            (match mode with
+            | Access.Read -> Instrument.m_read_faults
+            | Access.Write -> Instrument.m_write_faults);
           Marcel.compute marcel rt.Runtime.costs.page_fault_us;
           Stats.add_span rt.Runtime.instr Instrument.stage_fault
             (Time.of_us rt.Runtime.costs.page_fault_us)
       | Protocol.Inline_check ->
           Stats.incr rt.Runtime.instr Instrument.check_misses);
-      Monitor.record rt ~category:"fault" "node %d: %s fault on page %d (%s)" node
-        (Access.mode_to_string mode) page proto.Protocol.name;
-      (match mode with
-      | Access.Read -> proto.Protocol.read_fault rt ~node ~page
-      | Access.Write -> proto.Protocol.write_fault rt ~node ~page);
-      Stats.add_span rt.Runtime.instr Instrument.stage_total
-        Time.(Engine.now (Runtime.engine rt) - started);
+      (* Each fault is the root of a causal span: the request, transfer and
+         install events it triggers — locally and on remote nodes — carry
+         the same id. *)
+      let span = Monitor.new_span rt in
+      if Monitor.enabled rt then
+        Monitor.emit rt ~span
+          (Trace.Fault
+             {
+               node;
+               page;
+               protocol = proto.Protocol.name;
+               mode = Access.mode_to_string mode;
+             });
+      Monitor.with_thread_span rt span (fun () ->
+          match mode with
+          | Access.Read -> proto.Protocol.read_fault rt ~node ~page
+          | Access.Write -> proto.Protocol.write_fault rt ~node ~page);
+      let latency = Time.(Engine.now (Runtime.engine rt) - started) in
+      Stats.add_span rt.Runtime.instr Instrument.stage_total latency;
+      Metrics.observe rt.Runtime.metrics ~node ~protocol:proto.Protocol.name
+        Instrument.m_fault_latency latency;
       attempt (n + 1)
     end
   in

@@ -9,9 +9,10 @@ type Rpc.payload +=
       mode : Access.mode;
       requester : int;
       sent_at : Time.t;
+      span : int;
     }
   | Page_data of Protocol.page_message
-  | Invalidate of { page : int; sender : int }
+  | Invalidate of { page : int; sender : int; span : int }
   | Diffs of { diffs : Diff.t list; sender : int; release : bool }
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
@@ -30,6 +31,9 @@ let apply_diff_locally (rt : Runtime.t) ~node (diff : Diff.t) =
   Diff.apply diff (Frame_store.frame (Runtime.store rt node) diff.Diff.page);
   Marcel.Mutex.unlock marcel e.Page_table.entry_mutex
 
+let proto_name rt (e : Page_table.entry) =
+  (Runtime.proto rt e.Page_table.protocol).Protocol.name
+
 (* --- service handlers (each runs in a fresh Marcel thread on the
    destination node) --- *)
 
@@ -37,57 +41,86 @@ let handler_node rt = Marcel.node (Marcel.self (Runtime.marcel rt))
 
 let on_request rt ~src:_ payload =
   match payload with
-  | Page_request { page; mode; requester; sent_at } ->
+  | Page_request { page; mode; requester; sent_at; span } ->
       let node = handler_node rt in
-      Monitor.record rt ~category:"request" "node %d: %s request for page %d from %d"
-        node (Access.mode_to_string mode) page requester;
-      let e = Runtime.entry rt ~node ~page in
-      (* Record the request-propagation stage when this node is (likely) the
-         final server; forwarded requests are re-stamped per hop. *)
-      if e.Page_table.prob_owner = node || e.Page_table.home = node then
-        Stats.add_span rt.Runtime.instr Instrument.stage_request
-          Time.(Engine.now (Runtime.engine rt) - sent_at);
-      let proto = Runtime.proto rt e.Page_table.protocol in
-      (match mode with
-      | Access.Read -> proto.Protocol.read_server rt ~node ~page ~requester
-      | Access.Write -> proto.Protocol.write_server rt ~node ~page ~requester);
-      (Ack, Driver.Request)
+      Monitor.with_thread_span rt span (fun () ->
+          let e = Runtime.entry rt ~node ~page in
+          if Monitor.enabled rt then
+            Monitor.emit rt ~span
+              (Trace.Page_request
+                 {
+                   node;
+                   page;
+                   protocol = proto_name rt e;
+                   mode = Access.mode_to_string mode;
+                   requester;
+                 });
+          (* Record the request-propagation stage when this node is (likely)
+             the final server; forwarded requests are re-stamped per hop. *)
+          if e.Page_table.prob_owner = node || e.Page_table.home = node then
+            Stats.add_span rt.Runtime.instr Instrument.stage_request
+              Time.(Engine.now (Runtime.engine rt) - sent_at);
+          let proto = Runtime.proto rt e.Page_table.protocol in
+          (match mode with
+          | Access.Read -> proto.Protocol.read_server rt ~node ~page ~requester
+          | Access.Write -> proto.Protocol.write_server rt ~node ~page ~requester);
+          (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for request service"
 
 let on_send_page rt ~src:_ payload =
   match payload with
   | Page_data msg ->
       let node = handler_node rt in
-      Monitor.record rt ~category:"page" "node %d: page %d received from %d (%s)"
-        node msg.Protocol.page msg.Protocol.sender
-        (Access.to_string msg.Protocol.grant);
-      Stats.add_span rt.Runtime.instr Instrument.stage_transfer
-        Time.(Engine.now (Runtime.engine rt) - msg.Protocol.sent_at);
-      let e = Runtime.entry rt ~node ~page:msg.Protocol.page in
-      let proto = Runtime.proto rt e.Page_table.protocol in
-      proto.Protocol.receive_page_server rt ~node ~msg;
-      (Ack, Driver.Request)
+      Monitor.with_thread_span rt msg.Protocol.span (fun () ->
+          let e = Runtime.entry rt ~node ~page:msg.Protocol.page in
+          let protocol = proto_name rt e in
+          if Monitor.enabled rt then
+            Monitor.emit rt ~span:msg.Protocol.span
+              (Trace.Page_install
+                 {
+                   node;
+                   page = msg.Protocol.page;
+                   protocol;
+                   sender = msg.Protocol.sender;
+                   grant = Access.to_string msg.Protocol.grant;
+                 });
+          let transfer = Time.(Engine.now (Runtime.engine rt) - msg.Protocol.sent_at) in
+          Stats.add_span rt.Runtime.instr Instrument.stage_transfer transfer;
+          Metrics.observe rt.Runtime.metrics ~node ~protocol
+            Instrument.m_page_transfer transfer;
+          let proto = Runtime.proto rt e.Page_table.protocol in
+          proto.Protocol.receive_page_server rt ~node ~msg;
+          (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for send_page service"
 
 let on_invalidate rt ~src:_ payload =
   match payload with
-  | Invalidate { page; sender } ->
+  | Invalidate { page; sender; span } ->
       let node = handler_node rt in
-      Monitor.record rt ~category:"invalidate" "node %d: invalidate page %d (from %d)"
-        node page sender;
-      let e = Runtime.entry rt ~node ~page in
-      let proto = Runtime.proto rt e.Page_table.protocol in
-      proto.Protocol.invalidate_server rt ~node ~page ~sender;
-      (Ack, Driver.Request)
+      Monitor.with_thread_span rt span (fun () ->
+          let e = Runtime.entry rt ~node ~page in
+          if Monitor.enabled rt then
+            Monitor.emit rt ~span
+              (Trace.Invalidate { node; page; protocol = proto_name rt e; sender });
+          let proto = Runtime.proto rt e.Page_table.protocol in
+          proto.Protocol.invalidate_server rt ~node ~page ~sender;
+          (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for invalidate service"
 
 let on_diffs rt ~src:_ payload =
   match payload with
   | Diffs { diffs; sender; release } ->
       let node = handler_node rt in
-      Monitor.record rt ~category:"diff" "node %d: %d diff(s) from %d%s" node
-        (List.length diffs) sender
-        (if release then " (release)" else "");
+      if Monitor.enabled rt then
+        Monitor.emit rt
+          (Trace.Diff
+             {
+               node;
+               pages = List.length diffs;
+               bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 diffs;
+               sender;
+               release;
+             });
       List.iter
         (fun diff ->
           let e = Runtime.entry rt ~node ~page:diff.Diff.page in
@@ -100,8 +133,9 @@ let on_diffs rt ~src:_ payload =
 
 let on_lock_acquire rt ~src:_ payload =
   match payload with
-  | Lock_op { lock; node = _; tid } ->
-      Monitor.record rt ~category:"lock" "acquire request: lock %d by thread %d" lock tid;
+  | Lock_op { lock; node; tid } ->
+      if Monitor.enabled rt then
+        Monitor.emit rt (Trace.Lock { node; lock; op = "acquire" });
       let ls = Runtime.lock_state rt lock in
       let marcel = Runtime.marcel rt in
       Marcel.Mutex.lock marcel ls.Runtime.lock_mutex;
@@ -117,7 +151,9 @@ let on_lock_acquire rt ~src:_ payload =
 
 let on_lock_release rt ~src:_ payload =
   match payload with
-  | Lock_op { lock; node = _; tid } ->
+  | Lock_op { lock; node; tid } ->
+      if Monitor.enabled rt then
+        Monitor.emit rt (Trace.Lock { node; lock; op = "release" });
       let ls = Runtime.lock_state rt lock in
       let marcel = Runtime.marcel rt in
       Marcel.Mutex.lock marcel ls.Runtime.lock_mutex;
@@ -137,7 +173,7 @@ let on_lock_release rt ~src:_ payload =
 let on_barrier rt ~src:_ payload =
   match payload with
   | Barrier_wait { barrier; node } ->
-      Monitor.record rt ~category:"barrier" "barrier %d: node %d arrived" barrier node;
+      if Monitor.enabled rt then Monitor.emit rt (Trace.Barrier { node; barrier });
       let bs = Runtime.barrier_state rt barrier in
       let marcel = Runtime.marcel rt in
       Marcel.Mutex.lock marcel bs.Runtime.barrier_mutex;
@@ -180,11 +216,18 @@ let send_request rt ~to_ ~page ~mode ~requester =
   let srv = (Runtime.services rt).Runtime.srv_request in
   Rpc.oneway (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
     (Page_request
-       { page; mode; requester; sent_at = Engine.now (Runtime.engine rt) })
+       {
+         page;
+         mode;
+         requester;
+         sent_at = Engine.now (Runtime.engine rt);
+         span = Monitor.current_span rt;
+       })
 
 let send_page rt ~to_ ~page ~grant ~ownership ~copyset ~req_mode =
   let node = Runtime.self_node rt in
   let data = Bytes.copy (Frame_store.frame (Runtime.store rt node) page) in
+  let span = Monitor.current_span rt in
   let msg =
     {
       Protocol.page;
@@ -195,27 +238,44 @@ let send_page rt ~to_ ~page ~grant ~ownership ~copyset ~req_mode =
       sender = node;
       req_mode;
       sent_at = Engine.now (Runtime.engine rt);
+      span;
     }
   in
   Stats.incr rt.Runtime.instr Instrument.pages_sent;
+  let protocol = proto_name rt (Runtime.entry rt ~node ~page) in
+  Metrics.incr rt.Runtime.metrics ~node ~protocol Instrument.m_pages_sent;
+  if Monitor.enabled rt then
+    Monitor.emit rt ~span
+      (Trace.Page_send
+         {
+           node;
+           page;
+           protocol;
+           dst = to_;
+           bytes = Bytes.length data;
+           grant = Access.to_string grant;
+         });
   let srv = (Runtime.services rt).Runtime.srv_send_page in
   Rpc.oneway (Runtime.rpc rt) ~dst:to_ ~service:srv
     ~cost:(Driver.Bulk (Bytes.length data))
     (Page_data msg)
 
-let call_invalidate rt ~to_ ~page =
+let call_invalidate rt ?span ~to_ ~page () =
   let node = Runtime.self_node rt in
+  let span = match span with Some s -> s | None -> Monitor.current_span rt in
   Stats.incr rt.Runtime.instr Instrument.invalidations;
+  Metrics.incr rt.Runtime.metrics ~node Instrument.m_invalidations;
   let srv = (Runtime.services rt).Runtime.srv_invalidate in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
-       (Invalidate { page; sender = node }))
+       (Invalidate { page; sender = node; span }))
 
 let call_diffs rt ~to_ ~diffs ~release =
   let node = Runtime.self_node rt in
   let bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 diffs in
   Stats.add rt.Runtime.instr Instrument.diffs_sent (List.length diffs);
   Stats.add rt.Runtime.instr Instrument.diff_bytes bytes;
+  Metrics.add rt.Runtime.metrics ~node Instrument.m_diffs (List.length diffs);
   let srv = (Runtime.services rt).Runtime.srv_diffs in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:(Driver.Bulk bytes)

@@ -15,16 +15,20 @@ open Dsmpm2_sim
 open Dsmpm2_pm2
 open Dsmpm2_mem
 
-(** The DSM message vocabulary, as extensions of the RPC payload type. *)
+(** The DSM message vocabulary, as extensions of the RPC payload type.
+    Requests and invalidations carry the causal span id of the fault that
+    triggered them, so the whole remote access can be followed across
+    nodes in the trace. *)
 type Rpc.payload +=
   | Page_request of {
       page : int;
       mode : Access.mode;
       requester : int;
       sent_at : Time.t;
+      span : int;
     }
   | Page_data of Protocol.page_message
-  | Invalidate of { page : int; sender : int }
+  | Invalidate of { page : int; sender : int; span : int }
   | Diffs of { diffs : Diff.t list; sender : int; release : bool }
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
@@ -53,8 +57,10 @@ val send_page :
 (** Sends this node's current copy of [page] (cost: one bulk transfer of a
     page).  Dispatches to the receiver protocol's [receive_page_server]. *)
 
-val call_invalidate : Runtime.t -> to_:int -> page:int -> unit
-(** Synchronous invalidation (waits for the ack). *)
+val call_invalidate : Runtime.t -> ?span:int -> to_:int -> page:int -> unit -> unit
+(** Synchronous invalidation (waits for the ack).  [span] defaults to the
+    calling thread's current span; pass it explicitly when fanning out
+    from helper threads. *)
 
 val call_diffs : Runtime.t -> to_:int -> diffs:Diff.t list -> release:bool -> unit
 (** Sends diffs to their (common) home node and waits for the ack.  The home

@@ -1,3 +1,4 @@
+open Dsmpm2_sim
 open Dsmpm2_net
 open Dsmpm2_pm2
 
@@ -28,12 +29,16 @@ let lock_acquire rt id =
   let node = Runtime.self_node rt in
   let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
   let services = Runtime.services rt in
+  let started = Engine.now (Runtime.engine rt) in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
        ~service:services.Runtime.srv_lock_acquire ~cost:Driver.Request
        (Dsm_comm.Lock_op { lock = id; node; tid }));
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
-  proto.Protocol.lock_acquire rt ~node ~lock:id
+  proto.Protocol.lock_acquire rt ~node ~lock:id;
+  let waited = Time.(Engine.now (Runtime.engine rt) - started) in
+  Stats.add_span rt.Runtime.instr Instrument.lock_wait waited;
+  Metrics.observe rt.Runtime.metrics ~node Instrument.m_lock_wait waited
 
 let lock_release rt id =
   let ls = Runtime.lock_state rt id in
@@ -79,8 +84,12 @@ let barrier_wait rt id =
   let hook = barrier_hook_id id in
   proto.Protocol.lock_release rt ~node ~lock:hook;
   let services = Runtime.services rt in
+  let started = Engine.now (Runtime.engine rt) in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:bs.Runtime.barrier_manager
        ~service:services.Runtime.srv_barrier ~cost:Driver.Request
        (Dsm_comm.Barrier_wait { barrier = id; node }));
+  let waited = Time.(Engine.now (Runtime.engine rt) - started) in
+  Stats.add_span rt.Runtime.instr Instrument.barrier_wait waited;
+  Metrics.observe rt.Runtime.metrics ~node Instrument.m_barrier_wait waited;
   proto.Protocol.lock_acquire rt ~node ~lock:hook

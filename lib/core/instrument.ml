@@ -15,6 +15,20 @@ let diffs_sent = "diff.sent"
 let diff_bytes = "diff.bytes"
 let check_misses = "check.miss"
 let inline_checks = "check.count"
+let lock_wait = "sync.lock.wait"
+let barrier_wait = "sync.barrier.wait"
+
+(* Labeled metric names (per-node / per-protocol series in the runtime's
+   Metrics registry). *)
+let m_fault_latency = "dsm.fault.latency"
+let m_read_faults = "dsm.fault.read"
+let m_write_faults = "dsm.fault.write"
+let m_pages_sent = "dsm.page.sent"
+let m_page_transfer = "dsm.page.transfer"
+let m_invalidations = "dsm.invalidate"
+let m_diffs = "dsm.diff"
+let m_lock_wait = "dsm.lock.wait"
+let m_barrier_wait = "dsm.barrier.wait"
 
 let row ppf stats name key =
   Format.fprintf ppf "%-20s %8.1f@." name (Time.to_us (Stats.span_mean stats key))
@@ -33,3 +47,29 @@ let pp_migration_breakdown ppf stats =
   row ppf stats "Thread migration" stage_migration;
   row ppf stats "Protocol overhead" stage_overhead_client;
   row ppf stats "Total" stage_total
+
+let stages =
+  [
+    stage_fault;
+    stage_request;
+    stage_transfer;
+    stage_overhead_server;
+    stage_overhead_client;
+    stage_migration;
+    stage_total;
+  ]
+
+let pp_stage_percentiles ppf stats =
+  Format.fprintf ppf "%-28s %8s %10s %10s %10s %10s@." "stage" "samples" "p50"
+    "p90" "p99" "max";
+  List.iter
+    (fun key ->
+      let s = Stats.span_summary stats key in
+      if s.Stats.sm_samples > 0 then
+        Format.fprintf ppf "%-28s %8d %10.1f %10.1f %10.1f %10.1f@." key
+          s.Stats.sm_samples
+          (Time.to_us s.Stats.sm_p50)
+          (Time.to_us s.Stats.sm_p90)
+          (Time.to_us s.Stats.sm_p99)
+          (Time.to_us s.Stats.sm_max))
+    stages

@@ -36,8 +36,40 @@ val diff_bytes : string
 val check_misses : string
 val inline_checks : string
 
+val lock_wait : string
+(** Client-observed DSM lock acquisition latency (request to grant). *)
+
+val barrier_wait : string
+(** Client-observed barrier latency (arrival to release). *)
+
+(** {2 Labeled metric names}
+
+    Series recorded in the runtime's {!Dsmpm2_sim.Metrics} registry with
+    node and protocol labels. *)
+
+val m_fault_latency : string
+(** Whole-fault latency histogram, per (node, protocol). *)
+
+val m_read_faults : string
+val m_write_faults : string
+val m_pages_sent : string
+val m_page_transfer : string
+(** Transfer-stage latency histogram, per (node, protocol). *)
+
+val m_invalidations : string
+val m_diffs : string
+val m_lock_wait : string
+val m_barrier_wait : string
+
+val stages : string list
+(** All stage span names, in pipeline order. *)
+
 val pp_page_breakdown : Format.formatter -> Stats.t -> unit
 (** Mean per-stage costs in the row layout of the paper's Table 3. *)
 
 val pp_migration_breakdown : Format.formatter -> Stats.t -> unit
 (** Mean per-stage costs in the row layout of the paper's Table 4. *)
+
+val pp_stage_percentiles : Format.formatter -> Stats.t -> unit
+(** The latency distribution (p50/p90/p99/max) of every stage with
+    samples — the tail-latency view the mean-only tables hide. *)

@@ -1,12 +1,40 @@
 open Dsmpm2_sim
+open Dsmpm2_net
 open Dsmpm2_pm2
 
 let trace rt = Pm2.trace rt.Runtime.pm2
 let enable rt on = Trace.enable (trace rt) on
 let enabled rt = Trace.enabled (trace rt)
+let metrics rt = rt.Runtime.metrics
 
 let record rt ~category fmt =
   Trace.recordf (trace rt) (Runtime.engine rt) ~category fmt
+
+(* --- spans ---
+
+   The span of the operation a Marcel thread is currently working on; set
+   by the fault path and by the RPC handlers from the span carried in the
+   incoming message, so one remote access keeps one id across nodes. *)
+
+let self_tid rt = Marcel.tid (Marcel.self (Runtime.marcel rt))
+let new_span rt = Trace.new_span (trace rt)
+let current_span rt = Trace.thread_span (trace rt) ~tid:(self_tid rt)
+
+let with_thread_span rt span f =
+  let tr = trace rt in
+  if not (Trace.enabled tr) then f ()
+  else begin
+    let tid = self_tid rt in
+    let previous = Trace.thread_span tr ~tid in
+    Trace.set_thread_span tr ~tid span;
+    Fun.protect ~finally:(fun () -> Trace.set_thread_span tr ~tid previous) f
+  end
+
+let emit rt ?span event =
+  let tr = trace rt in
+  if Trace.enabled tr then
+    let span = match span with Some s -> s | None -> current_span rt in
+    Trace.emit tr (Runtime.engine rt) ~span event
 
 type summary_line = {
   category : string;
@@ -41,11 +69,46 @@ let report ppf rt =
       Format.fprintf ppf "%-16s %8d %12.1f %12.1f@." l.category l.events l.first_us
         l.last_us)
     (summary rt);
-  Format.fprintf ppf "@.Per-stage costs (mean):@.";
+  Format.fprintf ppf "@.Per-stage costs (us):@.";
+  Format.fprintf ppf "%-28s %8s %10s %10s %10s %10s %10s@." "stage" "samples"
+    "mean" "p50" "p90" "p99" "max";
   List.iter
-    (fun (name, total, n) ->
-      if n > 0 then
-        Format.fprintf ppf "%-28s %10.1f us x %d@." name
-          (Time.to_us total /. float_of_int n)
-          n)
-    (Stats.spans rt.Runtime.instr)
+    (fun s ->
+      if s.Stats.sm_samples > 0 then
+        Format.fprintf ppf "%-28s %8d %10.1f %10.1f %10.1f %10.1f %10.1f@."
+          s.Stats.sm_name s.Stats.sm_samples
+          (Time.to_us s.Stats.sm_mean)
+          (Time.to_us s.Stats.sm_p50)
+          (Time.to_us s.Stats.sm_p90)
+          (Time.to_us s.Stats.sm_p99)
+          (Time.to_us s.Stats.sm_max))
+    (Stats.span_summaries rt.Runtime.instr)
+
+(* --- JSON snapshot --- *)
+
+let to_json ?experiment rt =
+  let net = Pm2.network rt.Runtime.pm2 in
+  let tr = trace rt in
+  Json.Obj
+    (List.concat
+       [
+         (match experiment with
+         | Some e -> [ ("experiment", Json.String e) ]
+         | None -> []);
+         [
+           ("sim_time_us", Json.Float (Pm2.now_us rt.Runtime.pm2));
+           ("nodes", Json.Int (Runtime.nodes rt));
+           ("migrations", Json.Int (Pm2.migrations rt.Runtime.pm2));
+           ("stats", Stats.to_json rt.Runtime.instr);
+           ("metrics", Metrics.to_json rt.Runtime.metrics);
+           ( "network",
+             Json.Obj
+               [
+                 ("messages", Json.Int (Network.messages_sent net));
+                 ("bytes", Json.Int (Network.bytes_sent net));
+                 ("stats", Stats.to_json (Network.stats net));
+                 ("metrics", Metrics.to_json (Network.metrics net));
+               ] );
+           ("trace_events", Json.Int (Trace.length tr));
+         ];
+       ])

@@ -5,19 +5,43 @@
 
     When enabled, the DSM layers record every protocol-level event (faults,
     requests served, pages sent, invalidations, diffs, lock and barrier
-    traffic) into the runtime's trace; after the run, [report] summarises
-    them per category, and the raw trace remains available for fine-grained
-    inspection. *)
+    traffic) as typed {!Dsmpm2_sim.Trace.event}s into the runtime's trace;
+    after the run, [report] summarises them per category, [to_json] exports
+    a stable metrics snapshot, and the raw trace remains available for
+    fine-grained inspection or export (JSONL, Chrome trace). *)
+
+open Dsmpm2_sim
 
 val enable : Runtime.t -> bool -> unit
 val enabled : Runtime.t -> bool
 
-val trace : Runtime.t -> Dsmpm2_sim.Trace.t
+val trace : Runtime.t -> Trace.t
 (** The raw event log (chronological). *)
+
+val metrics : Runtime.t -> Metrics.t
+(** The labeled (node, protocol) metrics registry. *)
 
 val record :
   Runtime.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Used by the core and the protocol library; free when disabled. *)
+(** Free-form trace line; free when disabled. *)
+
+val emit : Runtime.t -> ?span:int -> Trace.event -> unit
+(** Records a typed event; the span defaults to {!current_span}.  No-op
+    when disabled, but hot call sites should guard with {!enabled} so the
+    event value is not even allocated. *)
+
+(** {2 Span context} *)
+
+val new_span : Runtime.t -> int
+(** A fresh causal span id ([Trace.no_span] while monitoring is off). *)
+
+val current_span : Runtime.t -> int
+(** The span the calling Marcel thread is working on, or [Trace.no_span]. *)
+
+val with_thread_span : Runtime.t -> int -> (unit -> 'a) -> 'a
+(** Runs [f] with the calling thread's span set (restored afterwards). *)
+
+(** {2 Reports} *)
 
 type summary_line = {
   category : string;
@@ -31,4 +55,10 @@ val summary : Runtime.t -> summary_line list
 
 val report : Format.formatter -> Runtime.t -> unit
 (** The post-mortem report: the per-category summary followed by the
-    per-stage mean costs accumulated by the instrumentation layer. *)
+    per-stage latency distribution (mean/p50/p90/p99/max) accumulated by
+    the instrumentation layer. *)
+
+val to_json : ?experiment:string -> Runtime.t -> Json.t
+(** Stable machine-readable snapshot: simulated time, migrations, the
+    instrumentation counters and span summaries (with percentiles), the
+    labeled metrics registry, and the network-layer series. *)

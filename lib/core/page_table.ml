@@ -1,3 +1,4 @@
+open Dsmpm2_sim
 open Dsmpm2_pm2
 
 type ext = ..
@@ -22,16 +23,28 @@ type t = {
   table_node : int;
   entries : (int, entry) Hashtbl.t;
   node_exts : (int, ext) Hashtbl.t;
+  mutable table_metrics : Metrics.t option;
 }
 
 exception Not_mapped of int
 
-let create ~node = { table_node = node; entries = Hashtbl.create 256; node_exts = Hashtbl.create 8 }
+let create ~node =
+  {
+    table_node = node;
+    entries = Hashtbl.create 256;
+    node_exts = Hashtbl.create 8;
+    table_metrics = None;
+  }
+
 let node t = t.table_node
+let set_metrics t m = t.table_metrics <- Some m
 
 let declare t ~page ~home ~owner ~protocol ~rights =
   if Hashtbl.mem t.entries page then
     invalid_arg (Printf.sprintf "Page_table.declare: page %d already mapped" page);
+  (match t.table_metrics with
+  | Some m -> Metrics.incr m ~node:t.table_node "page.mapped"
+  | None -> ());
   let entry =
     {
       page;

@@ -15,6 +15,7 @@
     per node: concurrent faults on one page coalesce, faults on different
     pages proceed in parallel. *)
 
+open Dsmpm2_sim
 open Dsmpm2_pm2
 
 type ext = ..
@@ -49,6 +50,10 @@ exception Not_mapped of int
 
 val create : node:int -> t
 val node : t -> int
+
+val set_metrics : t -> Metrics.t -> unit
+(** Attaches the runtime's metrics registry; [declare] then counts mapped
+    pages per node ("page.mapped"). *)
 
 val declare :
   t ->

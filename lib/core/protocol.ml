@@ -12,6 +12,7 @@ type page_message = {
   sender : int;
   req_mode : Access.mode;
   sent_at : Time.t;
+  span : int;
 }
 
 type 'rt t = {

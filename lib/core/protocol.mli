@@ -38,6 +38,7 @@ type page_message = {
   sender : int;
   req_mode : Access.mode;  (** the mode of the fault being satisfied *)
   sent_at : Time.t;  (** instrumentation: transfer-stage timing *)
+  span : int;  (** trace span of the originating fault, [Trace.no_span] if none *)
 }
 
 type 'rt t = {

@@ -67,15 +67,18 @@ let invalidate_copies rt ~page ~targets =
   let node = Runtime.self_node rt in
   let marcel = Runtime.marcel rt in
   let targets = List.sort_uniq compare (List.filter (fun n -> n <> node) targets) in
+  (* Helper threads have their own tids, so the caller's span would be lost;
+     capture it here and thread it through explicitly. *)
+  let span = Monitor.current_span rt in
   match targets with
   | [] -> ()
-  | [ target ] -> Dsm_comm.call_invalidate rt ~to_:target ~page
+  | [ target ] -> Dsm_comm.call_invalidate rt ~span ~to_:target ~page ()
   | targets ->
       let helpers =
         List.map
           (fun target ->
             Marcel.spawn marcel ~node (fun () ->
-                Dsm_comm.call_invalidate rt ~to_:target ~page))
+                Dsm_comm.call_invalidate rt ~span ~to_:target ~page ()))
           targets
       in
       List.iter (fun th -> Marcel.join marcel th) helpers

@@ -61,6 +61,7 @@ type t = {
   mutable default_protocol : int;
   costs : costs;
   instr : Stats.t;
+  metrics : Metrics.t;
   mutable services : services option;
   locks : (int, lock_state) Hashtbl.t;
   mutable next_lock : int;
@@ -75,15 +76,21 @@ and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool ->
 let create ?(costs = default_costs) pm2 =
   let n = Pm2.nodes pm2 in
   let geo = Page.geometry ~size:(Isoalloc.page_size (Pm2.iso pm2)) in
+  let metrics = Metrics.create () in
   {
     pm2;
     geo;
-    tables = Array.init n (fun node -> Page_table.create ~node);
+    tables =
+      Array.init n (fun node ->
+          let table = Page_table.create ~node in
+          Page_table.set_metrics table metrics;
+          table);
     stores = Array.init n (fun _ -> Frame_store.create ~geometry:geo);
     registry = Protocol.create_registry ();
     default_protocol = 0;
     costs;
     instr = Stats.create ();
+    metrics;
     services = None;
     locks = Hashtbl.create 16;
     next_lock = 0;

@@ -71,6 +71,8 @@ type t = {
   mutable default_protocol : int;
   costs : costs;
   instr : Stats.t;
+  metrics : Metrics.t;
+      (** labeled (per-node, per-protocol) counters and latency histograms *)
   mutable services : services option;  (** set once by {!Dsm_comm.init} *)
   locks : (int, lock_state) Hashtbl.t;
   mutable next_lock : int;

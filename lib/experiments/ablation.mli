@@ -59,3 +59,5 @@ type data = {
 
 val run : unit -> data
 val print : Format.formatter -> data -> unit
+
+val to_json : data -> Dsmpm2_sim.Json.t

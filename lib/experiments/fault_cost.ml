@@ -11,10 +11,15 @@ type row = {
   paper_us : float array;
 }
 
-type table = { policy : policy; drivers : string list; rows : row list }
+type table = {
+  policy : policy;
+  drivers : string list;
+  rows : row list;
+  summaries : (string * Stats.span_summary list) list;
+}
 
 (* One cold read fault: the page lives on node 1, a thread on node 0 reads
-   it.  Returns the stage spans (in us). *)
+   it.  Returns the stage spans (in us) and the full stage distributions. *)
 let one_fault ~driver ~policy =
   let dsm = Dsm.create ~nodes:2 ~driver () in
   let ids = Builtin.register_all dsm in
@@ -28,12 +33,13 @@ let one_fault ~driver ~policy =
   Dsm.run dsm;
   let stats = Dsm.stats dsm in
   let mean key = Time.to_us (Stats.span_mean stats key) in
-  ( mean Instrument.stage_fault,
-    mean Instrument.stage_request,
-    mean Instrument.stage_transfer,
-    mean Instrument.stage_migration,
-    mean Instrument.stage_overhead_server +. mean Instrument.stage_overhead_client,
-    mean Instrument.stage_total )
+  ( ( mean Instrument.stage_fault,
+      mean Instrument.stage_request,
+      mean Instrument.stage_transfer,
+      mean Instrument.stage_migration,
+      mean Instrument.stage_overhead_server +. mean Instrument.stage_overhead_client,
+      mean Instrument.stage_total ),
+    List.map (Stats.span_summary stats) Instrument.stages )
 
 (* The paper's Tables 3 and 4, in the same column order as Driver.all. *)
 let paper_page_transfer =
@@ -54,7 +60,11 @@ let paper_thread_migration =
   ]
 
 let run policy =
-  let columns = List.map (fun driver -> one_fault ~driver ~policy) Driver.all in
+  let measured = List.map (fun driver -> one_fault ~driver ~policy) Driver.all in
+  let columns = List.map fst measured in
+  let summaries =
+    List.map2 (fun d (_, s) -> (d.Driver.name, s)) Driver.all measured
+  in
   let col f = Array.of_list (List.map f columns) in
   let rows =
     match policy with
@@ -86,6 +96,7 @@ let run policy =
       List.map2
         (fun (operation, measured_us) (_, paper_us) -> { operation; measured_us; paper_us })
         rows paper;
+    summaries;
   }
 
 let print ppf t =
@@ -108,6 +119,46 @@ let print ppf t =
         row.measured_us;
       Format.fprintf ppf "@.")
     t.rows
+
+let policy_name = function
+  | Page_transfer -> "page_transfer"
+  | Thread_migration -> "thread_migration"
+
+let to_json t =
+  Json.Obj
+    [
+      ("policy", Json.String (policy_name t.policy));
+      ("drivers", Json.List (List.map (fun d -> Json.String d) t.drivers));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ("operation", Json.String row.operation);
+                   ( "measured_us",
+                     Json.List
+                       (Array.to_list
+                          (Array.map (fun x -> Json.Float x) row.measured_us)) );
+                   ( "paper_us",
+                     Json.List
+                       (Array.to_list
+                          (Array.map (fun x -> Json.Float x) row.paper_us)) );
+                 ])
+             t.rows) );
+      ( "stage_latencies",
+        Json.Obj
+          (List.map
+             (fun (driver, summaries) ->
+               ( driver,
+                 Json.List
+                   (List.filter_map
+                      (fun s ->
+                        if s.Stats.sm_samples = 0 then None
+                        else Some (Stats.summary_to_json s))
+                      summaries) ))
+             t.summaries) );
+    ]
 
 let last_row t =
   match List.rev t.rows with

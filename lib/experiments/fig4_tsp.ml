@@ -69,3 +69,26 @@ let print ppf data =
         "migrate_thread, %d nodes: %d migrations, %d/%d workers ended on node 0@."
         c.nodes c.migrations c.workers_on_node0 c.nodes)
     mt
+
+let to_json t =
+  let open Dsmpm2_sim in
+  Json.Obj
+    [
+      ("cities", Json.Int t.cities);
+      ("seed", Json.Int t.seed);
+      ("sequential_best", Json.Int t.sequential_best);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("protocol", Json.String c.protocol);
+                   ("nodes", Json.Int c.nodes);
+                   ("time_ms", Json.Float c.time_ms);
+                   ("best", Json.Int c.best);
+                   ("migrations", Json.Int c.migrations);
+                   ("workers_on_node0", Json.Int c.workers_on_node0);
+                 ])
+             t.cells) );
+    ]

@@ -25,3 +25,5 @@ val run : ?cities:int -> ?seed:int -> ?node_counts:int list -> unit -> data
 (** Defaults: 14 cities, seed 42, nodes [1; 2; 4; 8]. *)
 
 val print : Format.formatter -> data -> unit
+
+val to_json : data -> Dsmpm2_sim.Json.t

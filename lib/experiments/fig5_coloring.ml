@@ -60,3 +60,25 @@ let print ppf data =
   let check = List.for_all (fun c -> c.best_cost = data.sequential_best) data.cells in
   Format.fprintf ppf "All runs found the optimal colouring cost (%d): %b@."
     data.sequential_best check
+
+let to_json t =
+  let open Dsmpm2_sim in
+  Json.Obj
+    [
+      ("sequential_best", Json.Int t.sequential_best);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("protocol", Json.String c.protocol);
+                   ("nodes", Json.Int c.nodes);
+                   ("time_ms", Json.Float c.time_ms);
+                   ("best_cost", Json.Int c.best_cost);
+                   ("gets", Json.Int c.gets);
+                   ("inline_checks", Json.Int c.inline_checks);
+                   ("read_faults", Json.Int c.read_faults);
+                 ])
+             t.cells) );
+    ]

@@ -23,3 +23,5 @@ val run : ?node_counts:int list -> unit -> data
 (** Default node counts: [1; 2; 4] (the paper uses a four-node cluster). *)
 
 val print : Format.formatter -> data -> unit
+
+val to_json : data -> Dsmpm2_sim.Json.t

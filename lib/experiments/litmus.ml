@@ -131,5 +131,18 @@ let print ppf cells =
          else if protocol = "write_update" then
            "   (processor consistency: MP forbidden, SB allowed)"
          else "   (relaxed model: stale reads allowed without sync)"))
-    all_protocols;
-  ignore kind_name
+    all_protocols
+
+let to_json cells =
+  let open Dsmpm2_sim in
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("protocol", Json.String c.protocol);
+             ("kind", Json.String (kind_name c.kind));
+             ("configurations", Json.Int c.configurations);
+             ("violations", Json.Int c.violations);
+           ])
+       cells)

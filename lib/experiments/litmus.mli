@@ -56,3 +56,5 @@ val sequentially_consistent_protocols : string list
     violations. *)
 
 val print : Format.formatter -> cell list -> unit
+
+val to_json : cell list -> Dsmpm2_sim.Json.t

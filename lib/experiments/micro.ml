@@ -75,3 +75,18 @@ let print ppf rows =
       Format.fprintf ppf "%-18s %10.1f %a %12.1f %a@." r.driver r.null_rpc_us
         pp_opt r.paper_null_rpc_us r.migration_us pp_opt r.paper_migration_us)
     rows
+
+let to_json rows =
+  let opt = function Some x -> Json.Float x | None -> Json.Null in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("driver", Json.String r.driver);
+             ("null_rpc_us", Json.Float r.null_rpc_us);
+             ("paper_null_rpc_us", opt r.paper_null_rpc_us);
+             ("migration_us", Json.Float r.migration_us);
+             ("paper_migration_us", opt r.paper_migration_us);
+           ])
+       rows)

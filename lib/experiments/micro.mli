@@ -16,3 +16,5 @@ type row = {
 
 val run : unit -> row list
 val print : Format.formatter -> row list -> unit
+
+val to_json : row list -> Dsmpm2_sim.Json.t

@@ -178,3 +178,21 @@ let print ppf cells =
               c.diff_bytes)
         cells)
     patterns
+
+let to_json cells =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("pattern", Json.String c.pattern);
+             ("protocol", Json.String c.protocol);
+             ("time_ms", Json.Float c.time_ms);
+             ("correct", Json.Bool c.correct);
+             ("read_faults", Json.Int c.read_faults);
+             ("write_faults", Json.Int c.write_faults);
+             ("pages_sent", Json.Int c.pages_sent);
+             ("diff_bytes", Json.Int c.diff_bytes);
+             ("messages", Json.Int c.messages);
+           ])
+       cells)

@@ -38,3 +38,5 @@ val protocols : string list
 val run_one : pattern:string -> protocol:string -> cell
 val run : unit -> cell list
 val print : Format.formatter -> cell list -> unit
+
+val to_json : cell list -> Dsmpm2_sim.Json.t

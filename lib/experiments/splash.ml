@@ -87,3 +87,21 @@ let print ppf cells =
         c.protocol c.time_ms c.correct c.read_faults c.write_faults c.pages
         c.diff_bytes)
     cells
+
+let to_json cells =
+  let open Dsmpm2_sim in
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("kernel", Json.String c.kernel);
+             ("protocol", Json.String c.protocol);
+             ("time_ms", Json.Float c.time_ms);
+             ("correct", Json.Bool c.correct);
+             ("read_faults", Json.Int c.read_faults);
+             ("write_faults", Json.Int c.write_faults);
+             ("pages", Json.Int c.pages);
+             ("diff_bytes", Json.Int c.diff_bytes);
+           ])
+       cells)

@@ -15,3 +15,5 @@ type cell = {
 
 val run : unit -> cell list
 val print : Format.formatter -> cell list -> unit
+
+val to_json : cell list -> Dsmpm2_sim.Json.t

@@ -10,6 +10,7 @@ type t = {
   mutable sent : int;
   mutable bytes : int;
   net_stats : Stats.t;
+  net_metrics : Metrics.t;
 }
 
 let create ?jitter eng ~driver ~nodes =
@@ -23,6 +24,7 @@ let create ?jitter eng ~driver ~nodes =
     sent = 0;
     bytes = 0;
     net_stats = Stats.create ();
+    net_metrics = Metrics.create ();
   }
 
 let driver t = t.net_driver
@@ -30,6 +32,7 @@ let nodes t = t.nnodes
 let messages_sent t = t.sent
 let bytes_sent t = t.bytes
 let stats t = t.net_stats
+let metrics t = t.net_metrics
 
 let kind_name = function
   | Driver.Null_rpc -> "msg.null_rpc"
@@ -47,6 +50,8 @@ let send t ~src ~dst ~cost k =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + payload_bytes cost;
   Stats.incr t.net_stats (kind_name cost);
+  Metrics.incr t.net_metrics ~node:src "net.sent";
+  Metrics.add t.net_metrics ~node:src "net.bytes" (payload_bytes cost);
   if src = dst then Engine.after t.eng Time.zero k
   else begin
     let delay = Driver.delay t.net_driver cost in
@@ -65,5 +70,11 @@ let send t ~src ~dst ~cost k =
         Time.(t.last_delivery.(link) + Time.of_ns 1)
     in
     t.last_delivery.(link) <- arrival;
+    (* The wire-plus-queueing latency this message actually experiences:
+       the tail of these histograms is where link contention shows up. *)
+    let latency = Time.(arrival - Engine.now t.eng) in
+    Stats.add_span t.net_stats "net.delay" latency;
+    Stats.add_span t.net_stats (kind_name cost ^ ".delay") latency;
+    Metrics.observe t.net_metrics ~node:src "net.delay" latency;
     Engine.at t.eng arrival k
   end

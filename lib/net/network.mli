@@ -32,4 +32,10 @@ val bytes_sent : t -> int
 (** Counts payload bytes of [Bulk] and [Migration] messages. *)
 
 val stats : t -> Stats.t
-(** Per-kind message counters ("msg.request", "msg.bulk", ...). *)
+(** Per-kind message counters ("msg.request", "msg.bulk", ...) plus
+    delivery-latency spans: "net.delay" overall and "<kind>.delay" per
+    message kind, including FIFO queueing behind earlier link traffic. *)
+
+val metrics : t -> Metrics.t
+(** Per-source-node labeled series: "net.sent", "net.bytes" counters and
+    the "net.delay" latency histogram. *)

@@ -47,8 +47,10 @@ let migrate t ~dst =
   if src <> dst then begin
     Marcel.flush_charges t.marcel;
     t.migrations <- t.migrations + 1;
-    Trace.recordf t.pm2_trace t.eng ~category:"migrate" "thread %d: node %d -> %d"
-      (Marcel.tid th) src dst;
+    if Trace.enabled t.pm2_trace then
+      Trace.emit t.pm2_trace t.eng
+        ~span:(Trace.thread_span t.pm2_trace ~tid:(Marcel.tid th))
+        (Trace.Migration { thread = Marcel.tid th; src; dst });
     Engine.suspend t.eng (fun resume ->
         Network.send t.net ~src ~dst
           ~cost:(Driver.Migration (Marcel.footprint_bytes th))

@@ -1,0 +1,280 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing --- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+      if not (Float.is_finite x) then
+        (* JSON has no nan/inf; degrade to null rather than emit garbage. *)
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr x)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Pretty printing with two-space indentation, for human-facing files. *)
+let rec write_pretty buf indent = function
+  | List (_ :: _ as xs) ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "  ";
+          write_pretty buf (indent + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf ']'
+  | Obj (_ :: _ as fields) ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "  \"";
+          escape buf k;
+          Buffer.add_string buf "\": ";
+          write_pretty buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '}'
+  | t -> write buf t
+
+let to_string_pretty t =
+  let buf = Buffer.create 1024 in
+  write_pretty buf 0 t;
+  Buffer.contents buf
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string_pretty t);
+      output_char oc '\n')
+
+(* --- parsing (recursive descent; enough for this library's own output) --- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %c" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.pos <- c.pos + 1; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; c.pos <- c.pos + 1; loop ()
+        | Some '/' -> Buffer.add_char buf '/'; c.pos <- c.pos + 1; loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; c.pos <- c.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; c.pos <- c.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; c.pos <- c.pos + 1; loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; c.pos <- c.pos + 1; loop ()
+        | Some 'u' ->
+            if c.pos + 5 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape"
+            in
+            (* ASCII only; non-ASCII escapes degrade to '?'. *)
+            Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+            c.pos <- c.pos + 5;
+            loop ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' ->
+      c.pos <- c.pos + 1;
+      String (parse_string_body c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected , or ]"
+        in
+        items []
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else
+        let field () =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              fields (kv :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              Obj (List.rev (kv :: acc))
+          | _ -> fail c "expected , or }"
+        in
+        fields []
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  try
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage" else Ok v
+  with Parse_error msg -> Error msg
+
+(* --- accessors --- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

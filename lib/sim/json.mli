@@ -1,0 +1,41 @@
+(** A minimal JSON representation for the observability exporters.
+
+    The container deliberately carries no external JSON dependency, so the
+    trace and metrics exporters build values of this type and print them
+    with {!to_string}.  The parser exists for the round-trip tests and for
+    external tooling written against the JSONL trace dump; it handles
+    exactly the subset this library emits (ASCII strings, flat escapes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  [Float nan/inf] degrade to [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering for files meant to be read by humans. *)
+
+val to_file : string -> t -> unit
+(** Writes {!to_string_pretty} plus a trailing newline to [path]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parser for this module's own output. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on non-objects and missing fields. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,78 @@
+type labels = { lbl_node : int option; lbl_protocol : string option }
+
+let no_labels = { lbl_node = None; lbl_protocol = None }
+let labels ?node ?protocol () = { lbl_node = node; lbl_protocol = protocol }
+
+let compare_labels a b =
+  let c = Option.compare Int.compare a.lbl_node b.lbl_node in
+  if c <> 0 then c else Option.compare String.compare a.lbl_protocol b.lbl_protocol
+
+type t = { groups : (labels, Stats.t) Hashtbl.t }
+
+let create () = { groups = Hashtbl.create 16 }
+
+let group t labels =
+  match Hashtbl.find_opt t.groups labels with
+  | Some s -> s
+  | None ->
+      let s = Stats.create () in
+      Hashtbl.add t.groups labels s;
+      s
+
+let stats t ?node ?protocol () = group t (labels ?node ?protocol ())
+let incr t ?node ?protocol name = Stats.incr (stats t ?node ?protocol ()) name
+let add t ?node ?protocol name n = Stats.add (stats t ?node ?protocol ()) name n
+
+let observe t ?node ?protocol name dt =
+  Stats.add_span (stats t ?node ?protocol ()) name dt
+
+let count t ?node ?protocol name = Stats.count (stats t ?node ?protocol ()) name
+
+let percentile t ?node ?protocol name p =
+  Stats.span_percentile (stats t ?node ?protocol ()) name p
+
+let all t =
+  Hashtbl.fold (fun labels s acc -> (labels, s) :: acc) t.groups []
+  |> List.sort (fun (a, _) (b, _) -> compare_labels a b)
+
+let total t name =
+  Hashtbl.fold (fun _ s acc -> acc + Stats.count s name) t.groups 0
+
+let samples t name =
+  Hashtbl.fold (fun _ s acc -> acc + Stats.span_samples s name) t.groups 0
+
+let reset t = Hashtbl.reset t.groups
+
+let labels_to_json l =
+  Json.Obj
+    (List.concat
+       [
+         (match l.lbl_node with Some n -> [ ("node", Json.Int n) ] | None -> []);
+         (match l.lbl_protocol with
+         | Some p -> [ ("protocol", Json.String p) ]
+         | None -> []);
+       ])
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun (l, s) ->
+         Json.Obj [ ("labels", labels_to_json l); ("stats", Stats.to_json s) ])
+       (all t))
+
+let pp_labels ppf l =
+  let parts =
+    List.concat
+      [
+        (match l.lbl_node with Some n -> [ Printf.sprintf "node=%d" n ] | None -> []);
+        (match l.lbl_protocol with
+        | Some p -> [ Printf.sprintf "protocol=%s" p ]
+        | None -> []);
+      ]
+  in
+  Format.fprintf ppf "{%s}" (String.concat "," parts)
+
+let pp ppf t =
+  List.iter
+    (fun (l, s) -> Format.fprintf ppf "%a@.%a" pp_labels l Stats.pp s)
+    (all t)

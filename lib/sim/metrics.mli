@@ -1,0 +1,46 @@
+(** A typed metrics registry: {!Stats} sharded by label set.
+
+    The observability layer labels each counter and latency histogram with
+    the node it happened on and the consistency protocol that caused it, so
+    questions like "what is the p99 fault latency of [hbrc_mw] on node 3"
+    can be answered post-mortem.  A label set maps to one {!Stats.t}; the
+    unlabeled group ([no_labels]) holds process-wide series. *)
+
+type labels = { lbl_node : int option; lbl_protocol : string option }
+
+val no_labels : labels
+val labels : ?node:int -> ?protocol:string -> unit -> labels
+
+type t
+
+val create : unit -> t
+
+val group : t -> labels -> Stats.t
+(** The stats shard for a label set, created on first use. *)
+
+val incr : t -> ?node:int -> ?protocol:string -> string -> unit
+val add : t -> ?node:int -> ?protocol:string -> string -> int -> unit
+
+val observe : t -> ?node:int -> ?protocol:string -> string -> Time.t -> unit
+(** Files a duration sample into the labeled histogram. *)
+
+val count : t -> ?node:int -> ?protocol:string -> string -> int
+val percentile : t -> ?node:int -> ?protocol:string -> string -> float -> Time.t
+
+val total : t -> string -> int
+(** Sum of a counter across every label group. *)
+
+val samples : t -> string -> int
+(** Sum of a span's sample count across every label group. *)
+
+val all : t -> (labels * Stats.t) list
+(** Deterministically ordered (by node, then protocol). *)
+
+val reset : t -> unit
+
+val labels_to_json : labels -> Json.t
+val to_json : t -> Json.t
+(** [[{"labels": {...}, "stats": {...}}, ...]] in {!all} order. *)
+
+val pp_labels : Format.formatter -> labels -> unit
+val pp : Format.formatter -> t -> unit

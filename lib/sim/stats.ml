@@ -1,6 +1,25 @@
+(* Fixed latency-histogram buckets: a 1-2-5 progression from 500 ns to 1 s.
+   Samples above the last bound land in an overflow bucket whose effective
+   upper edge is the observed maximum. *)
+let bucket_bounds =
+  [|
+    500; 1_000; 2_000; 5_000; 10_000; 20_000; 50_000; 100_000; 200_000;
+    500_000; 1_000_000; 2_000_000; 5_000_000; 10_000_000; 20_000_000;
+    50_000_000; 100_000_000; 200_000_000; 500_000_000; 1_000_000_000;
+  |]
+
+let nbuckets = Array.length bucket_bounds + 1
+
+type span = {
+  mutable sp_total : Time.t;
+  mutable sp_samples : int;
+  mutable sp_max : Time.t;
+  sp_buckets : int array;
+}
+
 type t = {
   counts : (string, int ref) Hashtbl.t;
-  durations : (string, (Time.t * int) ref) Hashtbl.t;
+  durations : (string, span) Hashtbl.t;
 }
 
 let create () = { counts = Hashtbl.create 16; durations = Hashtbl.create 16 }
@@ -19,42 +38,168 @@ let count t name = match Hashtbl.find_opt t.counts name with Some r -> !r | None
 
 let span t name =
   match Hashtbl.find_opt t.durations name with
-  | Some r -> r
+  | Some s -> s
   | None ->
-      let r = ref (Time.zero, 0) in
-      Hashtbl.add t.durations name r;
-      r
+      let s =
+        {
+          sp_total = Time.zero;
+          sp_samples = 0;
+          sp_max = Time.zero;
+          sp_buckets = Array.make nbuckets 0;
+        }
+      in
+      Hashtbl.add t.durations name s;
+      s
+
+let bucket_index dt =
+  let rec go i =
+    if i >= Array.length bucket_bounds then i
+    else if dt <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
 
 let add_span t name dt =
-  let r = span t name in
-  let total, n = !r in
-  r := (Time.(total + dt), n + 1)
+  let s = span t name in
+  s.sp_total <- Time.(s.sp_total + dt);
+  s.sp_samples <- s.sp_samples + 1;
+  if dt > s.sp_max then s.sp_max <- dt;
+  let i = bucket_index dt in
+  s.sp_buckets.(i) <- s.sp_buckets.(i) + 1
 
 let span_total t name =
-  match Hashtbl.find_opt t.durations name with Some r -> fst !r | None -> Time.zero
+  match Hashtbl.find_opt t.durations name with
+  | Some s -> s.sp_total
+  | None -> Time.zero
+
+let span_samples t name =
+  match Hashtbl.find_opt t.durations name with Some s -> s.sp_samples | None -> 0
+
+let span_max t name =
+  match Hashtbl.find_opt t.durations name with Some s -> s.sp_max | None -> Time.zero
 
 let span_mean t name =
   match Hashtbl.find_opt t.durations name with
   | None -> Time.zero
-  | Some r ->
-      let total, n = !r in
-      if n = 0 then Time.zero else total / n
+  | Some s -> if s.sp_samples = 0 then Time.zero else s.sp_total / s.sp_samples
+
+let percentile_of_span s p =
+  if s.sp_samples = 0 then Time.zero
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int s.sp_samples)))
+    in
+    let rec walk i seen =
+      if i >= nbuckets then s.sp_max
+      else
+        let seen = seen + s.sp_buckets.(i) in
+        if seen >= rank then
+          if i < Array.length bucket_bounds then Stdlib.min bucket_bounds.(i) s.sp_max
+          else s.sp_max
+        else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let span_percentile t name p =
+  match Hashtbl.find_opt t.durations name with
+  | None -> Time.zero
+  | Some s -> percentile_of_span s p
+
+let span_histogram t name =
+  match Hashtbl.find_opt t.durations name with
+  | None -> [||]
+  | Some s ->
+      Array.init nbuckets (fun i ->
+          let bound =
+            if i < Array.length bucket_bounds then bucket_bounds.(i) else s.sp_max
+          in
+          (bound, s.sp_buckets.(i)))
+
+type span_summary = {
+  sm_name : string;
+  sm_samples : int;
+  sm_total : Time.t;
+  sm_mean : Time.t;
+  sm_p50 : Time.t;
+  sm_p90 : Time.t;
+  sm_p99 : Time.t;
+  sm_max : Time.t;
+}
+
+let summary_of_span name s =
+  {
+    sm_name = name;
+    sm_samples = s.sp_samples;
+    sm_total = s.sp_total;
+    sm_mean = (if s.sp_samples = 0 then Time.zero else s.sp_total / s.sp_samples);
+    sm_p50 = percentile_of_span s 50.;
+    sm_p90 = percentile_of_span s 90.;
+    sm_p99 = percentile_of_span s 99.;
+    sm_max = s.sp_max;
+  }
+
+let span_summary t name =
+  match Hashtbl.find_opt t.durations name with
+  | Some s -> summary_of_span name s
+  | None ->
+      {
+        sm_name = name;
+        sm_samples = 0;
+        sm_total = Time.zero;
+        sm_mean = Time.zero;
+        sm_p50 = Time.zero;
+        sm_p90 = Time.zero;
+        sm_p99 = Time.zero;
+        sm_max = Time.zero;
+      }
+
+let span_summaries t =
+  Hashtbl.fold (fun name s acc -> summary_of_span name s :: acc) t.durations []
+  |> List.sort (fun a b -> String.compare a.sm_name b.sm_name)
 
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let spans t =
-  Hashtbl.fold (fun k r acc -> (k, fst !r, snd !r) :: acc) t.durations []
+  Hashtbl.fold (fun k s acc -> (k, s.sp_total, s.sp_samples) :: acc) t.durations []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let reset t =
+  (* Dropping the tables discards every counter and every histogram bucket;
+     spans are never handed out by reference, so nothing can resurrect the
+     old buckets. *)
   Hashtbl.reset t.counts;
   Hashtbl.reset t.durations
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.sm_name);
+      ("samples", Json.Int s.sm_samples);
+      ("total_us", Json.Float (Time.to_us s.sm_total));
+      ("mean_us", Json.Float (Time.to_us s.sm_mean));
+      ("p50_us", Json.Float (Time.to_us s.sm_p50));
+      ("p90_us", Json.Float (Time.to_us s.sm_p90));
+      ("p99_us", Json.Float (Time.to_us s.sm_p99));
+      ("max_us", Json.Float (Time.to_us s.sm_max));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ("spans", Json.List (List.map summary_to_json (span_summaries t)));
+    ]
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t);
   List.iter
-    (fun (k, total, n) ->
-      Format.fprintf ppf "%-32s %a (%d samples)@." k Time.pp total n)
-    (spans t)
+    (fun s ->
+      Format.fprintf ppf "%-32s %a (%d samples, p50 %a p99 %a max %a)@." s.sm_name
+        Time.pp s.sm_total s.sm_samples Time.pp s.sm_p50 Time.pp s.sm_p99 Time.pp
+        s.sm_max)
+    (span_summaries t)

@@ -1,8 +1,9 @@
-(** Named counters and duration accumulators.
+(** Named counters and duration accumulators with latency histograms.
 
     Used by the DSM instrumentation layer to reproduce the per-step cost
     breakdowns of the paper's Tables 3 and 4, and by benches for message and
-    fault counts. *)
+    fault counts.  Every duration span also feeds a fixed-bucket histogram
+    so tail latencies (p50/p90/p99/max) are available, not just means. *)
 
 type t
 
@@ -14,11 +15,46 @@ val count : t -> string -> int
 (** 0 when the counter was never touched. *)
 
 val add_span : t -> string -> Time.t -> unit
-(** Accumulates a duration under [name] and bumps its sample count. *)
+(** Accumulates a duration under [name], bumps its sample count, and files
+    the sample into the histogram bucket containing it. *)
 
 val span_total : t -> string -> Time.t
 val span_mean : t -> string -> Time.t
-(** 0 when no samples were recorded. *)
+(** 0 when no samples were recorded (never a division by zero). *)
+
+val span_samples : t -> string -> int
+val span_max : t -> string -> Time.t
+
+val span_percentile : t -> string -> float -> Time.t
+(** [span_percentile t name p] estimates the [p]-th percentile ([0..100],
+    clamped) from the histogram: the upper edge of the bucket holding the
+    rank-⌈p/100·n⌉ sample, capped at the observed maximum.  0 when no
+    samples were recorded. *)
+
+val bucket_bounds : Time.t array
+(** The shared bucket upper edges, a 1-2-5 progression from 500 ns to 1 s;
+    one overflow bucket follows the last edge. *)
+
+val span_histogram : t -> string -> (Time.t * int) array
+(** [(upper_edge, count)] per bucket (the overflow bucket reports the
+    observed maximum as its edge); [[||]] when the span does not exist. *)
+
+type span_summary = {
+  sm_name : string;
+  sm_samples : int;
+  sm_total : Time.t;
+  sm_mean : Time.t;
+  sm_p50 : Time.t;
+  sm_p90 : Time.t;
+  sm_p99 : Time.t;
+  sm_max : Time.t;
+}
+
+val span_summary : t -> string -> span_summary
+(** All-zero summary when the span does not exist. *)
+
+val span_summaries : t -> span_summary list
+(** Sorted by name. *)
 
 val counters : t -> (string * int) list
 (** Sorted by name. *)
@@ -27,4 +63,12 @@ val spans : t -> (string * Time.t * int) list
 (** [(name, total, samples)], sorted by name. *)
 
 val reset : t -> unit
+(** Clears every counter, duration and histogram bucket. *)
+
+val summary_to_json : span_summary -> Json.t
+val to_json : t -> Json.t
+(** [{"counters": {...}, "spans": [{name, samples, total_us, mean_us,
+    p50_us, p90_us, p99_us, max_us}, ...]}] — the stable snapshot format
+    consumed by [BENCH_*.json] and [Monitor.to_json]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,29 +1,169 @@
-type entry = { at : Time.t; category : string; message : string }
+type event =
+  | Fault of { node : int; page : int; protocol : string; mode : string }
+  | Page_request of {
+      node : int;
+      page : int;
+      protocol : string;
+      mode : string;
+      requester : int;
+    }
+  | Page_send of {
+      node : int;
+      page : int;
+      protocol : string;
+      dst : int;
+      bytes : int;
+      grant : string;
+    }
+  | Page_install of {
+      node : int;
+      page : int;
+      protocol : string;
+      sender : int;
+      grant : string;
+    }
+  | Invalidate of { node : int; page : int; protocol : string; sender : int }
+  | Diff of { node : int; pages : int; bytes : int; sender : int; release : bool }
+  | Lock of { node : int; lock : int; op : string }
+  | Barrier of { node : int; barrier : int }
+  | Migration of { thread : int; src : int; dst : int }
+  | Message of { category : string; message : string }
 
-type t = { mutable on : bool; mutable entries : entry list (* newest first *) }
+let no_span = -1
 
-let create ?(enabled = false) () = { on = enabled; entries = [] }
+let event_category = function
+  | Fault _ -> "fault"
+  | Page_request _ -> "request"
+  | Page_send _ -> "page.send"
+  | Page_install _ -> "page"
+  | Invalidate _ -> "invalidate"
+  | Diff _ -> "diff"
+  | Lock _ -> "lock"
+  | Barrier _ -> "barrier"
+  | Migration _ -> "migrate"
+  | Message { category; _ } -> category
+
+let event_message = function
+  | Fault { node; page; protocol; mode } ->
+      Printf.sprintf "node %d: %s fault on page %d (%s)" node mode page protocol
+  | Page_request { node; page; mode; requester; protocol = _ } ->
+      Printf.sprintf "node %d: %s request for page %d from %d" node mode page
+        requester
+  | Page_send { node; page; dst; bytes; grant; protocol = _ } ->
+      Printf.sprintf "node %d: page %d sent to %d (%s, %d bytes)" node page dst
+        grant bytes
+  | Page_install { node; page; sender; grant; protocol = _ } ->
+      Printf.sprintf "node %d: page %d received from %d (%s)" node page sender grant
+  | Invalidate { node; page; sender; protocol = _ } ->
+      Printf.sprintf "node %d: invalidate page %d (from %d)" node page sender
+  | Lock { node; lock; op } -> Printf.sprintf "lock %d: %s by node %d" lock op node
+  | Barrier { node; barrier } ->
+      Printf.sprintf "barrier %d: node %d arrived" barrier node
+  | Diff { node; pages; bytes; sender; release } ->
+      Printf.sprintf "node %d: %d diff(s) from %d (%d bytes)%s" node pages sender
+        bytes
+        (if release then " (release)" else "")
+  | Migration { thread; src; dst } ->
+      Printf.sprintf "thread %d: node %d -> %d" thread src dst
+  | Message { message; _ } -> message
+
+(* The node a trace event belongs to, for the Chrome exporter's process
+   lanes; -1 when the event has no natural node. *)
+let event_node = function
+  | Fault { node; _ }
+  | Page_request { node; _ }
+  | Page_send { node; _ }
+  | Page_install { node; _ }
+  | Invalidate { node; _ }
+  | Diff { node; _ }
+  | Lock { node; _ }
+  | Barrier { node; _ } -> node
+  | Migration { src; _ } -> src
+  | Message _ -> -1
+
+type entry = { at : Time.t; span : int; category : string; message : string }
+
+type t = {
+  mutable on : bool;
+  mutable entries : (entry * event) list; (* newest first *)
+  mutable next_span : int;
+  thread_spans : (int, int) Hashtbl.t; (* tid -> active span *)
+}
+
+let create ?(enabled = false) () =
+  { on = enabled; entries = []; next_span = 0; thread_spans = Hashtbl.create 16 }
+
 let enable t b = t.on <- b
 let enabled t = t.on
 
+(* --- span context ---
+
+   Span ids link the events of one logical operation (a remote access
+   followed from fault detection through request, transfer and install).
+   The id is carried across nodes inside protocol messages and, within a
+   node, attached to the Marcel thread doing the work.  All bookkeeping is
+   skipped while the trace is disabled so the hot paths stay free. *)
+
+let new_span t =
+  if not t.on then no_span
+  else begin
+    let s = t.next_span in
+    t.next_span <- s + 1;
+    s
+  end
+
+let set_thread_span t ~tid span =
+  if t.on then
+    if span = no_span then Hashtbl.remove t.thread_spans tid
+    else Hashtbl.replace t.thread_spans tid span
+
+let clear_thread_span t ~tid = Hashtbl.remove t.thread_spans tid
+
+let thread_span t ~tid =
+  if not t.on then no_span
+  else Option.value ~default:no_span (Hashtbl.find_opt t.thread_spans tid)
+
+(* --- recording --- *)
+
+let emit t eng ?(span = no_span) ev =
+  if t.on then
+    let entry =
+      {
+        at = Engine.now eng;
+        span;
+        category = event_category ev;
+        message = event_message ev;
+      }
+    in
+    t.entries <- (entry, ev) :: t.entries
+
 let record t eng ~category message =
-  if t.on then t.entries <- { at = Engine.now eng; category; message } :: t.entries
+  if t.on then
+    t.entries <-
+      ( { at = Engine.now eng; span = no_span; category; message },
+        Message { category; message } )
+      :: t.entries
 
 let recordf t eng ~category fmt =
   if t.on then
     Format.kasprintf
       (fun message ->
-        t.entries <- { at = Engine.now eng; category; message } :: t.entries)
+        t.entries <-
+          ( { at = Engine.now eng; span = no_span; category; message },
+            Message { category; message } )
+          :: t.entries)
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let entries t = List.rev t.entries
+let entries t = List.rev_map fst t.entries
+let events t = List.rev_map (fun (e, ev) -> (e, ev)) t.entries
 let by_category t c = List.filter (fun e -> String.equal e.category c) (entries t)
+let by_span t s = List.filter (fun (e, _) -> e.span = s) (events t)
 let length t = List.length t.entries
 
 let hash t =
   List.fold_left
-    (fun acc e -> Hashtbl.hash (acc, e.at, e.category, e.message))
+    (fun acc (e, _) -> Hashtbl.hash (acc, e.at, e.category, e.message))
     0 t.entries
 
 let pp ppf t =
@@ -31,4 +171,206 @@ let pp ppf t =
     (fun e -> Format.fprintf ppf "[%a] %-12s %s@." Time.pp e.at e.category e.message)
     (entries t)
 
-let clear t = t.entries <- []
+let clear t =
+  t.entries <- [];
+  t.next_span <- 0;
+  Hashtbl.reset t.thread_spans
+
+(* --- JSON export --- *)
+
+let event_fields = function
+  | Fault { node; page; protocol; mode } ->
+      [
+        ("type", Json.String "fault");
+        ("node", Json.Int node);
+        ("page", Json.Int page);
+        ("protocol", Json.String protocol);
+        ("mode", Json.String mode);
+      ]
+  | Page_request { node; page; protocol; mode; requester } ->
+      [
+        ("type", Json.String "page_request");
+        ("node", Json.Int node);
+        ("page", Json.Int page);
+        ("protocol", Json.String protocol);
+        ("mode", Json.String mode);
+        ("requester", Json.Int requester);
+      ]
+  | Page_send { node; page; protocol; dst; bytes; grant } ->
+      [
+        ("type", Json.String "page_send");
+        ("node", Json.Int node);
+        ("page", Json.Int page);
+        ("protocol", Json.String protocol);
+        ("dst", Json.Int dst);
+        ("bytes", Json.Int bytes);
+        ("grant", Json.String grant);
+      ]
+  | Page_install { node; page; protocol; sender; grant } ->
+      [
+        ("type", Json.String "page_install");
+        ("node", Json.Int node);
+        ("page", Json.Int page);
+        ("protocol", Json.String protocol);
+        ("sender", Json.Int sender);
+        ("grant", Json.String grant);
+      ]
+  | Invalidate { node; page; protocol; sender } ->
+      [
+        ("type", Json.String "invalidate");
+        ("node", Json.Int node);
+        ("page", Json.Int page);
+        ("protocol", Json.String protocol);
+        ("sender", Json.Int sender);
+      ]
+  | Diff { node; pages; bytes; sender; release } ->
+      [
+        ("type", Json.String "diff");
+        ("node", Json.Int node);
+        ("pages", Json.Int pages);
+        ("bytes", Json.Int bytes);
+        ("sender", Json.Int sender);
+        ("release", Json.Bool release);
+      ]
+  | Lock { node; lock; op } ->
+      [
+        ("type", Json.String "lock");
+        ("node", Json.Int node);
+        ("lock", Json.Int lock);
+        ("op", Json.String op);
+      ]
+  | Barrier { node; barrier } ->
+      [
+        ("type", Json.String "barrier");
+        ("node", Json.Int node);
+        ("barrier", Json.Int barrier);
+      ]
+  | Migration { thread; src; dst } ->
+      [
+        ("type", Json.String "migration");
+        ("thread", Json.Int thread);
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+      ]
+  | Message { category; message } ->
+      [
+        ("type", Json.String "message");
+        ("category", Json.String category);
+        ("message", Json.String message);
+      ]
+
+let event_to_json ~at ~span ev =
+  Json.Obj (("at_ns", Json.Int at) :: ("span", Json.Int span) :: event_fields ev)
+
+let event_of_json j =
+  let int name = Json.member name j |> Option.map (fun v -> Json.to_int v) in
+  let geti name = Option.join (int name) in
+  let gets name = Option.join (Json.member name j |> Option.map Json.to_str) in
+  let getb name = Option.join (Json.member name j |> Option.map Json.to_bool) in
+  let ( let* ) = Option.bind in
+  let* at = geti "at_ns" in
+  let* span = geti "span" in
+  let* ev =
+    let* ty = gets "type" in
+    match ty with
+    | "fault" ->
+        let* node = geti "node" in
+        let* page = geti "page" in
+        let* protocol = gets "protocol" in
+        let* mode = gets "mode" in
+        Some (Fault { node; page; protocol; mode })
+    | "page_request" ->
+        let* node = geti "node" in
+        let* page = geti "page" in
+        let* protocol = gets "protocol" in
+        let* mode = gets "mode" in
+        let* requester = geti "requester" in
+        Some (Page_request { node; page; protocol; mode; requester })
+    | "page_send" ->
+        let* node = geti "node" in
+        let* page = geti "page" in
+        let* protocol = gets "protocol" in
+        let* dst = geti "dst" in
+        let* bytes = geti "bytes" in
+        let* grant = gets "grant" in
+        Some (Page_send { node; page; protocol; dst; bytes; grant })
+    | "page_install" ->
+        let* node = geti "node" in
+        let* page = geti "page" in
+        let* protocol = gets "protocol" in
+        let* sender = geti "sender" in
+        let* grant = gets "grant" in
+        Some (Page_install { node; page; protocol; sender; grant })
+    | "invalidate" ->
+        let* node = geti "node" in
+        let* page = geti "page" in
+        let* protocol = gets "protocol" in
+        let* sender = geti "sender" in
+        Some (Invalidate { node; page; protocol; sender })
+    | "diff" ->
+        let* node = geti "node" in
+        let* pages = geti "pages" in
+        let* bytes = geti "bytes" in
+        let* sender = geti "sender" in
+        let* release = getb "release" in
+        Some (Diff { node; pages; bytes; sender; release })
+    | "lock" ->
+        let* node = geti "node" in
+        let* lock = geti "lock" in
+        let* op = gets "op" in
+        Some (Lock { node; lock; op })
+    | "barrier" ->
+        let* node = geti "node" in
+        let* barrier = geti "barrier" in
+        Some (Barrier { node; barrier })
+    | "migration" ->
+        let* thread = geti "thread" in
+        let* src = geti "src" in
+        let* dst = geti "dst" in
+        Some (Migration { thread; src; dst })
+    | "message" ->
+        let* category = gets "category" in
+        let* message = gets "message" in
+        Some (Message { category; message })
+    | _ -> None
+  in
+  Some (at, span, ev)
+
+let to_jsonl ppf t =
+  List.iter
+    (fun (e, ev) ->
+      Format.fprintf ppf "%s@."
+        (Json.to_string (event_to_json ~at:e.at ~span:e.span ev)))
+    (events t)
+
+(* Chrome trace_event format (chrome://tracing, Perfetto): one instant
+   event per trace entry, with the simulated node as the process lane and
+   the span id as the thread lane so causally linked events line up. *)
+let chrome_json t =
+  let trace_events =
+    List.map
+      (fun (e, ev) ->
+        let node = event_node ev in
+        Json.Obj
+          [
+            ("name", Json.String (event_category ev));
+            ("ph", Json.String "i");
+            ("s", Json.String "t");
+            ("ts", Json.Float (Time.to_us e.at));
+            ("pid", Json.Int (if node < 0 then 0 else node));
+            ("tid", Json.Int (if e.span = no_span then 0 else e.span));
+            ( "args",
+              Json.Obj
+                (("span", Json.Int e.span)
+                :: ("detail", Json.String e.message)
+                :: event_fields ev) );
+          ])
+      (events t)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List trace_events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome ppf t = Format.fprintf ppf "%s@." (Json.to_string (chrome_json t))

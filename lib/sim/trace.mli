@@ -1,18 +1,96 @@
-(** Post-mortem event trace.
+(** Post-mortem event trace with typed events and causal span ids.
 
     The paper highlights PM2's "very precise post-mortem monitoring tools"
     as part of the platform's value; this module is their equivalent.  When
-    enabled, components record timestamped events; after the run the trace
-    can be dumped, filtered by category, or hashed (the hash is used by the
-    determinism tests: same seed => same trace). *)
+    enabled, components record timestamped {e typed} events (faults, page
+    requests and transfers, invalidations, diffs, lock and barrier traffic,
+    thread migrations); after the run the trace can be dumped as text,
+    JSONL or Chrome [trace_event] JSON, filtered by category or span, or
+    hashed (the hash is used by the determinism tests: same seed => same
+    trace).
+
+    A {e span id} links every event belonging to one logical operation: a
+    remote access carries its span from fault detection through request
+    forwarding, page transfer and install, across nodes.  Free-form
+    [record]/[recordf] lines are still supported and become [Message]
+    events. *)
+
+type event =
+  | Fault of { node : int; page : int; protocol : string; mode : string }
+      (** [mode] is ["read"] or ["write"]. *)
+  | Page_request of {
+      node : int;  (** serving node *)
+      page : int;
+      protocol : string;
+      mode : string;
+      requester : int;
+    }
+  | Page_send of {
+      node : int;  (** sending node *)
+      page : int;
+      protocol : string;
+      dst : int;
+      bytes : int;
+      grant : string;  (** access granted to the receiver *)
+    }
+  | Page_install of {
+      node : int;  (** installing node *)
+      page : int;
+      protocol : string;
+      sender : int;
+      grant : string;
+    }
+  | Invalidate of { node : int; page : int; protocol : string; sender : int }
+  | Diff of { node : int; pages : int; bytes : int; sender : int; release : bool }
+  | Lock of { node : int; lock : int; op : string }
+  | Barrier of { node : int; barrier : int }
+  | Migration of { thread : int; src : int; dst : int }
+  | Message of { category : string; message : string }
+      (** Free-form compatibility events from [record]/[recordf]. *)
+
+val no_span : int
+(** The span id of events outside any operation ([-1]). *)
+
+val event_category : event -> string
+(** The legacy category name ("fault", "request", "page", ...) used by the
+    text renderer and per-category summaries. *)
+
+val event_message : event -> string
+(** The legacy human-readable rendering. *)
+
+val event_node : event -> int
+(** The node an event belongs to, or [-1] when it has no natural node
+    (free-form messages). *)
+
+type entry = { at : Time.t; span : int; category : string; message : string }
 
 type t
-
-type entry = { at : Time.t; category : string; message : string }
 
 val create : ?enabled:bool -> unit -> t
 val enable : t -> bool -> unit
 val enabled : t -> bool
+
+(** {2 Span context}
+
+    All span bookkeeping is a no-op while the trace is disabled. *)
+
+val new_span : t -> int
+(** A fresh span id ([no_span] when disabled). *)
+
+val set_thread_span : t -> tid:int -> int -> unit
+(** Associates the active span with a Marcel thread; passing [no_span]
+    clears the association. *)
+
+val clear_thread_span : t -> tid:int -> unit
+
+val thread_span : t -> tid:int -> int
+(** The thread's active span, or [no_span]. *)
+
+(** {2 Recording} *)
+
+val emit : t -> Engine.t -> ?span:int -> event -> unit
+(** No-op when the trace is disabled.  Call sites on hot paths should guard
+    with {!enabled} so the event itself is not even allocated. *)
 
 val record : t -> Engine.t -> category:string -> string -> unit
 (** No-op when the trace is disabled. *)
@@ -22,13 +100,42 @@ val recordf :
 (** Like [record] with a format string; the message is only built when the
     trace is enabled. *)
 
+(** {2 Inspection} *)
+
 val entries : t -> entry list
 (** In chronological order. *)
 
+val events : t -> (entry * event) list
+(** In chronological order, with the typed event. *)
+
 val by_category : t -> string -> entry list
+
+val by_span : t -> int -> (entry * event) list
+(** Every event of one logical operation, chronological. *)
+
 val length : t -> int
 val hash : t -> int
 (** Order-sensitive digest of the whole trace. *)
 
 val pp : Format.formatter -> t -> unit
+
 val clear : t -> unit
+(** Drops all entries and resets span allocation. *)
+
+(** {2 Exporters} *)
+
+val event_to_json : at:Time.t -> span:int -> event -> Json.t
+(** One flat object: [at_ns], [span], ["type"] plus the event's fields. *)
+
+val event_of_json : Json.t -> (Time.t * int * event) option
+(** Inverse of {!event_to_json}; [None] on unknown or malformed input. *)
+
+val to_jsonl : Format.formatter -> t -> unit
+(** One {!event_to_json} object per line, chronological. *)
+
+val chrome_json : t -> Json.t
+(** The whole trace as a Chrome [trace_event] document: instant events with
+    the node as [pid], the span as [tid], and node/page/protocol/span in
+    [args] — loadable in chrome://tracing or Perfetto. *)
+
+val to_chrome : Format.formatter -> t -> unit

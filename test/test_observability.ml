@@ -1,0 +1,201 @@
+(* The observability layer: typed events, JSONL round-trip, causal span
+   linkage across nodes, determinism of the exported trace, and the JSON
+   metrics snapshot. *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+
+(* --- typed-event JSONL round-trip --- *)
+
+let sample_events =
+  [
+    Trace.Fault { node = 1; page = 3; protocol = "li_hudak"; mode = "read" };
+    Trace.Page_request
+      { node = 0; page = 3; protocol = "li_hudak"; mode = "write"; requester = 1 };
+    Trace.Page_send
+      { node = 0; page = 3; protocol = "li_hudak"; dst = 1; bytes = 4096; grant = "RW" };
+    Trace.Page_install
+      { node = 1; page = 3; protocol = "li_hudak"; sender = 0; grant = "R" };
+    Trace.Invalidate { node = 2; page = 7; protocol = "hbrc_mw"; sender = 0 };
+    Trace.Diff { node = 0; pages = 2; bytes = 96; sender = 3; release = true };
+    Trace.Lock { node = 1; lock = 4; op = "acquire" };
+    Trace.Barrier { node = 2; barrier = 0 };
+    Trace.Migration { thread = 9; src = 0; dst = 3 };
+    Trace.Message { category = "custom"; message = "free-form \"quoted\" text" };
+  ]
+
+let test_event_json_round_trip () =
+  List.iteri
+    (fun i ev ->
+      let at = Time.of_us (float_of_int (i * 10)) in
+      let span = if i mod 2 = 0 then i else Trace.no_span in
+      let json = Trace.event_to_json ~at ~span ev in
+      let line = Json.to_string json in
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "event %d: unparseable JSON %s: %s" i line msg
+      | Ok parsed -> (
+          match Trace.event_of_json parsed with
+          | None -> Alcotest.failf "event %d: did not decode from %s" i line
+          | Some (at', span', ev') ->
+              Alcotest.(check int) "timestamp survives" at at';
+              Alcotest.(check int) "span survives" span span';
+              Alcotest.(check bool) "event survives" true (ev = ev')))
+    sample_events
+
+let test_jsonl_export_shape () =
+  let eng = Engine.create () in
+  let trace = Trace.create ~enabled:true () in
+  List.iter (fun ev -> Trace.emit trace eng ev) sample_events;
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.to_jsonl fmt trace;
+  Format.pp_print_flush fmt ();
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one line per event" (List.length sample_events)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "bad JSONL line %s: %s" line msg
+      | Ok json ->
+          Alcotest.(check bool) "line decodes to an event" true
+            (Trace.event_of_json json <> None))
+    lines
+
+(* --- span linkage: one cold li_hudak read fault on 2 nodes --- *)
+
+let cold_fault_dsm () =
+  let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let ids = Builtin.register_all dsm in
+  Monitor.enable dsm true;
+  let x = Dsm.malloc dsm ~protocol:ids.Builtin.li_hudak ~home:(Dsm.On_node 1) 8 in
+  ignore (Dsm.spawn dsm ~node:0 (fun () -> ignore (Dsm.read_int dsm x)));
+  Dsm.run dsm;
+  dsm
+
+let test_span_links_cold_fault () =
+  let dsm = cold_fault_dsm () in
+  let trace = Monitor.trace dsm in
+  (* Exactly one fault, so exactly one span; every stage of the access must
+     carry it, across both nodes. *)
+  let faults = Trace.by_category trace "fault" in
+  Alcotest.(check int) "one fault" 1 (List.length faults);
+  let span = (List.hd faults).Trace.span in
+  Alcotest.(check bool) "fault has a real span" true (span <> Trace.no_span);
+  let chain = Trace.by_span trace span in
+  let category (e, _) = e.Trace.category in
+  let has cat = List.exists (fun x -> category x = cat) chain in
+  Alcotest.(check bool) "request in span" true (has "request");
+  Alcotest.(check bool) "send in span" true (has "page.send");
+  Alcotest.(check bool) "install in span" true (has "page");
+  (* The request is served on node 1 while the fault is on node 0: the span
+     crosses the node boundary. *)
+  let nodes =
+    List.sort_uniq compare
+      (List.filter (fun n -> n >= 0) (List.map (fun (_, ev) -> Trace.event_node ev) chain))
+  in
+  Alcotest.(check (list int)) "span crosses nodes" [ 0; 1 ] nodes;
+  (* Causal order within the span: fault <= request <= send <= install. *)
+  let at cat =
+    match List.find_opt (fun x -> category x = cat) chain with
+    | Some (e, _) -> e.Trace.at
+    | None -> Alcotest.failf "missing %s event" cat
+  in
+  Alcotest.(check bool) "fault before request" true (at "fault" <= at "request");
+  Alcotest.(check bool) "request before send" true (at "request" <= at "page.send");
+  Alcotest.(check bool) "send before install" true (at "page.send" <= at "page")
+
+(* --- determinism: same seed, same exported trace --- *)
+
+let exported_trace () =
+  let dsm = cold_fault_dsm () in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.to_jsonl fmt (Monitor.trace dsm);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_trace_deterministic () =
+  Alcotest.(check string) "same seed, same trace" (exported_trace ()) (exported_trace ())
+
+let test_chrome_export_valid () =
+  let dsm = cold_fault_dsm () in
+  let json = Trace.chrome_json (Monitor.trace dsm) in
+  (* The export must survive its own parser and keep the trace_event
+     required fields on every event. *)
+  match Json.of_string (Json.to_string json) with
+  | Error msg -> Alcotest.failf "chrome export is not valid JSON: %s" msg
+  | Ok parsed ->
+      let events =
+        match Json.member "traceEvents" parsed with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "has events" true (events <> []);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) ("event has " ^ field) true
+                (Json.member field ev <> None))
+            [ "name"; "ph"; "ts"; "pid"; "args" ])
+        events
+
+(* --- metrics snapshot --- *)
+
+let test_metrics_snapshot () =
+  let dsm = cold_fault_dsm () in
+  let json = Monitor.to_json ~experiment:"cold_fault" dsm in
+  (match Json.member "experiment" json with
+  | Some (Json.String s) -> Alcotest.(check string) "experiment label" "cold_fault" s
+  | _ -> Alcotest.fail "missing experiment label");
+  (* The labeled registry recorded the read fault on node 0 under li_hudak. *)
+  let m = Monitor.metrics dsm in
+  Alcotest.(check int) "read fault counted" 1
+    (Metrics.count m ~node:0 ~protocol:"li_hudak" Instrument.m_read_faults);
+  Alcotest.(check int) "page send counted" 1
+    (Metrics.count m ~node:1 ~protocol:"li_hudak" Instrument.m_pages_sent);
+  Alcotest.(check bool) "fault latency observed" true
+    (Metrics.percentile m ~node:0 ~protocol:"li_hudak" Instrument.m_fault_latency 99.
+    > 0);
+  (* And the snapshot round-trips through the JSON printer/parser. *)
+  match Json.of_string (Json.to_string json) with
+  | Error msg -> Alcotest.failf "snapshot is not valid JSON: %s" msg
+  | Ok _ -> ()
+
+let test_disabled_monitor_no_events () =
+  let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let ids = Builtin.register_all dsm in
+  let x = Dsm.malloc dsm ~protocol:ids.Builtin.li_hudak ~home:(Dsm.On_node 1) 8 in
+  ignore (Dsm.spawn dsm ~node:0 (fun () -> ignore (Dsm.read_int dsm x)));
+  Dsm.run dsm;
+  Alcotest.(check int) "no events recorded" 0 (Trace.length (Monitor.trace dsm));
+  Alcotest.(check int) "spans not minted" 0
+    (List.length (Trace.by_span (Monitor.trace dsm) 0))
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "event round-trip" `Quick test_event_json_round_trip;
+          Alcotest.test_case "export shape" `Quick test_jsonl_export_shape;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "cold fault linkage" `Quick test_span_links_cold_fault;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_monitor_no_events;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed same trace" `Quick test_trace_deterministic ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace valid" `Quick test_chrome_export_valid;
+          Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
+        ] );
+    ]

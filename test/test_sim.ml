@@ -287,6 +287,46 @@ let test_stats_counters_and_spans () =
   Stats.reset s;
   Alcotest.(check int) "reset" 0 (Stats.count s "a")
 
+let test_stats_zero_sample_edges () =
+  let s = Stats.create () in
+  (* A span key that was never observed must read as zero everywhere, not
+     divide by zero. *)
+  Alcotest.(check int) "absent mean is 0" Time.zero (Stats.span_mean s "absent");
+  Alcotest.(check int) "absent p99 is 0" Time.zero (Stats.span_percentile s "absent" 99.);
+  Alcotest.(check int) "absent samples" 0 (Stats.span_samples s "absent");
+  let summary = Stats.span_summary s "absent" in
+  Alcotest.(check int) "absent summary mean" Time.zero summary.Stats.sm_mean;
+  Alcotest.(check int) "absent summary max" Time.zero summary.Stats.sm_max
+
+let test_stats_reset_clears_histograms () =
+  let s = Stats.create () in
+  Stats.add_span s "t" (Time.of_us 10.);
+  Stats.add_span s "t" (Time.of_us 500.);
+  Alcotest.(check bool) "histogram populated" true
+    (Array.exists (fun (_, count) -> count > 0) (Stats.span_histogram s "t"));
+  Alcotest.(check bool) "p50 positive" true (Stats.span_percentile s "t" 50. > 0);
+  Stats.reset s;
+  Alcotest.(check int) "samples cleared" 0 (Stats.span_samples s "t");
+  Alcotest.(check int) "mean cleared" Time.zero (Stats.span_mean s "t");
+  Alcotest.(check int) "p99 cleared" Time.zero (Stats.span_percentile s "t" 99.);
+  Alcotest.(check bool) "buckets cleared" true
+    (Array.for_all (fun (_, count) -> count = 0) (Stats.span_histogram s "t"))
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  (* 100 samples, 1..100 us: p50 lands in the bucket holding 50 us, p99 in
+     the one holding 99 us, and every percentile is capped at the max. *)
+  for i = 1 to 100 do
+    Stats.add_span s "t" (Time.of_us (float_of_int i))
+  done;
+  let p50 = Stats.span_percentile s "t" 50. in
+  let p99 = Stats.span_percentile s "t" 99. in
+  Alcotest.(check bool) "p50 within bucket" true
+    (p50 >= Time.of_us 50. && p50 <= Time.of_us 100.);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= Stats.span_max s "t");
+  Alcotest.(check int) "p100 is max" (Stats.span_max s "t")
+    (Stats.span_percentile s "t" 100.)
+
 let () =
   Alcotest.run "sim"
     [
@@ -336,5 +376,10 @@ let () =
           Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_free;
           Alcotest.test_case "trace hash" `Quick test_trace_hash_distinguishes;
           Alcotest.test_case "stats" `Quick test_stats_counters_and_spans;
+          Alcotest.test_case "stats zero-sample edges" `Quick
+            test_stats_zero_sample_edges;
+          Alcotest.test_case "stats reset clears histograms" `Quick
+            test_stats_reset_clears_histograms;
+          Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
         ] );
     ]
