@@ -292,9 +292,110 @@ let experiments =
         Sharing_patterns.to_json t);
   ]
 
+let check_cmd =
+  let run seeds protocols workload replay verbose obs =
+    let protocols =
+      match protocols with [] -> Conformance.all_protocols | ps -> ps
+    in
+    let workload_list =
+      match workload with
+      | None -> Conformance.workloads
+      | Some w -> (
+          match Conformance.workload_by_name w with
+          | Some w -> [ w ]
+          | None ->
+              Format.fprintf ppf "check: unknown workload %S (known: %s)@." w
+                (String.concat ", "
+                   (List.map Conformance.workload_name Conformance.workloads));
+              exit 2)
+    in
+    match replay with
+    | Some seed ->
+        (* Replay one seed across the selected grid and dump each failing
+           outcome in full — the debugging entry point for a sweep failure. *)
+        let any = ref false in
+        List.iter
+          (fun protocol ->
+            List.iter
+              (fun driver ->
+                List.iter
+                  (fun workload ->
+                    let o = Conformance.run_one ~protocol ~driver ~workload ~seed in
+                    if Conformance.outcome_failed o || verbose then begin
+                      Format.fprintf ppf "%s / %s / %s / seed %d: %s@." protocol
+                        driver.Dsmpm2_net.Driver.name
+                        (Conformance.workload_name workload)
+                        seed
+                        (if Conformance.outcome_failed o then "FAIL" else "pass");
+                      if Conformance.outcome_failed o then begin
+                        any := true;
+                        (match o.Conformance.o_wrong_result with
+                        | Some msg -> Format.fprintf ppf "  wrong result: %s@." msg
+                        | None -> ());
+                        List.iter
+                          (fun v ->
+                            Format.fprintf ppf "  %s@."
+                              (History.violation_to_string v))
+                          o.Conformance.o_violations
+                      end
+                    end)
+                  workload_list)
+              Dsmpm2_net.Driver.all)
+          protocols;
+        if !any then exit 1
+    | None ->
+        let progress =
+          if verbose then fun cell -> Format.fprintf ppf "  done %s@." cell
+          else fun _ -> ()
+        in
+        let verdicts =
+          Conformance.sweep ~protocols ~workload_list ~progress ~seeds ()
+        in
+        Conformance.print ppf verdicts;
+        experiment_obs obs ~name:"check" (Conformance.to_json verdicts);
+        if Conformance.failed verdicts then exit 1
+  in
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of perturbation seeds per cell.")
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Check only $(docv) (repeatable; default: all builtins).")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Run a single workload by name.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Replay one seed and print failing traces instead of sweeping.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-cell progress.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Conformance-check every protocol against its declared consistency \
+          model under perturbed schedules.")
+    Term.(
+      const run $ seeds $ protocols $ workload $ replay $ verbose $ obs_term)
+
 let () =
   let info =
     Cmd.info "dsm-cli" ~version:"1.0.0"
       ~doc:"DSM-PM2 reproduction: experiments and applications."
   in
-  exit (Cmd.eval (Cmd.group info (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd ])))
+  exit
+    (Cmd.eval
+       (Cmd.group info (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd; check_cmd ])))

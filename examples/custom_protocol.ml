@@ -18,6 +18,7 @@ let hybrid : Runtime.t Protocol.t =
   {
     Protocol.name = "hybrid_read_repl_write_migrate";
     detection = Protocol.Page_fault;
+    model = Protocol.Sequential;
     (* replicate on read fault, like li_hudak *)
     read_fault = Li_hudak.protocol.Protocol.read_fault;
     (* migrate the thread on write fault, like migrate_thread *)

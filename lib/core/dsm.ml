@@ -6,8 +6,8 @@ type t = Runtime.t
 
 exception Fault_storm of { addr : int; mode : Access.mode; attempts : int }
 
-let create ?costs ?jitter ?page_size ~nodes ~driver () =
-  let pm2 = Pm2.create ?jitter ?page_size ~nodes ~driver () in
+let create ?costs ?tie_seed ?jitter ?page_size ~nodes ~driver () =
+  let pm2 = Pm2.create ?tie_seed ?jitter ?page_size ~nodes ~driver () in
   let rt = Runtime.create ?costs pm2 in
   Dsm_comm.init rt;
   rt
@@ -190,9 +190,12 @@ let ensure_access (rt : t) ~addr ~mode =
   attempt 0
 
 let read_int rt addr =
+  let start = Engine.now (Runtime.engine rt) in
   ensure_access rt ~addr ~mode:Access.Read;
   let node = Runtime.self_node rt in
-  Frame_store.read_int (Runtime.store rt node) ~addr
+  let value = Frame_store.read_int (Runtime.store rt node) ~addr in
+  Runtime.record_history rt ~start (History.Read { addr; value });
+  value
 
 let post_write (rt : t) ~node ~addr ~value =
   let page = Page.page_of_addr rt.Runtime.geo addr in
@@ -203,23 +206,36 @@ let post_write (rt : t) ~node ~addr ~value =
       hook rt ~node ~page ~offset:(Page.offset_of_addr rt.Runtime.geo addr) ~value
 
 let write_int rt addr value =
+  let start = Engine.now (Runtime.engine rt) in
   ensure_access rt ~addr ~mode:Access.Write;
   let node = Runtime.self_node rt in
   Frame_store.write_int (Runtime.store rt node) ~addr value;
+  (* Record before [post_write]: propagation (update pushes, diff flushes)
+     may block, and a remote read of the propagated value must find this
+     write already in the history. *)
+  Runtime.record_history rt ~start (History.Write { addr; value });
   post_write rt ~node ~addr ~value
 
 let read_byte rt addr =
+  let start = Engine.now (Runtime.engine rt) in
   ensure_access rt ~addr ~mode:Access.Read;
   let node = Runtime.self_node rt in
-  Frame_store.read_byte (Runtime.store rt node) ~addr
+  let b = Frame_store.read_byte (Runtime.store rt node) ~addr in
+  (* History works at word granularity; report the containing word. *)
+  let word_addr = addr land lnot 7 in
+  let value = Frame_store.read_int (Runtime.store rt node) ~addr:word_addr in
+  Runtime.record_history rt ~start (History.Read { addr = word_addr; value });
+  b
 
 let write_byte rt addr value =
+  let start = Engine.now (Runtime.engine rt) in
   ensure_access rt ~addr ~mode:Access.Write;
   let node = Runtime.self_node rt in
   Frame_store.write_byte (Runtime.store rt node) ~addr value;
   (* Record at word granularity: report the containing word's new value. *)
   let word_addr = addr land lnot 7 in
   let value = Frame_store.read_int (Runtime.store rt node) ~addr:word_addr in
+  Runtime.record_history rt ~start (History.Write { addr = word_addr; value });
   post_write rt ~node ~addr:word_addr ~value
 
 let unsafe_peek (rt : t) ~node addr =
@@ -228,6 +244,18 @@ let unsafe_peek (rt : t) ~node addr =
 let unsafe_rights (rt : t) ~node ~addr =
   let page = Page.page_of_addr rt.Runtime.geo addr in
   (Runtime.entry rt ~node ~page).Page_table.rights
+
+(* --- conformance history --- *)
+
+let enable_history (rt : t) =
+  match rt.Runtime.history with
+  | Some h -> h
+  | None ->
+      let h = History.create () in
+      rt.Runtime.history <- Some h;
+      h
+
+let history (rt : t) = rt.Runtime.history
 
 (* --- synchronization --- *)
 

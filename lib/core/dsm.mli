@@ -30,6 +30,7 @@ type t = Runtime.t
 
 val create :
   ?costs:Runtime.costs ->
+  ?tie_seed:int ->
   ?jitter:(src:int -> dst:int -> Time.t -> Time.t) ->
   ?page_size:int ->
   nodes:int ->
@@ -37,7 +38,10 @@ val create :
   unit ->
   t
 (** Builds the full stack (engine, Marcel, network, RPC, DSM services) for a
-    simulated cluster of [nodes] nodes over [driver]. *)
+    simulated cluster of [nodes] nodes over [driver].  [tie_seed] enables
+    seeded schedule perturbation (see {!Engine.create}): each seed explores a
+    distinct legal interleaving of same-time events and replays identically,
+    the foundation of the [dsm_cli check] conformance harness. *)
 
 val pm2 : t -> Pm2.t
 val nodes : t -> int
@@ -115,6 +119,17 @@ val unsafe_peek : t -> node:int -> int -> int
     only: this is the post-mortem view of one node's memory. *)
 
 val unsafe_rights : t -> node:int -> addr:int -> Access.t
+
+(** {1 Conformance history} *)
+
+val enable_history : t -> History.t
+(** Turns on execution-history recording (idempotent): from now on every
+    shared read/write (at word granularity) and every lock/barrier operation
+    is logged with its thread, node and time window.  Feed the completed
+    history to {!History.check} with the protocol's declared
+    {!Protocol.model} to validate a run.  Call before {!run}. *)
+
+val history : t -> History.t option
 
 (** {1 Synchronization} *)
 

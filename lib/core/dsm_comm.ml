@@ -17,6 +17,7 @@ type Rpc.payload +=
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
   | Ack
+  | Lock_error of string
 
 type diff_handler =
   Runtime.t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
@@ -157,17 +158,29 @@ let on_lock_release rt ~src:_ payload =
       let ls = Runtime.lock_state rt lock in
       let marcel = Runtime.marcel rt in
       Marcel.Mutex.lock marcel ls.Runtime.lock_mutex;
-      if not ls.Runtime.lock_held then
-        failwith (Printf.sprintf "DSM lock %d: release while free" lock);
-      if ls.Runtime.lock_holder <> tid then
-        failwith
-          (Printf.sprintf "DSM lock %d: thread %d released a lock held by thread %d"
-             lock tid ls.Runtime.lock_holder);
-      ls.Runtime.lock_held <- false;
-      ls.Runtime.lock_holder <- -1;
-      Marcel.Cond.signal marcel ls.Runtime.lock_queue;
+      (* A bad release is the releasing thread's bug, not the cluster's:
+         report it back over the RPC instead of killing the manager node
+         (and with it the whole simulation).  The lock state is untouched,
+         so every other thread keeps running. *)
+      let error =
+        if not ls.Runtime.lock_held then
+          Some (Printf.sprintf "DSM lock %d: release while free" lock)
+        else if ls.Runtime.lock_holder <> tid then
+          Some
+            (Printf.sprintf "DSM lock %d: thread %d released a lock held by thread %d"
+               lock tid ls.Runtime.lock_holder)
+        else None
+      in
+      (match error with
+      | Some _ -> ()
+      | None ->
+          ls.Runtime.lock_held <- false;
+          ls.Runtime.lock_holder <- -1;
+          Marcel.Cond.signal marcel ls.Runtime.lock_queue);
       Marcel.Mutex.unlock marcel ls.Runtime.lock_mutex;
-      (Ack, Driver.Request)
+      (match error with
+      | Some msg -> (Lock_error msg, Driver.Request)
+      | None -> (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for lock_release service"
 
 let on_barrier rt ~src:_ payload =

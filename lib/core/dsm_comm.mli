@@ -33,6 +33,8 @@ type Rpc.payload +=
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
   | Ack
+  | Lock_error of string
+      (** reply to an invalid lock release; see {!Dsm_sync.Lock_error} *)
 
 val init : Runtime.t -> unit
 (** Registers all DSM services with the runtime's RPC layer.  Must be called

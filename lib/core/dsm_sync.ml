@@ -2,7 +2,14 @@ open Dsmpm2_sim
 open Dsmpm2_net
 open Dsmpm2_pm2
 
+exception Lock_error of string
+
+(* Barrier hooks borrow the lock-hook entry points with a synthetic id from
+   a disjoint namespace: real lock ids are non-negative, barrier hook ids are
+   strictly negative, so the two can never collide in a protocol's
+   hook-state tables. *)
 let barrier_hook_id bid = -bid - 1
+let hook_target id = if id < 0 then `Barrier (-id - 1) else `Lock id
 
 let lock_create (rt : Runtime.t) ?protocol ?manager () =
   let id = rt.next_lock in
@@ -36,6 +43,7 @@ let lock_acquire rt id =
        (Dsm_comm.Lock_op { lock = id; node; tid }));
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
   proto.Protocol.lock_acquire rt ~node ~lock:id;
+  Runtime.record_history rt ~start:started (History.Acquire { lock = id });
   let waited = Time.(Engine.now (Runtime.engine rt) - started) in
   Stats.add_span rt.Runtime.instr Instrument.lock_wait waited;
   Metrics.observe rt.Runtime.metrics ~node Instrument.m_lock_wait waited
@@ -43,13 +51,22 @@ let lock_acquire rt id =
 let lock_release rt id =
   let ls = Runtime.lock_state rt id in
   let node = Runtime.self_node rt in
+  let started = Engine.now (Runtime.engine rt) in
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
   proto.Protocol.lock_release rt ~node ~lock:id;
+  (* Record before the manager round-trip: the release's place in the
+     history must precede the acquire of whoever the manager grants the
+     lock to next (the grant can overtake our reply on the wire). *)
+  Runtime.record_history rt ~start:started (History.Release { lock = id });
   let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
   let services = Runtime.services rt in
-  Rpc.oneway (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
-    ~service:services.Runtime.srv_lock_release ~cost:Driver.Request
-    (Dsm_comm.Lock_op { lock = id; node; tid })
+  match
+    Rpc.call (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
+      ~service:services.Runtime.srv_lock_release ~cost:Driver.Request
+      (Dsm_comm.Lock_op { lock = id; node; tid })
+  with
+  | Dsm_comm.Lock_error msg -> raise (Lock_error msg)
+  | _ -> ()
 
 let with_lock rt id f =
   lock_acquire rt id;
@@ -92,4 +109,6 @@ let barrier_wait rt id =
   let waited = Time.(Engine.now (Runtime.engine rt) - started) in
   Stats.add_span rt.Runtime.instr Instrument.barrier_wait waited;
   Metrics.observe rt.Runtime.metrics ~node Instrument.m_barrier_wait waited;
-  proto.Protocol.lock_acquire rt ~node ~lock:hook
+  proto.Protocol.lock_acquire rt ~node ~lock:hook;
+  Runtime.record_history rt ~start:started
+    (History.Barrier { barrier = id; parties = bs.Runtime.barrier_parties })

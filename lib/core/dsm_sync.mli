@@ -19,8 +19,17 @@ val lock_create : Runtime.t -> ?protocol:int -> ?manager:int -> unit -> int
 (** [manager] defaults to [id mod nodes]; [protocol] (whose hooks the lock
     triggers) defaults to the runtime's default protocol at creation time. *)
 
+exception Lock_error of string
+(** A release the manager rejected: released while free, or released by a
+    thread that does not hold the lock.  Raised in the releasing fiber (the
+    error travels back over the release RPC); the manager's state is
+    untouched and every other node keeps running. *)
+
 val lock_acquire : Runtime.t -> int -> unit
+
 val lock_release : Runtime.t -> int -> unit
+(** @raise Lock_error on release-while-free or wrong-holder release. *)
+
 val with_lock : Runtime.t -> int -> (unit -> 'a) -> 'a
 
 val lock_acquisitions : Runtime.t -> int -> int
@@ -30,4 +39,10 @@ val barrier_create : Runtime.t -> ?protocol:int -> ?manager:int -> parties:int -
 val barrier_wait : Runtime.t -> int -> unit
 
 val barrier_hook_id : int -> int
-(** The synthetic lock id passed to protocol hooks for barrier [bid]. *)
+(** The synthetic lock id passed to protocol hooks for barrier [bid].
+    Always strictly negative, so it can never collide with a real lock id
+    (which are non-negative) in a protocol's hook-state tables. *)
+
+val hook_target : int -> [ `Lock of int | `Barrier of int ]
+(** Decodes the id a [lock_acquire]/[lock_release] hook received back to
+    the synchronization object that triggered it. *)

@@ -1,0 +1,248 @@
+open Dsmpm2_sim
+
+type kind =
+  | Read of { addr : int; value : int }
+  | Write of { addr : int; value : int }
+  | Acquire of { lock : int }
+  | Release of { lock : int }
+  | Barrier of { barrier : int; parties : int }
+
+type op = {
+  index : int;
+  tid : int;
+  node : int;
+  start : Time.t;
+  finish : Time.t;
+  kind : kind;
+}
+
+type t = { mutable rev_ops : op list; mutable count : int }
+
+let create () = { rev_ops = []; count = 0 }
+
+let record t ~tid ~node ~start ~finish kind =
+  let op = { index = t.count; tid; node; start; finish; kind } in
+  t.count <- t.count + 1;
+  t.rev_ops <- op :: t.rev_ops
+
+let length t = t.count
+let ops t = List.rev t.rev_ops
+
+let kind_to_string = function
+  | Read { addr; value } -> Printf.sprintf "read  [0x%x] -> %d" addr value
+  | Write { addr; value } -> Printf.sprintf "write [0x%x] <- %d" addr value
+  | Acquire { lock } -> Printf.sprintf "acquire lock %d" lock
+  | Release { lock } -> Printf.sprintf "release lock %d" lock
+  | Barrier { barrier; parties } ->
+      Printf.sprintf "barrier %d (%d parties)" barrier parties
+
+let op_to_string o =
+  Printf.sprintf "#%d t%d@n%d [%s..%s] %s" o.index o.tid o.node
+    (Format.asprintf "%a" Time.pp o.start)
+    (Format.asprintf "%a" Time.pp o.finish)
+    (kind_to_string o.kind)
+
+let fingerprint t =
+  List.fold_left
+    (fun acc o ->
+      let h = Hashtbl.hash (o.index, o.tid, o.node, o.start, o.finish, o.kind) in
+      (acc * 1_000_003) lxor h)
+    0 (ops t)
+
+(* --- checking --- *)
+
+type violation = { v_op : op; v_message : string; v_witnesses : op list }
+
+let violation_to_string v =
+  Printf.sprintf "%s: %s%s" (op_to_string v.v_op) v.v_message
+    (String.concat ""
+       (List.map (fun w -> "\n    " ^ op_to_string w) v.v_witnesses))
+
+(* Vector clocks over dense thread indices. *)
+module Vc = struct
+  type t = int array
+
+  let create n = Array.make n 0
+  let copy = Array.copy
+  let bump vc i = vc.(i) <- vc.(i) + 1
+
+  let join dst src =
+    Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+  (* [hb a b]: everything [a]'s owner (index [ai]) had seen when [a] was
+     snapshotted is included in [b] — i.e. a happens-before (or equals) b. *)
+  let hb a ~ai b = a.(ai) <= b.(ai)
+end
+
+(* An analysed write: its place in the happens-before order plus its real-time
+   window.  The initial zero value of every word is a virtual write that
+   happens-before everything. *)
+type wrec = {
+  w_op : op option; (* None for the virtual initial write *)
+  w_value : int;
+  w_clock : Vc.t;
+  w_ti : int; (* dense thread index; -1 for the virtual write *)
+}
+
+let check ~model t =
+  let history = ops t in
+  (* Dense thread numbering. *)
+  let tids = Hashtbl.create 16 in
+  List.iter
+    (fun o -> if not (Hashtbl.mem tids o.tid) then Hashtbl.add tids o.tid (Hashtbl.length tids))
+    history;
+  let nthreads = max 1 (Hashtbl.length tids) in
+  let ti o = Hashtbl.find tids o.tid in
+  (* Pass 1: chunk each barrier's records, in history order, into
+     generations of [parties] and collect each generation's thread set.
+     Every party's pre-barrier ops precede every record of the generation
+     (all parties arrive before any is released), so when the first record
+     of a generation is reached in pass 2, joining the member threads'
+     clocks yields exactly the join of their pre-barrier histories. *)
+  let barrier_seen = Hashtbl.create 8 (* barrier -> records so far *) in
+  let generation_of = Hashtbl.create 16 (* op index -> (barrier, gen) *) in
+  let members = Hashtbl.create 8 (* (barrier, gen) -> thread index list *) in
+  List.iter
+    (fun o ->
+      match o.kind with
+      | Barrier { barrier; parties } ->
+          let seen =
+            match Hashtbl.find_opt barrier_seen barrier with Some n -> n | None -> 0
+          in
+          Hashtbl.replace barrier_seen barrier (seen + 1);
+          let gen = seen / parties in
+          Hashtbl.replace generation_of o.index (barrier, gen);
+          let key = (barrier, gen) in
+          let prev = match Hashtbl.find_opt members key with Some l -> l | None -> [] in
+          Hashtbl.replace members key (ti o :: prev)
+      | _ -> ())
+    history;
+  (* Pass 2: walk the history in record order maintaining per-thread vector
+     clocks, happens-before edges through locks and barriers, and the set of
+     analysed writes per address; validate each read as it appears. *)
+  let clocks = Array.init nthreads (fun _ -> Vc.create nthreads) in
+  let last_release = Hashtbl.create 8 (* lock -> released clock *) in
+  let generation_clock = Hashtbl.create 8 (* (barrier, gen) -> joined clock *) in
+  let writes : (int, wrec list) Hashtbl.t = Hashtbl.create 64 in
+  let writes_to addr =
+    match Hashtbl.find_opt writes addr with
+    | Some ws -> ws
+    | None ->
+        (* First touch: seed the virtual initial write of value 0. *)
+        let ws = [ { w_op = None; w_value = 0; w_clock = Vc.create nthreads; w_ti = -1 } ] in
+        Hashtbl.replace writes addr ws;
+        ws
+  in
+  let violations = ref [] in
+  let w_hb a b =
+    (* virtual write happens-before everything; nothing precedes it *)
+    match (a.w_ti, b.w_ti) with
+    | -1, _ -> true
+    | _, -1 -> false
+    | ai, _ -> Vc.hb a.w_clock ~ai b.w_clock
+  in
+  let check_read o ~addr ~value reader_clock =
+    (* [writes_to addr] only holds writes recorded before this read, and a
+       write is recorded the instant its frame update lands — before any
+       propagation — so every write the read could have observed is here. *)
+    let ws = writes_to addr in
+    let matching = List.filter (fun w -> w.w_value = value) ws in
+    let fresh_enough w =
+      (* Rejected if some other write both came after w in happens-before
+         order and is itself visible to the reader (w is covered). *)
+      not
+        (List.exists
+           (fun w' ->
+             w' != w && w_hb w w'
+             &&
+             match w'.w_op with
+             | None -> false
+             | Some _ -> Vc.hb w'.w_clock ~ai:w'.w_ti reader_clock)
+           ws)
+    in
+    let sc_legal w =
+      match model with
+      | Protocol.Release | Protocol.Java -> true
+      | Protocol.Sequential -> (
+          (* Per-location real-time rule: w is stale if another write to the
+             same address completed entirely after w and entirely before the
+             read began. *)
+          match w.w_op with
+          | None ->
+              not (List.exists
+                     (fun w' ->
+                       match w'.w_op with
+                       | Some wo' -> wo'.finish < o.start
+                       | None -> false)
+                     ws)
+          | Some wo ->
+              not
+                (List.exists
+                   (fun w' ->
+                     match w'.w_op with
+                     | Some wo' -> wo.finish < wo'.start && wo'.finish < o.start
+                     | None -> false)
+                   ws))
+    in
+    let legal = List.filter (fun w -> fresh_enough w && sc_legal w) matching in
+    (match legal with
+    | [ { w_op = Some _; w_clock; _ } ] ->
+        (* Unambiguous reads-from edge: the reader now causally depends on
+           the write it observed, so later reads of this thread may not step
+           back to writes that happen-before it. *)
+        Vc.join reader_clock w_clock
+    | _ -> ());
+    if legal = [] then begin
+      let witnesses =
+        List.filter_map (fun w -> w.w_op) ws
+        |> List.sort (fun a b -> compare a.index b.index)
+      in
+      let message =
+        if matching = [] then
+          Printf.sprintf "no write of value %d to [0x%x] exists in the history" value addr
+        else
+          Printf.sprintf
+            "value %d at [0x%x] is stale under the %s model (every matching write \
+             is overwritten or out of real-time order)"
+            value addr
+            (Protocol.model_to_string model)
+      in
+      violations := { v_op = o; v_message = message; v_witnesses = witnesses } :: !violations
+    end
+  in
+  List.iter
+    (fun o ->
+      let i = ti o in
+      let clock = clocks.(i) in
+      match o.kind with
+      | Read { addr; value } ->
+          Vc.bump clock i;
+          check_read o ~addr ~value clock
+      | Write { addr; value } ->
+          Vc.bump clock i;
+          let ws = writes_to addr in
+          Hashtbl.replace writes addr
+            ({ w_op = Some o; w_value = value; w_clock = Vc.copy clock; w_ti = i } :: ws)
+      | Acquire { lock } ->
+          (match Hashtbl.find_opt last_release lock with
+          | Some released -> Vc.join clock released
+          | None -> ());
+          Vc.bump clock i
+      | Release { lock } ->
+          Vc.bump clock i;
+          Hashtbl.replace last_release lock (Vc.copy clock)
+      | Barrier _ ->
+          let key = Hashtbl.find generation_of o.index in
+          let gen_clock =
+            match Hashtbl.find_opt generation_clock key with
+            | Some c -> c
+            | None ->
+                let c = Vc.create nthreads in
+                List.iter (fun m -> Vc.join c clocks.(m)) (Hashtbl.find members key);
+                Hashtbl.replace generation_clock key c;
+                c
+          in
+          Vc.join clock gen_clock;
+          Vc.bump clock i)
+    history;
+  List.rev !violations

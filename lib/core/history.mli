@@ -1,0 +1,73 @@
+(** Execution-history recording and consistency checking.
+
+    The conformance harness records every shared read, write and
+    synchronization operation an application performs, then validates the
+    finished history against the consistency model the page protocol
+    declares ({!Protocol.model}).  Recording is off by default
+    (see [Dsm.enable_history]) and piggybacks on the access paths, so an
+    unchecked run pays nothing.
+
+    The checker builds the happens-before order from program order, lock
+    release-to-acquire edges and barrier generations, treats the initial
+    zero value of every word as a virtual write that happens-before
+    everything, and flags each read that no write in the history can legally
+    explain:
+
+    - all models: a read may not return a write that another visible write
+      overwrote in happens-before order, and when a read's source write is
+      unambiguous, later reads of that thread may not step causally
+      backwards past it;
+    - [Sequential] additionally enforces the per-location real-time rule: a
+      write that completed entirely before the read began masks every write
+      that completed entirely before it. *)
+
+open Dsmpm2_sim
+
+type kind =
+  | Read of { addr : int; value : int }
+  | Write of { addr : int; value : int }
+  | Acquire of { lock : int }
+  | Release of { lock : int }
+  | Barrier of { barrier : int; parties : int }
+
+type op = {
+  index : int;  (** global record order; the checker's notion of "before" *)
+  tid : int;
+  node : int;  (** node the operation completed on *)
+  start : Time.t;
+  finish : Time.t;
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> tid:int -> node:int -> start:Time.t -> finish:Time.t -> kind -> unit
+
+val length : t -> int
+
+val ops : t -> op list
+(** In record order. *)
+
+val fingerprint : t -> int
+(** Order-sensitive hash of the whole history; two runs with the same seed
+    must produce the same fingerprint (the replay-determinism check). *)
+
+val op_to_string : op -> string
+val kind_to_string : kind -> string
+
+type violation = {
+  v_op : op;  (** the read the checker could not explain *)
+  v_message : string;
+  v_witnesses : op list;
+      (** the minimized evidence: every write to the offending address, in
+          record order *)
+}
+
+val violation_to_string : violation -> string
+
+val check : model:Protocol.model -> t -> violation list
+(** Validates a completed history; returns the violations in record order
+    (empty for a conforming run). *)

@@ -2,6 +2,12 @@ open Dsmpm2_sim
 open Dsmpm2_mem
 
 type detection = Page_fault | Inline_check
+type model = Sequential | Release | Java
+
+let model_to_string = function
+  | Sequential -> "sequential"
+  | Release -> "release"
+  | Java -> "java"
 
 type page_message = {
   page : int;
@@ -18,6 +24,7 @@ type page_message = {
 type 'rt t = {
   name : string;
   detection : detection;
+  model : model;
   read_fault : 'rt -> node:int -> page:int -> unit;
   write_fault : 'rt -> node:int -> page:int -> unit;
   read_server : 'rt -> node:int -> page:int -> requester:int -> unit;

@@ -29,6 +29,23 @@ type detection = Page_fault | Inline_check
     locality check and no fault cost — the paper's [java_ic] vs [java_pf]
     distinction (Section 3.3). *)
 
+type model = Sequential | Release | Java
+(** The consistency contract a protocol declares, checked by the {!History}
+    conformance checker:
+
+    - [Sequential]: every read returns the most recent write in a single
+      total order consistent with both program order and real time (per
+      location) — the Li-Hudak family's guarantee.
+    - [Release]: reads may be stale between synchronization points; a read
+      must still return a write that is not overwritten in the
+      happens-before order induced by program order, lock release→acquire
+      pairs and barriers (DRF programs observe sequential consistency).
+    - [Java]: the Java memory model as used by Hyperion — checked with the
+      same happens-before rule as [Release]; main-memory propagation is only
+      guaranteed at monitor operations. *)
+
+val model_to_string : model -> string
+
 type page_message = {
   page : int;
   data : bytes;
@@ -44,6 +61,7 @@ type page_message = {
 type 'rt t = {
   name : string;
   detection : detection;
+  model : model;  (** the consistency contract the protocol promises *)
   read_fault : 'rt -> node:int -> page:int -> unit;
   write_fault : 'rt -> node:int -> page:int -> unit;
   read_server : 'rt -> node:int -> page:int -> requester:int -> unit;

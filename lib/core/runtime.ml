@@ -69,6 +69,7 @@ type t = {
   mutable next_barrier : int;
   mutable fault_loop_limit : int;
   diff_handlers : (int, diff_handler) Hashtbl.t;
+  mutable history : History.t option;
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
@@ -98,6 +99,7 @@ let create ?(costs = default_costs) pm2 =
     next_barrier = 0;
     fault_loop_limit = 1000;
     diff_handlers = Hashtbl.create 8;
+    history = None;
   }
 
 let nodes t = Pm2.nodes t.pm2
@@ -125,3 +127,13 @@ let barrier_state t id =
   match Hashtbl.find_opt t.barriers id with
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Runtime.barrier_state: unknown barrier %d" id)
+
+let record_history t ~start kind =
+  match t.history with
+  | None -> ()
+  | Some h ->
+      History.record h
+        ~tid:(Marcel.tid (Marcel.self (marcel t)))
+        ~node:(self_node t) ~start
+        ~finish:(Engine.now (engine t))
+        kind

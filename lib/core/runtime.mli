@@ -82,6 +82,9 @@ type t = {
       (** safety bound on fault-retry iterations per access *)
   diff_handlers : (int, diff_handler) Hashtbl.t;
       (** per-protocol diff processing, see {!Dsm_comm.set_diff_handler} *)
+  mutable history : History.t option;
+      (** when set, the access and sync paths record every shared operation
+          for the conformance checker (see [Dsm.enable_history]) *)
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
@@ -103,3 +106,8 @@ val entry : t -> node:int -> page:int -> Page_table.entry
 
 val lock_state : t -> int -> lock_state
 val barrier_state : t -> int -> barrier_state
+
+val record_history : t -> start:Time.t -> History.kind -> unit
+(** Appends to the conformance history (no-op when recording is off).  Must
+    be called from the thread that performed the operation; [start] is when
+    the operation began, the finish time is now. *)

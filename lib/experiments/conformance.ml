@@ -1,0 +1,313 @@
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+
+(* The `dsm check` conformance harness: run small shared-memory workloads
+   under seeded schedule perturbation (Engine tie-breaking) plus seeded
+   network jitter, record the execution history, and validate it against the
+   consistency model each protocol declares.  Every seed is a distinct legal
+   interleaving; every failure replays from its seed. *)
+
+type workload = Lock_ladder | Barrier_phases | Racy_poll | Mixed_sync
+
+let workloads = [ Lock_ladder; Barrier_phases; Racy_poll; Mixed_sync ]
+
+let workload_name = function
+  | Lock_ladder -> "lock_ladder"
+  | Barrier_phases -> "barrier_phases"
+  | Racy_poll -> "racy_poll"
+  | Mixed_sync -> "mixed_sync"
+
+let workload_by_name n =
+  List.find_opt (fun w -> workload_name w = n) workloads
+
+let all_protocols =
+  [
+    "li_hudak"; "migrate_thread"; "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf";
+    "li_hudak_fixed"; "hybrid_rw"; "entry_ec"; "write_update";
+  ]
+let nodes = 3
+
+(* The post-mortem value of a word, per the recorded history: the last write
+   in record order.  For lock- or barrier-ordered writes the record order is
+   the synchronization order, so this is the value a correctly synchronized
+   reader would observe next.  Peeking some node's frame instead would be
+   unsound — java-family caches keep read-write rights on stale replicas
+   that were simply never re-acquired. *)
+let final_written hist addr =
+  List.fold_left
+    (fun acc (op : History.op) ->
+      match op.History.kind with
+      | History.Write { addr = a; value } when a = addr -> Some value
+      | _ -> acc)
+    None (History.ops hist)
+
+(* A correct protocol must leave the final value on at least one node that
+   still has rights to the page — the owner, or the home after the closing
+   flush.  Catches a broken flush path that no later read happens to expose. *)
+let some_replica_holds dsm addr value =
+  let n = Dsm.nodes dsm in
+  let rec find node =
+    node < n
+    && ((Dsm.unsafe_rights dsm ~node ~addr <> Dsmpm2_mem.Access.No_access
+         && Dsm.unsafe_peek dsm ~node addr = value)
+       || find (node + 1))
+  in
+  find 0
+
+let check_var dsm hist ~what addr ~expected =
+  let got = Option.value ~default:0 (final_written hist addr) in
+  if got <> expected then
+    Some (Printf.sprintf "%s: expected %d, final write is %d" what expected got)
+  else if not (some_replica_holds dsm addr expected) then
+    Some (Printf.sprintf "%s: no live replica holds final value %d" what expected)
+  else None
+
+let bind_if_entry_ec dsm ~protocol ~lock ~addr =
+  if Dsm.protocol_name dsm protocol = "entry_ec" then
+    Entry_ec.bind dsm ~lock ~addr ~size:8
+
+(* Each builder wires the workload's threads into [dsm] and returns a
+   post-run result check (None = result correct, Some msg = wrong answer —
+   a violation even when the history itself is explainable). *)
+
+let build_lock_ladder dsm ~protocol ~seed =
+  let rng = Rng.create ~seed:(seed lxor 0x9e3779b9) in
+  let nvars = 2 and ops = 4 in
+  let vars =
+    Array.init nvars (fun i ->
+        Dsm.malloc dsm ~protocol ~home:(Dsm.On_node (i mod nodes)) 8)
+  in
+  let locks = Array.init nvars (fun _ -> Dsm.lock_create dsm ~protocol ()) in
+  Array.iteri (fun i lock -> bind_if_entry_ec dsm ~protocol ~lock ~addr:vars.(i)) locks;
+  let plans =
+    Array.init nodes (fun _ -> Array.init ops (fun _ -> Rng.int rng nvars))
+  in
+  let expected = Array.make nvars 0 in
+  Array.iter (Array.iter (fun v -> expected.(v) <- expected.(v) + 1)) plans;
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           Array.iter
+             (fun v ->
+               Dsm.with_lock dsm locks.(v) (fun () ->
+                   Dsm.write_int dsm vars.(v) (Dsm.read_int dsm vars.(v) + 1));
+               Dsm.compute dsm 80.)
+             plans.(node)))
+  done;
+  fun hist ->
+    let bad = ref None in
+    Array.iteri
+      (fun i v ->
+        if !bad = None then
+          bad :=
+            check_var dsm hist
+              ~what:(Printf.sprintf "var %d locked increments" i)
+              v ~expected:expected.(i))
+      vars;
+    !bad
+
+let build_barrier_phases dsm ~protocol ~seed:_ =
+  let x = Dsm.malloc dsm ~protocol ~home:(Dsm.On_node 0) 8 in
+  let barrier = Dsm.barrier_create dsm ~protocol ~parties:nodes () in
+  let phases = 3 in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for p = 0 to phases - 1 do
+             if p mod nodes = node then Dsm.write_int dsm x (p + 1);
+             Dsm.barrier_wait dsm barrier;
+             ignore (Dsm.read_int dsm x);
+             Dsm.barrier_wait dsm barrier
+           done))
+  done;
+  fun hist -> check_var dsm hist ~what:"final phase value" x ~expected:phases
+
+let build_racy_poll dsm ~protocol ~seed:_ =
+  (* Deliberately unsynchronized: one writer, two pollers.  No expected
+     result — the point is what staleness the declared model tolerates. *)
+  let x = Dsm.malloc dsm ~protocol ~home:(Dsm.On_node 0) 8 in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         Dsm.compute dsm 500.;
+         Dsm.write_int dsm x 1;
+         Dsm.compute dsm 1_500.;
+         Dsm.write_int dsm x 2));
+  for node = 1 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for _ = 1 to 8 do
+             ignore (Dsm.read_int dsm x);
+             Dsm.compute dsm (float_of_int (250 + (70 * node)))
+           done))
+  done;
+  fun _hist -> None
+
+let build_mixed_sync dsm ~protocol ~seed:_ =
+  (* Locks and barriers interleaved on one protocol: a lock-guarded counter
+     incremented each phase, a barrier between phases, and unlocked reads of
+     the counter right after the barrier (legal: the barrier publishes the
+     increments of the previous phase). *)
+  let c = Dsm.malloc dsm ~protocol ~home:(Dsm.On_node 0) 8 in
+  let lock = Dsm.lock_create dsm ~protocol () in
+  bind_if_entry_ec dsm ~protocol ~lock ~addr:c;
+  let barrier = Dsm.barrier_create dsm ~protocol ~parties:nodes () in
+  let phases = 2 in
+  for node = 0 to nodes - 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for _ = 0 to phases - 1 do
+             Dsm.with_lock dsm lock (fun () ->
+                 Dsm.write_int dsm c (Dsm.read_int dsm c + 1));
+             Dsm.barrier_wait dsm barrier;
+             ignore (Dsm.read_int dsm c);
+             Dsm.barrier_wait dsm barrier
+           done))
+  done;
+  fun hist ->
+    check_var dsm hist ~what:"locked increments" c ~expected:(nodes * phases)
+
+let build dsm ~protocol workload ~seed =
+  match workload with
+  | Lock_ladder -> build_lock_ladder dsm ~protocol ~seed
+  | Barrier_phases -> build_barrier_phases dsm ~protocol ~seed
+  | Racy_poll -> build_racy_poll dsm ~protocol ~seed
+  | Mixed_sync -> build_mixed_sync dsm ~protocol ~seed
+
+type outcome = {
+  o_seed : int;
+  o_workload : string;
+  o_driver : string;
+  o_violations : History.violation list;
+  o_wrong_result : string option;
+  o_fingerprint : int;
+  o_ops : int;
+}
+
+let outcome_failed o = o.o_violations <> [] || o.o_wrong_result <> None
+
+let run_one ~protocol ~driver ~workload ~seed =
+  let jitter = Network.seeded_jitter ~seed () in
+  let dsm = Dsm.create ~tie_seed:seed ~jitter ~nodes ~driver () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  let proto_id =
+    match Dsm.protocol_by_name dsm protocol with
+    | Some id -> id
+    | None -> invalid_arg (Printf.sprintf "Conformance: unknown protocol %s" protocol)
+  in
+  let hist = Dsm.enable_history dsm in
+  let check_result = build dsm ~protocol:proto_id workload ~seed in
+  Dsm.run dsm;
+  let model = (Runtime.proto dsm proto_id).Protocol.model in
+  {
+    o_seed = seed;
+    o_workload = workload_name workload;
+    o_driver = driver.Driver.name;
+    o_violations = History.check ~model hist;
+    o_wrong_result = check_result hist;
+    o_fingerprint = History.fingerprint hist;
+    o_ops = History.length hist;
+  }
+
+type verdict = {
+  v_protocol : string;
+  v_model : Protocol.model;
+  v_runs : int;
+  v_failures : int;
+  v_first_failure : outcome option;
+}
+
+let model_of_protocol protocol =
+  (* Registration is cheap; build a throw-away runtime to read the declared
+     model off the registry. *)
+  let dsm = Dsm.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  match Dsm.protocol_by_name dsm protocol with
+  | Some id -> (Runtime.proto dsm id).Protocol.model
+  | None -> invalid_arg (Printf.sprintf "Conformance: unknown protocol %s" protocol)
+
+let sweep ?(protocols = all_protocols) ?(drivers = Driver.all)
+    ?(workload_list = workloads) ?(progress = fun _ -> ()) ~seeds () =
+  List.map
+    (fun protocol ->
+      let runs = ref 0 and failures = ref 0 in
+      let first = ref None in
+      List.iter
+        (fun driver ->
+          List.iter
+            (fun workload ->
+              for seed = 0 to seeds - 1 do
+                incr runs;
+                let o = run_one ~protocol ~driver ~workload ~seed in
+                if outcome_failed o then begin
+                  incr failures;
+                  if !first = None then first := Some o
+                end
+              done;
+              progress (Printf.sprintf "%s/%s/%s" protocol driver.Driver.name
+                          (workload_name workload)))
+            workload_list)
+        drivers;
+      {
+        v_protocol = protocol;
+        v_model = model_of_protocol protocol;
+        v_runs = !runs;
+        v_failures = !failures;
+        v_first_failure = !first;
+      })
+    protocols
+
+let print_outcome ppf o =
+  Format.fprintf ppf "    seed %d, %s, %s (%d ops recorded)@." o.o_seed o.o_driver
+    o.o_workload o.o_ops;
+  (match o.o_wrong_result with
+  | Some msg -> Format.fprintf ppf "    wrong result: %s@." msg
+  | None -> ());
+  List.iteri
+    (fun i v ->
+      if i < 3 then
+        Format.fprintf ppf "    %s@." (History.violation_to_string v))
+    o.o_violations;
+  if List.length o.o_violations > 3 then
+    Format.fprintf ppf "    ... and %d more violations@."
+      (List.length o.o_violations - 3)
+
+let print ppf verdicts =
+  Format.fprintf ppf "Conformance sweep: perturbed schedules vs declared models@.";
+  Format.fprintf ppf "%-16s %-11s %7s %9s  %s@." "Protocol" "Model" "Runs"
+    "Failures" "Verdict";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-16s %-11s %7d %9d  %s@." v.v_protocol
+        (Protocol.model_to_string v.v_model)
+        v.v_runs v.v_failures
+        (if v.v_failures = 0 then "PASS" else "FAIL");
+      match v.v_first_failure with
+      | Some o when v.v_failures > 0 ->
+          Format.fprintf ppf "  first failing seed (replay with --replay %d):@."
+            o.o_seed;
+          print_outcome ppf o
+      | _ -> ())
+    verdicts
+
+let to_json verdicts =
+  Json.List
+    (List.map
+       (fun v ->
+         Json.Obj
+           [
+             ("protocol", Json.String v.v_protocol);
+             ("model", Json.String (Protocol.model_to_string v.v_model));
+             ("runs", Json.Int v.v_runs);
+             ("failures", Json.Int v.v_failures);
+             ( "first_failing_seed",
+               match v.v_first_failure with
+               | Some o -> Json.Int o.o_seed
+               | None -> Json.Null );
+           ])
+       verdicts)
+
+let failed verdicts = List.exists (fun v -> v.v_failures > 0) verdicts

@@ -1,0 +1,79 @@
+(** Schedule-exploration conformance checker ([dsm check]).
+
+    Sweeps every builtin protocol over a grid of seeds, drivers and small
+    shared-memory workloads.  Each seed perturbs the legal event
+    interleaving (engine tie-breaking, {!Dsmpm2_sim.Engine.create}) and the
+    network latencies ({!Dsmpm2_net.Network.seeded_jitter}) without ever
+    breaking FIFO link order, so every run is an execution the real system
+    could produce.  The recorded history ({!Dsmpm2_core.History}) is then
+    validated against the consistency model the protocol declares
+    ({!Dsmpm2_core.Protocol.model}), and lock-protected workloads also check
+    their final computed values.
+
+    A failing run is reported with its seed; re-running the same seed
+    replays the identical schedule, so verdicts are actionable. *)
+
+open Dsmpm2_net
+open Dsmpm2_core
+
+(** {1 Workloads} *)
+
+type workload =
+  | Lock_ladder  (** seeded random lock-protected increments over two vars *)
+  | Barrier_phases  (** rotating writer, double-barrier phases *)
+  | Racy_poll  (** unsynchronized writer vs bounded pollers *)
+  | Mixed_sync  (** lock-guarded counter with barriers between phases *)
+
+val workloads : workload list
+val workload_name : workload -> string
+val workload_by_name : string -> workload option
+
+val all_protocols : string list
+(** Names of every registered builtin protocol, in registration order. *)
+
+(** {1 Single runs} *)
+
+type outcome = {
+  o_seed : int;
+  o_workload : string;
+  o_driver : string;
+  o_violations : History.violation list;
+  o_wrong_result : string option;
+      (** the workload's own result check, when the final values are wrong *)
+  o_fingerprint : int;  (** order-sensitive hash of the recorded history *)
+  o_ops : int;  (** number of recorded operations *)
+}
+
+val outcome_failed : outcome -> bool
+
+val run_one :
+  protocol:string -> driver:Driver.t -> workload:workload -> seed:int -> outcome
+(** Run one workload under one protocol, driver and seed, with history
+    recording enabled, and check the history against the protocol's declared
+    model.  Deterministic: the same arguments replay the same schedule. *)
+
+(** {1 Sweeps} *)
+
+type verdict = {
+  v_protocol : string;
+  v_model : Protocol.model;
+  v_runs : int;
+  v_failures : int;
+  v_first_failure : outcome option;
+}
+
+val sweep :
+  ?protocols:string list ->
+  ?drivers:Driver.t list ->
+  ?workload_list:workload list ->
+  ?progress:(string -> unit) ->
+  seeds:int ->
+  unit ->
+  verdict list
+(** [sweep ~seeds ()] runs seeds 0..[seeds-1] for every protocol, driver and
+    workload (defaults: all of each) and aggregates per-protocol verdicts.
+    [progress] is called after each protocol/driver/workload cell. *)
+
+val print : Format.formatter -> verdict list -> unit
+val to_json : verdict list -> Dsmpm2_sim.Json.t
+val failed : verdict list -> bool

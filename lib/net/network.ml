@@ -34,6 +34,28 @@ let bytes_sent t = t.bytes
 let stats t = t.net_stats
 let metrics t = t.net_metrics
 
+(* Seeded fault-injection jitter: every message pays a bounded random extra
+   latency, and a small fraction take a much larger "spike" (a retransmission,
+   a switch hiccup).  The stream is drawn from its own Rng in send order —
+   deterministic for a given schedule, so a perturbed run replays exactly.
+   Delays only grow, and the per-link arrival clamp in [send] preserves FIFO
+   regardless, so this never reorders a link. *)
+let seeded_jitter ?(extra_us = 40.) ?(spike_us = 400.) ?(spike_pct = 2) ~seed () =
+  if extra_us < 0. || spike_us < 0. then
+    invalid_arg "Network.seeded_jitter: bounds must be non-negative";
+  if spike_pct < 0 || spike_pct > 100 then
+    invalid_arg "Network.seeded_jitter: spike_pct must be in [0, 100]";
+  (* Salt the seed so the jitter stream differs from an engine tie-break
+     stream built from the same user-level seed. *)
+  let rng = Rng.create ~seed:(Rng.int (Rng.create ~seed) 0x3FFFFFFF + 0x5bd1) in
+  fun ~src:_ ~dst:_ delay ->
+    let extra = Time.of_us (Rng.float rng extra_us) in
+    let spike =
+      if spike_pct > 0 && Rng.int rng 100 < spike_pct then Time.of_us spike_us
+      else Time.zero
+    in
+    Time.(delay + extra + spike)
+
 let kind_name = function
   | Driver.Null_rpc -> "msg.null_rpc"
   | Driver.Request -> "msg.request"
@@ -59,9 +81,10 @@ let send t ~src ~dst ~cost k =
       match t.jitter with
       | None -> delay
       | Some f ->
-          let d = f ~src ~dst delay in
-          if d < 0 then invalid_arg "Network: jitter returned negative delay";
-          d
+          (* Clamp rather than raise: a buggy (or adversarial fault-injection)
+             jitter function must never be able to schedule a delivery in the
+             past and trip the engine's at-in-the-past assertion mid-run. *)
+          Time.max (f ~src ~dst delay) Time.zero
     in
     let link = (src * t.nnodes) + dst in
     let arrival =

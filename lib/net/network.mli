@@ -15,8 +15,28 @@ val create :
   driver:Driver.t ->
   nodes:int ->
   t
-(** [jitter] maps the nominal delay of each message to an effective delay; it
-    must return a non-negative time. *)
+(** [jitter] maps the nominal delay of each message to an effective delay.
+    Negative results are clamped to zero at send time, so a misbehaving
+    jitter function can slow or speed messages but never schedule a delivery
+    in the past. *)
+
+val seeded_jitter :
+  ?extra_us:float ->
+  ?spike_us:float ->
+  ?spike_pct:int ->
+  seed:int ->
+  unit ->
+  src:int ->
+  dst:int ->
+  Time.t ->
+  Time.t
+(** [seeded_jitter ~seed ()] builds a deterministic fault-injection jitter
+    function for {!create}: every message pays a uniform extra latency in
+    [0, extra_us] (default 40) and [spike_pct]% of messages (default 2) pay a
+    further [spike_us] (default 400) spike.  Draws are made in send order
+    from a private seeded stream, so a given seed replays the identical
+    perturbation; combined with the per-link arrival clamp, it can delay but
+    never reorder a FIFO link. *)
 
 val driver : t -> Driver.t
 val nodes : t -> int

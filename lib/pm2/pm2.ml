@@ -11,8 +11,8 @@ type t = {
   mutable migrations : int;
 }
 
-let create ?jitter ?(page_size = 4096) ~nodes ~driver () =
-  let eng = Engine.create () in
+let create ?tie_seed ?jitter ?(page_size = 4096) ~nodes ~driver () =
+  let eng = Engine.create ?tie_seed () in
   let marcel = Marcel.create eng ~nodes in
   let net = Network.create ?jitter eng ~driver ~nodes in
   let rpc = Rpc.create marcel net in

@@ -11,6 +11,7 @@ open Dsmpm2_net
 type t
 
 val create :
+  ?tie_seed:int ->
   ?jitter:(src:int -> dst:int -> Time.t -> Time.t) ->
   ?page_size:int ->
   nodes:int ->
@@ -19,7 +20,8 @@ val create :
   t
 (** Builds a fresh engine, [nodes] single-CPU nodes, a network using
     [driver], an RPC runtime and an iso-address allocator ([page_size]
-    defaults to 4096, the paper's page size). *)
+    defaults to 4096, the paper's page size).  [tie_seed] turns on the
+    engine's schedule-perturbation mode (see {!Engine.create}). *)
 
 val engine : t -> Engine.t
 val marcel : t -> Marcel.t

@@ -26,13 +26,16 @@ let bound_pages rt ~lock =
   | None -> []
 
 (* The scope of a hook invocation: the lock's bound pages, or everything for
-   unbound locks and for barriers (negative synthetic ids). *)
+   unbound locks and for barriers.  Decoding through [Dsm_sync.hook_target]
+   keeps barrier hook ids (a synthetic negative namespace) from ever being
+   looked up in the lock directory. *)
 let scope rt ~lock =
-  if lock < 0 then None
-  else
-    match binding_of (Runtime.lock_state rt lock) with
-    | Some b -> Some b.pages
-    | None -> None
+  match Dsm_sync.hook_target lock with
+  | `Barrier _ -> None
+  | `Lock lock -> (
+      match binding_of (Runtime.lock_state rt lock) with
+      | Some b -> Some b.pages
+      | None -> None)
 
 let lock_acquire rt ~node ~lock =
   Java_common.drop_selected rt ~node ~protocol:(protocol_id rt) ~only:(scope rt ~lock)
@@ -43,6 +46,7 @@ let lock_release rt ~node ~lock =
 let protocol =
   {
     (Java_common.make ~name:"entry_ec" ~detection:Protocol.Page_fault) with
-    Protocol.lock_acquire;
+    Protocol.model = Protocol.Release;
+    lock_acquire;
     lock_release;
   }

@@ -140,6 +140,7 @@ let protocol =
   {
     Protocol.name = "erc_sw";
     detection = Protocol.Page_fault;
+    model = Protocol.Release;
     read_fault;
     write_fault;
     read_server;

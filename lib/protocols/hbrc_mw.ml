@@ -182,6 +182,7 @@ let protocol =
   {
     Protocol.name = "hbrc_mw";
     detection = Protocol.Page_fault;
+    model = Protocol.Release;
     read_fault;
     write_fault;
     read_server;

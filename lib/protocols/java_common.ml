@@ -146,6 +146,7 @@ let make ~name ~detection =
   {
     Protocol.name;
     detection;
+    model = Protocol.Java;
     read_fault;
     write_fault;
     read_server;

@@ -114,6 +114,7 @@ let protocol =
   {
     Protocol.name = "li_hudak";
     detection = Protocol.Page_fault;
+    model = Protocol.Sequential;
     read_fault;
     write_fault;
     read_server;

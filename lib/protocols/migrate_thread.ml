@@ -48,6 +48,7 @@ let protocol =
   {
     Protocol.name = "migrate_thread";
     detection = Protocol.Page_fault;
+    model = Protocol.Sequential;
     read_fault = migrate_on_fault;
     write_fault = migrate_on_fault;
     read_server;

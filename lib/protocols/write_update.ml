@@ -117,6 +117,12 @@ let protocol =
   {
     Protocol.name = "write_update";
     detection = Protocol.Page_fault;
+    (* Processor consistency, checked under the release/happens-before rule:
+       a remote replica serves (program-order-consistent) stale reads during
+       the synchronous update push, so the per-location real-time rule of
+       [Sequential] does not hold — see the litmus sweep, where MP is
+       forbidden but SB is observable. *)
+    model = Protocol.Release;
     read_fault;
     write_fault;
     read_server;

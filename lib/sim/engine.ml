@@ -1,4 +1,4 @@
-type event = { time : Time.t; seq : int; action : unit -> unit }
+type event = { time : Time.t; seq : int; tie : int; action : unit -> unit }
 
 type t = {
   mutable clock : Time.t;
@@ -8,6 +8,10 @@ type t = {
   mutable executed : int;
   mutable next_fiber : int;
   mutable current : int option;
+  tie_rng : Rng.t option;
+      (* schedule perturbation: when set, same-time events are ordered by a
+         seed-driven tie key instead of insertion order *)
+  tie_seed : int option;
 }
 
 exception Stalled of int
@@ -16,9 +20,12 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 let cmp_event a b =
   let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.tie b.tie in
+    if c <> 0 then c else compare a.seq b.seq
 
-let create () =
+let create ?tie_seed () =
   {
     clock = Time.zero;
     queue = Heap.create ~cmp:cmp_event;
@@ -27,12 +34,15 @@ let create () =
     executed = 0;
     next_fiber = 0;
     current = None;
+    tie_rng = Option.map (fun seed -> Rng.create ~seed) tie_seed;
+    tie_seed;
   }
 
 let now t = t.clock
 let live_fibers t = t.live
 let events_executed t = t.executed
 let current_fiber t = t.current
+let tie_seed t = t.tie_seed
 
 let at t time action =
   if time < t.clock then
@@ -40,7 +50,11 @@ let at t time action =
       (Printf.sprintf "Engine.at: time %d is in the past (now %d)" time t.clock);
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.add t.queue { time; seq; action }
+  (* The tie key is drawn in scheduling order, so a given seed always maps
+     the same (deterministic) sequence of [at] calls to the same ordering:
+     every perturbed run replays exactly from its seed. *)
+  let tie = match t.tie_rng with None -> 0 | Some rng -> Rng.int rng 0x40000000 in
+  Heap.add t.queue { time; seq; tie; action }
 
 let after t dt action = at t Time.(t.clock + dt) action
 

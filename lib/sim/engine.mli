@@ -17,7 +17,17 @@
 
 type t
 
-val create : unit -> t
+val create : ?tie_seed:int -> unit -> t
+(** [tie_seed] enables {e schedule perturbation}: events scheduled for the
+    same virtual time are ordered by a seed-driven tie key instead of FIFO
+    insertion order.  Causality is preserved (an event only enters the queue
+    once its creator has run, and distinct times still order by time), so
+    every seed is a legal interleaving of the same program — and because the
+    tie keys are drawn deterministically, the same seed always replays the
+    identical schedule.  Omit it for the classic deterministic FIFO order. *)
+
+val tie_seed : t -> int option
+(** The perturbation seed this engine was created with, if any. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)

@@ -172,18 +172,58 @@ let test_lock_mutual_exclusion () =
   Alcotest.(check int) "12 grants" 12 (Dsm_sync.lock_acquisitions dsm lock)
 
 let test_lock_release_by_other_thread_fails () =
-  let dsm, _ = make ~nodes:2 () in
+  (* The manager rejects the bad release over the RPC reply: the offending
+     thread gets Lock_error in its own fiber, the holder is undisturbed, and
+     the rest of the cluster keeps running. *)
+  let dsm, _ = make ~nodes:3 () in
   let lock = Dsm.lock_create dsm () in
-  ignore (Dsm.spawn dsm ~node:0 (fun () -> Dsm.lock_acquire dsm lock));
+  let caught = ref None in
+  let holder_released = ref false and bystander_done = ref false in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         Dsm.lock_acquire dsm lock;
+         Dsm.compute dsm 5_000.;
+         Dsm.lock_release dsm lock;
+         holder_released := true));
   ignore
     (Dsm.spawn dsm ~node:1 (fun () ->
-         Dsm.compute dsm 1000.;
-         Dsm.lock_release dsm lock));
-  Alcotest.(check bool) "release by non-holder detected" true
-    (try
-       Dsm.run dsm;
-       false
-     with Failure msg -> String.length msg > 0)
+         Dsm.compute dsm 1_000.;
+         try Dsm.lock_release dsm lock
+         with Dsm_sync.Lock_error msg -> caught := Some msg));
+  ignore
+    (Dsm.spawn dsm ~node:2 (fun () ->
+         Dsm.compute dsm 2_000.;
+         (* Queues behind the holder and still gets the lock afterwards. *)
+         Dsm.with_lock dsm lock (fun () -> ());
+         bystander_done := true));
+  Dsm.run dsm;
+  (match !caught with
+  | Some msg ->
+      Alcotest.(check bool) "names the real holder" true
+        (String.length msg > 0
+        && String.sub msg 0 8 = "DSM lock")
+  | None -> Alcotest.fail "bad release was not rejected");
+  Alcotest.(check bool) "holder released normally" true !holder_released;
+  Alcotest.(check bool) "other nodes keep running" true !bystander_done;
+  Alcotest.(check int) "both legitimate grants happened" 2
+    (Dsm_sync.lock_acquisitions dsm lock)
+
+let test_lock_release_while_free_fails () =
+  let dsm, _ = make ~nodes:2 () in
+  let lock = Dsm.lock_create dsm () in
+  let caught = ref false and other_ran = ref false in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         try Dsm.lock_release dsm lock
+         with Dsm_sync.Lock_error _ -> caught := true));
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.compute dsm 2_000.;
+         Dsm.with_lock dsm lock (fun () -> ());
+         other_ran := true));
+  Dsm.run dsm;
+  Alcotest.(check bool) "release-while-free rejected" true !caught;
+  Alcotest.(check bool) "simulation survives" true !other_ran
 
 let test_lock_survives_migration () =
   (* A thread acquires on one node, migrates, and releases from another. *)
@@ -389,6 +429,8 @@ let () =
           Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
           Alcotest.test_case "foreign release detected" `Quick
             test_lock_release_by_other_thread_fails;
+          Alcotest.test_case "release while free detected" `Quick
+            test_lock_release_while_free_fails;
           Alcotest.test_case "survives migration" `Quick test_lock_survives_migration;
         ] );
       ( "barriers",

@@ -290,6 +290,36 @@ let test_entry_ec_unbound_lock_degrades_to_java () =
       Dsm.lock_release dsm lock);
   Alcotest.(check int) "flushed like java" 7 (Dsm.unsafe_peek dsm ~node:0 a)
 
+let test_entry_ec_mixed_lock_and_barrier () =
+  (* Barrier hooks reach the protocol through a synthetic negative id; a
+     conflation with real lock ids would either crash the hook (unknown lock
+     lookup) or apply a lock's page scope to the barrier.  Mixing a bound
+     lock and a barrier in one run pins the decoded behaviour: lock release
+     flushes only the bound page, barrier release flushes everything. *)
+  let dsm, _, extras = make ~nodes:2 () in
+  let a = Dsm.malloc dsm ~protocol:extras.Builtin.entry_ec ~home:(Dsm.On_node 0) 8 in
+  let b = Dsm.malloc dsm ~protocol:extras.Builtin.entry_ec ~home:(Dsm.On_node 0) 8 in
+  let lock = Dsm.lock_create dsm ~protocol:extras.Builtin.entry_ec () in
+  Entry_ec.bind dsm ~lock ~addr:a ~size:8;
+  let barrier =
+    Dsm.barrier_create dsm ~protocol:extras.Builtin.entry_ec ~parties:2 ()
+  in
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.lock_acquire dsm lock;
+         Dsm.write_int dsm a 1;
+         Dsm.write_int dsm b 2;
+         Dsm.lock_release dsm lock;
+         Alcotest.(check int) "lock release flushed only its binding" 0
+           (Dsm.unsafe_peek dsm ~node:0 b);
+         Dsm.barrier_wait dsm barrier;
+         Alcotest.(check int) "barrier release flushed the rest" 2
+           (Dsm.unsafe_peek dsm ~node:0 b)));
+  ignore (Dsm.spawn dsm ~node:0 (fun () -> Dsm.barrier_wait dsm barrier));
+  Dsm.run dsm;
+  Alcotest.(check int) "bound page flushed at lock release" 1
+    (Dsm.unsafe_peek dsm ~node:0 a)
+
 (* --- write_update --- *)
 
 let test_write_update_keeps_replicas_fresh () =
@@ -398,6 +428,8 @@ let () =
             test_entry_ec_release_pushes_only_bound;
           Alcotest.test_case "unbound degrades to java" `Quick
             test_entry_ec_unbound_lock_degrades_to_java;
+          Alcotest.test_case "mixed lock and barrier" `Quick
+            test_entry_ec_mixed_lock_and_barrier;
         ] );
       ( "lu",
         [

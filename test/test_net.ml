@@ -139,6 +139,63 @@ let test_network_jitter_never_reorders () =
   Engine.run eng;
   Alcotest.(check (list int)) "FIFO survives jitter" [ 1; 2; 3; 4; 5; 6 ] (List.rev !log)
 
+let test_network_negative_jitter_clamped () =
+  let eng = Engine.create () in
+  (* A jitter function violating the non-negative contract: the send layer
+     must clamp the delay to zero instead of scheduling into the past. *)
+  let jitter ~src:_ ~dst:_ _d = Time.of_us (-50.) in
+  let net = Network.create ~jitter eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  let at = ref (Time.of_us 999.) in
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request (fun () -> at := Engine.now eng);
+  Engine.run eng;
+  (* Clamped to zero delay; the per-link FIFO floor still adds its epsilon. *)
+  Alcotest.(check bool) "delivery not in the past" true (!at >= Time.zero);
+  Alcotest.(check bool) "clamped near zero" true (!at <= Time.of_ns 1)
+
+let test_seeded_jitter_deterministic_and_bounded () =
+  let deliveries seed =
+    let eng = Engine.create () in
+    let jitter = Network.seeded_jitter ~extra_us:30. ~spike_us:0. ~spike_pct:0 ~seed () in
+    let net = Network.create ~jitter eng ~driver:Driver.bip_myrinet ~nodes:2 in
+    let log = ref [] in
+    for i = 1 to 20 do
+      Network.send net ~src:0 ~dst:1 ~cost:Driver.Request (fun () ->
+          log := (i, Engine.now eng) :: !log)
+    done;
+    Engine.run eng;
+    List.rev !log
+  in
+  let a = deliveries 5 and b = deliveries 5 and c = deliveries 6 in
+  Alcotest.(check bool) "same seed replays identically" true (a = b);
+  Alcotest.(check bool) "different seed perturbs differently" true (a <> c);
+  (* All twenty sends left at t=0: each delay is base + extra in [0, 30us],
+     plus FIFO queueing behind at most 19 earlier messages. *)
+  let base = Time.to_us (Driver.delay Driver.bip_myrinet Driver.Request) in
+  List.iter
+    (fun (_, t) ->
+      let t = Time.to_us t in
+      Alcotest.(check bool) "at least base delay" true (t >= base);
+      Alcotest.(check bool) "bounded" true (t <= base +. 30.))
+    a;
+  Alcotest.(check (list int)) "FIFO order preserved" (List.init 20 (fun i -> i + 1))
+    (List.map fst a)
+
+let test_seeded_jitter_spikes () =
+  let rng_jitter = Network.seeded_jitter ~extra_us:0. ~spike_us:100. ~spike_pct:50 ~seed:1 () in
+  let spikes = ref 0 in
+  for _ = 1 to 200 do
+    if rng_jitter ~src:0 ~dst:1 Time.zero >= Time.of_us 100. then incr spikes
+  done;
+  Alcotest.(check bool) "spike rate near 50%" true (!spikes > 60 && !spikes < 140);
+  Alcotest.check_raises "negative bound rejected"
+    (Invalid_argument "Network.seeded_jitter: bounds must be non-negative")
+    (fun () ->
+      ignore (Network.seeded_jitter ~extra_us:(-1.) ~seed:1 () ~src:0 ~dst:1 Time.zero));
+  Alcotest.check_raises "bad percentage rejected"
+    (Invalid_argument "Network.seeded_jitter: spike_pct must be in [0, 100]")
+    (fun () ->
+      ignore (Network.seeded_jitter ~spike_pct:101 ~seed:1 () ~src:0 ~dst:1 Time.zero))
+
 let () =
   Alcotest.run "net"
     [
@@ -158,6 +215,11 @@ let () =
           Alcotest.test_case "jitter applies" `Quick test_network_jitter_applies;
           Alcotest.test_case "jitter never reorders" `Quick
             test_network_jitter_never_reorders;
+          Alcotest.test_case "negative jitter clamped" `Quick
+            test_network_negative_jitter_clamped;
+          Alcotest.test_case "seeded jitter deterministic" `Quick
+            test_seeded_jitter_deterministic_and_bounded;
+          Alcotest.test_case "seeded jitter spikes" `Quick test_seeded_jitter_spikes;
           Alcotest.test_case "zero-byte bulk" `Quick test_bulk_zero_is_base_cost;
           Alcotest.test_case "self send counted" `Quick test_network_self_send_counted;
         ] );

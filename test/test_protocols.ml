@@ -415,6 +415,74 @@ let stress protocol_name =
       Alcotest.(check bool) "at most one writer node at quiescence" true (!writers <= 1)
     done
 
+(* --- probable-owner chain length (request hops) ---
+
+   Build a long ownership chain (nodes 1..7 write in turn, each going
+   through the home), then measure how many [Driver.Request] messages one
+   read fault costs.  Reads send only request messages (the page reply is
+   bulk), so the "msg.request" counter delta is exactly the hop count. *)
+
+let request_count dsm =
+  let net = Dsmpm2_pm2.Pm2.network (Dsm.pm2 dsm) in
+  Dsmpm2_sim.Stats.count (Network.stats net) "msg.request"
+
+(* Nodes 1..7 write in turn, each write request going through the home, and
+   the run is driven to quiescence so the hint graph is settled before any
+   measurement.  (Measuring threads must not coexist with the writers: they
+   would share a node's CPU and skew the write schedule.) *)
+let build_chain dsm ~protocol =
+  let x = Dsm.malloc dsm ~protocol ~home:(Dsm.On_node 0) 8 in
+  for k = 1 to 7 do
+    ignore
+      (Dsm.spawn dsm ~node:k (fun () ->
+           Dsm.compute dsm (float_of_int (k * 2_000));
+           Dsm.write_int dsm x k))
+  done;
+  Dsm.run dsm;
+  x
+
+let measured_read dsm ~node ~addr =
+  let hops = ref (-1) in
+  ignore
+    (Dsm.spawn dsm ~node (fun () ->
+         let before = request_count dsm in
+         Alcotest.(check int) "reader sees last value" 7 (Dsm.read_int dsm addr);
+         hops := request_count dsm - before));
+  Dsm.run dsm;
+  !hops
+
+let test_li_hudak_hop_counts () =
+  List.iter
+    (fun tie_seed ->
+      let dsm = Dsm.create ?tie_seed ~nodes:8 ~driver:Driver.bip_myrinet () in
+      let ids = Builtin.register_all dsm in
+      let x = build_chain dsm ~protocol:ids.Builtin.li_hudak in
+      (* The home's hint was compressed by forwarding every write request:
+         it points straight at the final owner. *)
+      Alcotest.(check int) "home hint compressed to current owner" 1
+        (measured_read dsm ~node:0 ~addr:x);
+      (* Node 1's hint is the node it granted ownership to long ago (node
+         2); reads do not compress, so the request walks the remaining
+         chain 2 -> 3 -> ... -> 7. *)
+      Alcotest.(check int) "stale chain walks the un-compressed tail" 6
+        (measured_read dsm ~node:1 ~addr:x))
+    [ None; Some 1; Some 7; Some 42 ]
+
+let test_li_hudak_fixed_hop_counts () =
+  List.iter
+    (fun tie_seed ->
+      let dsm = Dsm.create ?tie_seed ~nodes:8 ~driver:Driver.bip_myrinet () in
+      ignore (Builtin.register_all dsm);
+      let extras = Builtin.register_extras dsm in
+      let x = build_chain dsm ~protocol:extras.Builtin.li_hudak_fixed in
+      (* Fixed manager: every request goes to the home, whose hint the
+         write-forwarding compression keeps authoritative — any reader pays
+         exactly two hops (requester -> home -> owner), however long the
+         ownership history. *)
+      Alcotest.(check int) "fixed manager bounds reads to two hops" 2
+        (measured_read dsm ~node:1 ~addr:x))
+    [ None; Some 1; Some 7; Some 42 ]
+
 let test_stress_li_hudak () = stress "li_hudak"
 let test_stress_erc_sw () = stress "erc_sw"
 let test_stress_hbrc_mw () = stress "hbrc_mw"
@@ -469,6 +537,9 @@ let () =
           Alcotest.test_case "parallel faults on distinct pages" `Quick
             test_faults_on_distinct_pages_parallel;
           Alcotest.test_case "li_hudak owner chain" `Quick test_li_hudak_owner_chain;
+          Alcotest.test_case "li_hudak hop counts" `Quick test_li_hudak_hop_counts;
+          Alcotest.test_case "li_hudak_fixed hop counts" `Quick
+            test_li_hudak_fixed_hop_counts;
           Alcotest.test_case "erc pending writes" `Quick test_erc_pending_writes_tracked;
           Alcotest.test_case "hbrc dirty pages" `Quick test_hbrc_dirty_pages_tracked;
         ] );

@@ -141,6 +141,53 @@ let test_engine_run_limit () =
   Engine.run ~limit:(Time.of_us 100.) eng;
   Alcotest.(check int) "only early event ran" 1 !ran
 
+(* --- schedule perturbation --- *)
+
+let perturbed_order ?tie_seed () =
+  (* Ten same-time events plus two at a later time; returns execution order. *)
+  let eng = Engine.create ?tie_seed () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Engine.at eng (Time.of_us 5.) (fun () -> log := i :: !log)
+  done;
+  Engine.at eng (Time.of_us 9.) (fun () -> log := 11 :: !log);
+  Engine.at eng (Time.of_us 7.) (fun () -> log := 12 :: !log);
+  Engine.run eng;
+  List.rev !log
+
+let test_engine_perturbation_replays () =
+  let a = perturbed_order ~tie_seed:42 () and b = perturbed_order ~tie_seed:42 () in
+  Alcotest.(check (list int)) "same seed, same schedule" a b
+
+let test_engine_perturbation_diverges () =
+  (* Some seed in a small range must shuffle the ties away from FIFO order;
+     10! orderings make a full miss astronomically unlikely. *)
+  let fifo = perturbed_order () in
+  let seeds = List.init 10 (fun s -> s + 1) in
+  Alcotest.(check bool) "some seed deviates from FIFO" true
+    (List.exists (fun s -> perturbed_order ~tie_seed:s () <> fifo) seeds)
+
+let test_engine_perturbation_respects_time () =
+  (* Tie-breaking shuffles only same-time events: the 7us and 9us events
+     always run after all ten 5us events, in time order. *)
+  List.iter
+    (fun s ->
+      match List.rev (perturbed_order ~tie_seed:s ()) with
+      | 11 :: 12 :: rest ->
+          Alcotest.(check (list int)) "5us events complete" (List.init 10 (fun i -> i + 1))
+            (List.sort compare rest)
+      | _ -> Alcotest.fail "later events ran out of time order")
+    (List.init 20 (fun s -> s))
+
+let test_engine_no_seed_is_fifo () =
+  Alcotest.(check (list int)) "unseeded engine keeps FIFO ties"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 12; 11 ]
+    (perturbed_order ());
+  Alcotest.(check (option int)) "tie_seed absent" None
+    (Engine.tie_seed (Engine.create ()));
+  Alcotest.(check (option int)) "tie_seed stored" (Some 7)
+    (Engine.tie_seed (Engine.create ~tie_seed:7 ()))
+
 let test_engine_live_fibers () =
   let eng = Engine.create () in
   ignore (Engine.spawn eng (fun () -> Engine.sleep eng (Time.of_us 5.)));
@@ -358,6 +405,13 @@ let () =
           Alcotest.test_case "double resume rejected" `Quick
             test_engine_resume_twice_rejected;
           Alcotest.test_case "run limit" `Quick test_engine_run_limit;
+          Alcotest.test_case "perturbation replays" `Quick
+            test_engine_perturbation_replays;
+          Alcotest.test_case "perturbation diverges" `Quick
+            test_engine_perturbation_diverges;
+          Alcotest.test_case "perturbation respects time" `Quick
+            test_engine_perturbation_respects_time;
+          Alcotest.test_case "no seed keeps FIFO" `Quick test_engine_no_seed_is_fifo;
           Alcotest.test_case "live fibers" `Quick test_engine_live_fibers;
           Alcotest.test_case "fiber spawns fiber" `Quick test_engine_fiber_spawns_fiber;
         ] );
