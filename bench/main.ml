@@ -109,6 +109,46 @@ let bechamel_tests () =
     ignore (Dsm.spawn dsm ~node:0 (fun () -> ignore (Dsm.read_int dsm x)));
     Dsm.run dsm
   in
+  (* Hot-path kernels: diff computation (word-scan vs the byte-at-a-time
+     reference), the frame-store word-access fast path, and a raw network
+     send.  These are the paths the release/fault machinery hammers, so
+     their host-side cost bounds how large a simulated run can get. *)
+  let open Dsmpm2_mem in
+  let sparse_page () =
+    let twin = Bytes.make 4096 '\000' in
+    let current = Bytes.copy twin in
+    (* 8 single-word writes scattered across the page: the sparse-write
+       shape of a release in a fine-grain-sharing application. *)
+    List.iter
+      (fun off -> Bytes.set_int64_le current off 0x5aL)
+      [ 0; 512; 1024; 1536; 2048; 2560; 3072; 4088 ];
+    (twin, current)
+  in
+  let twin_sparse, current_sparse = sparse_page () in
+  let diff_sparse () =
+    ignore (Diff.compute ~page:0 ~twin:twin_sparse ~current:current_sparse)
+  in
+  let diff_sparse_bytewise () =
+    ignore (Diff.compute_bytewise ~page:0 ~twin:twin_sparse ~current:current_sparse)
+  in
+  let geo = Page.geometry ~size:4096 in
+  let fs = Frame_store.create ~geometry:geo in
+  Frame_store.write_int fs ~addr:0 1;
+  let frame_read_hot () =
+    let acc = ref 0 in
+    for _ = 1 to 64 do
+      acc := !acc + Frame_store.read_int fs ~addr:0
+    done;
+    Sys.opaque_identity !acc |> ignore
+  in
+  let network_send () =
+    let eng = Engine.create () in
+    let net = Dsmpm2_net.Network.create eng ~driver:Dsmpm2_net.Driver.bip_myrinet ~nodes:2 in
+    for _ = 1 to 64 do
+      Dsmpm2_net.Network.send net ~src:0 ~dst:1 ~cost:Dsmpm2_net.Driver.Request ignore
+    done;
+    Engine.run eng
+  in
   let test name f = Test.make ~name (Staged.stage f) in
   Test.make_grouped ~name:"dsmpm2"
     [
@@ -117,6 +157,10 @@ let bechamel_tests () =
       test "sim/read_fault_monitor_disabled" (fault_once_monitored false);
       test "sim/read_fault_monitor_enabled" (fault_once_monitored true);
       test "sim/tsp_10_cities_li_hudak" tsp_small;
+      test "diff/compute_4k_sparse" diff_sparse;
+      test "diff/compute_4k_sparse_bytewise" diff_sparse_bytewise;
+      test "frame/read_int_hot_x64" frame_read_hot;
+      test "net/send_request_x64" network_send;
     ]
 
 let run_bechamel () =
@@ -129,16 +173,37 @@ let run_bechamel () =
     List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
   in
   let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun measure by_test ->
       Hashtbl.iter
         (fun test result ->
           match Bechamel.Analyze.OLS.estimates result with
           | Some [ est ] ->
-              Format.fprintf ppf "%-40s %12.1f ns/run (%s)@." test est measure
+              Format.fprintf ppf "%-40s %12.1f ns/run (%s)@." test est measure;
+              estimates := (test, est) :: !estimates
           | _ -> Format.fprintf ppf "%-40s (no estimate)@." test)
         by_test)
-    results
+    results;
+  let estimates = List.sort (fun (a, _) (b, _) -> compare a b) !estimates in
+  (* The word-scan diff kernel exists to beat the byte-scan reference on the
+     sparse-write page; surface the ratio so regressions are visible in the
+     committed artifact. *)
+  (match
+     ( List.assoc_opt "dsmpm2/diff/compute_4k_sparse" estimates,
+       List.assoc_opt "dsmpm2/diff/compute_4k_sparse_bytewise" estimates )
+   with
+  | Some fast, Some slow when fast > 0. ->
+      Format.fprintf ppf "diff word-scan speedup over bytewise: %.1fx@." (slow /. fast)
+  | _ -> ());
+  Some
+    (Json.Obj
+       [
+         ("unit", Json.String "ns/run");
+         ( "estimates",
+           Json.Obj (List.map (fun (test, est) -> (test, Json.Float est)) estimates)
+         );
+       ])
 
 let all =
   [
@@ -166,10 +231,7 @@ let () =
         (fun name ->
           match List.assoc_opt name all with
           | Some f -> section name f
-          | None when name = "bechamel" ->
-              section "bechamel" (fun () ->
-                  run_bechamel ();
-                  None)
+          | None when name = "bechamel" -> section "bechamel" run_bechamel
           | None ->
               Format.fprintf ppf "unknown experiment %S; known: %s bechamel@." name
                 (String.concat " " (List.map fst all));

@@ -133,6 +133,7 @@ let switch_protocol (rt : t) ~addr ~size ~protocol =
 
 let ensure_access (rt : t) ~addr ~mode =
   let marcel = Runtime.marcel rt in
+  let h = rt.Runtime.instr_h in
   let rec attempt n =
     if n > rt.Runtime.fault_loop_limit then
       raise (Fault_storm { addr; mode; attempts = n });
@@ -142,7 +143,7 @@ let ensure_access (rt : t) ~addr ~mode =
     let proto = Runtime.proto rt e.Page_table.protocol in
     (match proto.Protocol.detection with
     | Protocol.Inline_check ->
-        Stats.incr rt.Runtime.instr Instrument.inline_checks;
+        Stats.bump h.Instrument.h_inline_checks;
         Marcel.charge marcel rt.Runtime.costs.inline_check_us
     | Protocol.Page_fault -> ());
     if Access.allows e.Page_table.rights mode then Protocol_lib.unpin rt e
@@ -150,19 +151,18 @@ let ensure_access (rt : t) ~addr ~mode =
       let started = Engine.now (Runtime.engine rt) in
       (match proto.Protocol.detection with
       | Protocol.Page_fault ->
-          Stats.incr rt.Runtime.instr
+          Stats.bump
             (match mode with
-            | Access.Read -> Instrument.read_faults
-            | Access.Write -> Instrument.write_faults);
+            | Access.Read -> h.Instrument.h_read_faults
+            | Access.Write -> h.Instrument.h_write_faults);
           Metrics.incr rt.Runtime.metrics ~node ~protocol:proto.Protocol.name
             (match mode with
             | Access.Read -> Instrument.m_read_faults
             | Access.Write -> Instrument.m_write_faults);
           Marcel.compute marcel rt.Runtime.costs.page_fault_us;
-          Stats.add_span rt.Runtime.instr Instrument.stage_fault
+          Stats.record h.Instrument.h_stage_fault
             (Time.of_us rt.Runtime.costs.page_fault_us)
-      | Protocol.Inline_check ->
-          Stats.incr rt.Runtime.instr Instrument.check_misses);
+      | Protocol.Inline_check -> Stats.bump h.Instrument.h_check_misses);
       (* Each fault is the root of a causal span: the request, transfer and
          install events it triggers — locally and on remote nodes — carry
          the same id. *)
@@ -181,7 +181,7 @@ let ensure_access (rt : t) ~addr ~mode =
           | Access.Read -> proto.Protocol.read_fault rt ~node ~page
           | Access.Write -> proto.Protocol.write_fault rt ~node ~page);
       let latency = Time.(Engine.now (Runtime.engine rt) - started) in
-      Stats.add_span rt.Runtime.instr Instrument.stage_total latency;
+      Stats.record h.Instrument.h_stage_total latency;
       Metrics.observe rt.Runtime.metrics ~node ~protocol:proto.Protocol.name
         Instrument.m_fault_latency latency;
       attempt (n + 1)

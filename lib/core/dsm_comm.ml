@@ -13,6 +13,7 @@ type Rpc.payload +=
     }
   | Page_data of Protocol.page_message
   | Invalidate of { page : int; sender : int; span : int }
+  | Invalidate_batch of { pages : int list; sender : int; span : int }
   | Diffs of { diffs : Diff.t list; sender : int; release : bool }
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
@@ -22,8 +23,14 @@ type Rpc.payload +=
 type diff_handler =
   Runtime.t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
 
+type diffs_handler =
+  Runtime.t -> node:int -> diffs:Diff.t list -> sender:int -> release:bool -> unit
+
 let set_diff_handler (rt : Runtime.t) ~protocol handler =
   Hashtbl.replace rt.diff_handlers protocol handler
+
+let set_diffs_handler (rt : Runtime.t) ~protocol handler =
+  Hashtbl.replace rt.diffs_batch_handlers protocol handler
 
 let apply_diff_locally (rt : Runtime.t) ~node (diff : Diff.t) =
   let e = Runtime.entry rt ~node ~page:diff.Diff.page in
@@ -59,7 +66,7 @@ let on_request rt ~src:_ payload =
           (* Record the request-propagation stage when this node is (likely)
              the final server; forwarded requests are re-stamped per hop. *)
           if e.Page_table.prob_owner = node || e.Page_table.home = node then
-            Stats.add_span rt.Runtime.instr Instrument.stage_request
+            Stats.record rt.Runtime.instr_h.Instrument.h_stage_request
               Time.(Engine.now (Runtime.engine rt) - sent_at);
           let proto = Runtime.proto rt e.Page_table.protocol in
           (match mode with
@@ -86,7 +93,7 @@ let on_send_page rt ~src:_ payload =
                    grant = Access.to_string msg.Protocol.grant;
                  });
           let transfer = Time.(Engine.now (Runtime.engine rt) - msg.Protocol.sent_at) in
-          Stats.add_span rt.Runtime.instr Instrument.stage_transfer transfer;
+          Stats.record rt.Runtime.instr_h.Instrument.h_stage_transfer transfer;
           Metrics.observe rt.Runtime.metrics ~node ~protocol
             Instrument.m_page_transfer transfer;
           let proto = Runtime.proto rt e.Page_table.protocol in
@@ -94,17 +101,25 @@ let on_send_page rt ~src:_ payload =
           (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for send_page service"
 
+let invalidate_one rt ~node ~span ~sender page =
+  let e = Runtime.entry rt ~node ~page in
+  if Monitor.enabled rt then
+    Monitor.emit rt ~span
+      (Trace.Invalidate { node; page; protocol = proto_name rt e; sender });
+  let proto = Runtime.proto rt e.Page_table.protocol in
+  proto.Protocol.invalidate_server rt ~node ~page ~sender
+
 let on_invalidate rt ~src:_ payload =
   match payload with
   | Invalidate { page; sender; span } ->
       let node = handler_node rt in
       Monitor.with_thread_span rt span (fun () ->
-          let e = Runtime.entry rt ~node ~page in
-          if Monitor.enabled rt then
-            Monitor.emit rt ~span
-              (Trace.Invalidate { node; page; protocol = proto_name rt e; sender });
-          let proto = Runtime.proto rt e.Page_table.protocol in
-          proto.Protocol.invalidate_server rt ~node ~page ~sender;
+          invalidate_one rt ~node ~span ~sender page;
+          (Ack, Driver.Request))
+  | Invalidate_batch { pages; sender; span } ->
+      let node = handler_node rt in
+      Monitor.with_thread_span rt span (fun () ->
+          List.iter (invalidate_one rt ~node ~span ~sender) pages;
           (Ack, Driver.Request))
   | _ -> invalid_arg "Dsm_comm: bad payload for invalidate service"
 
@@ -122,13 +137,31 @@ let on_diffs rt ~src:_ payload =
                sender;
                release;
              });
+      (* Partition the batch by protocol (order-preserving) so a protocol's
+         batch handler sees the whole message at once — that is what lets a
+         home coalesce the resulting third-party invalidations into one RPC
+         per copyset node instead of one per page. *)
+      let groups =
+        List.fold_left
+          (fun acc diff ->
+            let e = Runtime.entry rt ~node ~page:diff.Diff.page in
+            let proto = e.Page_table.protocol in
+            match acc with
+            | (p, ds) :: rest when p = proto -> (p, diff :: ds) :: rest
+            | _ -> (proto, [ diff ]) :: acc)
+          [] diffs
+      in
       List.iter
-        (fun diff ->
-          let e = Runtime.entry rt ~node ~page:diff.Diff.page in
-          match Hashtbl.find_opt rt.Runtime.diff_handlers e.Page_table.protocol with
-          | Some handler -> handler rt ~node ~diff ~sender ~release
-          | None -> apply_diff_locally rt ~node diff)
-        diffs;
+        (fun (protocol, rev_ds) ->
+          let ds = List.rev rev_ds in
+          match Hashtbl.find_opt rt.Runtime.diffs_batch_handlers protocol with
+          | Some handler -> handler rt ~node ~diffs:ds ~sender ~release
+          | None -> (
+              match Hashtbl.find_opt rt.Runtime.diff_handlers protocol with
+              | Some handler ->
+                  List.iter (fun diff -> handler rt ~node ~diff ~sender ~release) ds
+              | None -> List.iter (apply_diff_locally rt ~node) ds))
+        (List.rev groups);
       (Ack, Driver.Request)
   | _ -> invalid_arg "Dsm_comm: bad payload for diffs service"
 
@@ -254,7 +287,7 @@ let send_page rt ~to_ ~page ~grant ~ownership ~copyset ~req_mode =
       span;
     }
   in
-  Stats.incr rt.Runtime.instr Instrument.pages_sent;
+  Stats.bump rt.Runtime.instr_h.Instrument.h_pages_sent;
   let protocol = proto_name rt (Runtime.entry rt ~node ~page) in
   Metrics.incr rt.Runtime.metrics ~node ~protocol Instrument.m_pages_sent;
   if Monitor.enabled rt then
@@ -275,20 +308,40 @@ let send_page rt ~to_ ~page ~grant ~ownership ~copyset ~req_mode =
 
 let call_invalidate rt ?span ~to_ ~page () =
   let node = Runtime.self_node rt in
+  let h = rt.Runtime.instr_h in
   let span = match span with Some s -> s | None -> Monitor.current_span rt in
-  Stats.incr rt.Runtime.instr Instrument.invalidations;
-  Metrics.incr rt.Runtime.metrics ~node Instrument.m_invalidations;
+  Stats.bump h.Instrument.h_invalidations;
+  Stats.bump h.Instrument.h_invalidate_rpcs;
+  Stats.bump h.Instrument.hm_invalidations.(node);
   let srv = (Runtime.services rt).Runtime.srv_invalidate in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
        (Invalidate { page; sender = node; span }))
 
+let call_invalidate_batch rt ?span ~to_ ~pages () =
+  match pages with
+  | [] -> ()
+  | [ page ] -> call_invalidate rt ?span ~to_ ~page ()
+  | pages ->
+      let node = Runtime.self_node rt in
+      let h = rt.Runtime.instr_h in
+      let span = match span with Some s -> s | None -> Monitor.current_span rt in
+      let n = List.length pages in
+      Stats.bump_by h.Instrument.h_invalidations n;
+      Stats.bump h.Instrument.h_invalidate_rpcs;
+      Stats.bump_by h.Instrument.hm_invalidations.(node) n;
+      let srv = (Runtime.services rt).Runtime.srv_invalidate in
+      ignore
+        (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:Driver.Request
+           (Invalidate_batch { pages; sender = node; span }))
+
 let call_diffs rt ~to_ ~diffs ~release =
   let node = Runtime.self_node rt in
+  let h = rt.Runtime.instr_h in
   let bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 diffs in
-  Stats.add rt.Runtime.instr Instrument.diffs_sent (List.length diffs);
-  Stats.add rt.Runtime.instr Instrument.diff_bytes bytes;
-  Metrics.add rt.Runtime.metrics ~node Instrument.m_diffs (List.length diffs);
+  Stats.bump_by h.Instrument.h_diffs_sent (List.length diffs);
+  Stats.bump_by h.Instrument.h_diff_bytes bytes;
+  Stats.bump_by h.Instrument.hm_diffs.(node) (List.length diffs);
   let srv = (Runtime.services rt).Runtime.srv_diffs in
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:to_ ~service:srv ~cost:(Driver.Bulk bytes)

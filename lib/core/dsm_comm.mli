@@ -29,6 +29,9 @@ type Rpc.payload +=
     }
   | Page_data of Protocol.page_message
   | Invalidate of { page : int; sender : int; span : int }
+  | Invalidate_batch of { pages : int list; sender : int; span : int }
+      (** every page this sender wants invalidated on the destination,
+          coalesced into one control message (see {!call_invalidate_batch}) *)
   | Diffs of { diffs : Diff.t list; sender : int; release : bool }
   | Lock_op of { lock : int; node : int; tid : int }
   | Barrier_wait of { barrier : int; node : int }
@@ -64,6 +67,13 @@ val call_invalidate : Runtime.t -> ?span:int -> to_:int -> page:int -> unit -> u
     calling thread's current span; pass it explicitly when fanning out
     from helper threads. *)
 
+val call_invalidate_batch :
+  Runtime.t -> ?span:int -> to_:int -> pages:int list -> unit -> unit
+(** Synchronous invalidation of every page in [pages] on [to_] with a single
+    control message — one RPC per destination node instead of one per page.
+    No-op on []; a singleton degrades to {!call_invalidate}.  Bumps
+    [invalidate.sent] once per page but [invalidate.rpc] once per message. *)
+
 val call_diffs : Runtime.t -> to_:int -> diffs:Diff.t list -> release:bool -> unit
 (** Sends diffs to their (common) home node and waits for the ack.  The home
     applies them via the diff handler of each page's protocol. *)
@@ -74,6 +84,17 @@ type diff_handler =
 val set_diff_handler : Runtime.t -> protocol:int -> diff_handler -> unit
 (** Overrides diff processing for pages of [protocol].  The default handler
     applies the diff to the local frame under the entry mutex. *)
+
+type diffs_handler =
+  Runtime.t -> node:int -> diffs:Diff.t list -> sender:int -> release:bool -> unit
+
+val set_diffs_handler : Runtime.t -> protocol:int -> diffs_handler -> unit
+(** Batch form of {!set_diff_handler}: the handler receives every diff of an
+    arriving [Diffs] message destined to [protocol] at once (order
+    preserved), letting it coalesce its follow-up work — e.g. one batched
+    invalidation per copyset node for the whole release instead of one RPC
+    per (page, target).  When both handlers are registered the batch one
+    wins. *)
 
 val apply_diff_locally : Runtime.t -> node:int -> Diff.t -> unit
 (** The default behaviour, exposed so custom handlers can reuse it. *)

@@ -11,6 +11,7 @@ let read_faults = "fault.read"
 let write_faults = "fault.write"
 let pages_sent = "page.sent"
 let invalidations = "invalidate.sent"
+let invalidate_rpcs = "invalidate.rpc"
 let diffs_sent = "diff.sent"
 let diff_bytes = "diff.bytes"
 let check_misses = "check.miss"
@@ -29,6 +30,49 @@ let m_invalidations = "dsm.invalidate"
 let m_diffs = "dsm.diff"
 let m_lock_wait = "dsm.lock.wait"
 let m_barrier_wait = "dsm.barrier.wait"
+
+(* Pre-resolved handles for the per-message/per-fault hot paths: interned
+   once at runtime creation, so a send or fault bumps cells instead of
+   hashing metric names.  The per-node arrays are the (node)-labeled
+   Metrics series for the two counters the senders touch on every call. *)
+type handles = {
+  h_read_faults : Stats.counter;
+  h_write_faults : Stats.counter;
+  h_inline_checks : Stats.counter;
+  h_check_misses : Stats.counter;
+  h_pages_sent : Stats.counter;
+  h_invalidations : Stats.counter;
+  h_invalidate_rpcs : Stats.counter;
+  h_diffs_sent : Stats.counter;
+  h_diff_bytes : Stats.counter;
+  h_stage_fault : Stats.histogram;
+  h_stage_request : Stats.histogram;
+  h_stage_transfer : Stats.histogram;
+  h_stage_total : Stats.histogram;
+  hm_invalidations : Stats.counter array; (* per node: m_invalidations *)
+  hm_diffs : Stats.counter array; (* per node: m_diffs *)
+}
+
+let intern stats metrics ~nodes =
+  let node_group node = Metrics.group metrics (Metrics.labels ~node ()) in
+  {
+    h_read_faults = Stats.counter stats read_faults;
+    h_write_faults = Stats.counter stats write_faults;
+    h_inline_checks = Stats.counter stats inline_checks;
+    h_check_misses = Stats.counter stats check_misses;
+    h_pages_sent = Stats.counter stats pages_sent;
+    h_invalidations = Stats.counter stats invalidations;
+    h_invalidate_rpcs = Stats.counter stats invalidate_rpcs;
+    h_diffs_sent = Stats.counter stats diffs_sent;
+    h_diff_bytes = Stats.counter stats diff_bytes;
+    h_stage_fault = Stats.histogram stats stage_fault;
+    h_stage_request = Stats.histogram stats stage_request;
+    h_stage_transfer = Stats.histogram stats stage_transfer;
+    h_stage_total = Stats.histogram stats stage_total;
+    hm_invalidations =
+      Array.init nodes (fun n -> Stats.counter (node_group n) m_invalidations);
+    hm_diffs = Array.init nodes (fun n -> Stats.counter (node_group n) m_diffs);
+  }
 
 let row ppf stats name key =
   Format.fprintf ppf "%-20s %8.1f@." name (Time.to_us (Stats.span_mean stats key))

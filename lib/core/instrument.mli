@@ -30,7 +30,14 @@ val stage_total : string
 val read_faults : string
 val write_faults : string
 val pages_sent : string
+
 val invalidations : string
+(** Pages invalidated (one per (page, target) pair, batched or not). *)
+
+val invalidate_rpcs : string
+(** Invalidation RPCs put on the wire: with batching, one per target node
+    per release/flush — the message-economy counter. *)
+
 val diffs_sent : string
 val diff_bytes : string
 val check_misses : string
@@ -60,6 +67,36 @@ val m_invalidations : string
 val m_diffs : string
 val m_lock_wait : string
 val m_barrier_wait : string
+
+(** {2 Interned hot-path handles}
+
+    Pre-resolved {!Dsmpm2_sim.Stats} cells for the counters and spans the
+    per-message and per-fault paths touch.  Interned once per runtime (at
+    {!Runtime.create} time), so bumping them is an array/cell write with no
+    string hashing.  Handles stay valid across [Stats.reset] /
+    [Metrics.reset]. *)
+
+type handles = {
+  h_read_faults : Stats.counter;
+  h_write_faults : Stats.counter;
+  h_inline_checks : Stats.counter;
+  h_check_misses : Stats.counter;
+  h_pages_sent : Stats.counter;
+  h_invalidations : Stats.counter;
+  h_invalidate_rpcs : Stats.counter;
+  h_diffs_sent : Stats.counter;
+  h_diff_bytes : Stats.counter;
+  h_stage_fault : Stats.histogram;
+  h_stage_request : Stats.histogram;
+  h_stage_transfer : Stats.histogram;
+  h_stage_total : Stats.histogram;
+  hm_invalidations : Stats.counter array;  (** per node: {!m_invalidations} *)
+  hm_diffs : Stats.counter array;  (** per node: {!m_diffs} *)
+}
+
+val intern : Stats.t -> Metrics.t -> nodes:int -> handles
+(** Resolve every handle against the given registries.  The per-node arrays
+    are indexed by node id in [0, nodes). *)
 
 val stages : string list
 (** All stage span names, in pipeline order. *)

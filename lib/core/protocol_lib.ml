@@ -59,26 +59,94 @@ let fetch_page rt ~node ~page ~mode ~from =
       end)
 
 let install_page rt ~node (msg : Protocol.page_message) =
-  Frame_store.install (Runtime.store rt node) msg.Protocol.page msg.Protocol.data;
+  (* The message's [data] was copied out of the sender's frame at send time
+     and is read nowhere else, so the receiver adopts it instead of copying
+     again: one copy per transfer, not two. *)
+  Frame_store.install_owned (Runtime.store rt node) msg.Protocol.page
+    msg.Protocol.data;
   let e = Runtime.entry rt ~node ~page:msg.Protocol.page in
   e.rights <- msg.Protocol.grant
 
-let invalidate_copies rt ~page ~targets =
+let invalidate_copies_many rt ~pages_by_target =
   let node = Runtime.self_node rt in
   let marcel = Runtime.marcel rt in
-  let targets = List.sort_uniq compare (List.filter (fun n -> n <> node) targets) in
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun (target, pages) ->
+      if target <> node then
+        Hashtbl.replace merged target
+          (List.rev_append pages
+             (Option.value ~default:[] (Hashtbl.find_opt merged target))))
+    pages_by_target;
+  let batches =
+    Hashtbl.fold
+      (fun target pages acc ->
+        match List.sort_uniq compare pages with
+        | [] -> acc
+        | pages -> (target, pages) :: acc)
+      merged []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   (* Helper threads have their own tids, so the caller's span would be lost;
      capture it here and thread it through explicitly. *)
   let span = Monitor.current_span rt in
+  match batches with
+  | [] -> ()
+  | [ (target, pages) ] -> Dsm_comm.call_invalidate_batch rt ~span ~to_:target ~pages ()
+  | batches ->
+      let helpers =
+        List.map
+          (fun (target, pages) ->
+            Marcel.spawn marcel ~node (fun () ->
+                Dsm_comm.call_invalidate_batch rt ~span ~to_:target ~pages ()))
+          batches
+      in
+      List.iter (fun th -> Marcel.join marcel th) helpers
+
+let invalidate_copies rt ~page ~targets =
+  invalidate_copies_many rt
+    ~pages_by_target:
+      (List.map (fun target -> (target, [ page ])) (List.sort_uniq compare targets))
+
+let send_diffs_grouped rt ~release diffs_with_home =
+  let node = Runtime.self_node rt in
+  let marcel = Runtime.marcel rt in
+  let by_home = Hashtbl.create 4 in
+  List.iter
+    (fun (home, d) ->
+      Hashtbl.replace by_home home
+        (d :: Option.value ~default:[] (Hashtbl.find_opt by_home home)))
+    diffs_with_home;
+  let batches =
+    Hashtbl.fold (fun home diffs acc -> (home, List.rev diffs) :: acc) by_home []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  match batches with
+  | [] -> ()
+  | [ (home, diffs) ] -> Dsm_comm.call_diffs rt ~to_:home ~diffs ~release
+  | batches ->
+      let helpers =
+        List.map
+          (fun (home, diffs) ->
+            Marcel.spawn marcel ~node (fun () ->
+                Dsm_comm.call_diffs rt ~to_:home ~diffs ~release))
+          batches
+      in
+      List.iter (fun th -> Marcel.join marcel th) helpers
+
+let push_diffs rt ~targets ~diffs ~release =
+  let node = Runtime.self_node rt in
+  let marcel = Runtime.marcel rt in
+  let targets = List.sort_uniq compare (List.filter (fun n -> n <> node) targets) in
   match targets with
   | [] -> ()
-  | [ target ] -> Dsm_comm.call_invalidate rt ~span ~to_:target ~page ()
+  | [ target ] -> Dsm_comm.call_diffs rt ~to_:target ~diffs ~release
   | targets ->
       let helpers =
         List.map
           (fun target ->
             Marcel.spawn marcel ~node (fun () ->
-                Dsm_comm.call_invalidate rt ~span ~to_:target ~page ()))
+                Dsm_comm.call_diffs rt ~to_:target ~diffs ~release))
           targets
       in
       List.iter (fun th -> Marcel.join marcel th) helpers

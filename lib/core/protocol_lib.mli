@@ -52,12 +52,32 @@ val unpin : Runtime.t -> Page_table.entry -> unit
     retried access succeeds). *)
 
 val install_page : Runtime.t -> node:int -> Protocol.page_message -> unit
-(** Copies the received page into the node's frame store and sets the
+(** Adopts the received page data into the node's frame store (the message's
+    buffer is never read again, so no further copy is made) and sets the
     granted access rights (entry mutex must be held). *)
 
 val invalidate_copies : Runtime.t -> page:int -> targets:int list -> unit
 (** Invalidates [targets] in parallel and waits for all acks.  The calling
     node is filtered out. *)
+
+val invalidate_copies_many :
+  Runtime.t -> pages_by_target:(int * int list) list -> unit
+(** Batched invalidation: for each [(target, pages)] association, sends a
+    {e single} invalidation RPC carrying the whole page list, all targets in
+    parallel, and waits for every ack — O(copyset) messages per release
+    instead of O(pages x copyset).  The calling node is filtered out,
+    duplicate targets are merged, duplicate pages deduplicated, and empty
+    page lists dropped.  Must not be called with any target's entry mutex
+    held (the invalidated node may flush diffs back). *)
+
+val send_diffs_grouped : Runtime.t -> release:bool -> (int * Diff.t) list -> unit
+(** Groups [(home, diff)] pairs by home and sends each home {e one}
+    release-path diffs message (all homes in parallel), waiting for every
+    ack.  Diff order per home follows the input order. *)
+
+val push_diffs : Runtime.t -> targets:int list -> diffs:Diff.t list -> release:bool -> unit
+(** Pushes the same diffs to every target in parallel and waits for all
+    acks (the write-update fan-out).  The calling node is filtered out. *)
 
 val drop_copy : Runtime.t -> node:int -> page:int -> unit
 (** Discards the local copy: rights to [No_access], frame dropped, twin

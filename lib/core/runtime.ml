@@ -62,6 +62,7 @@ type t = {
   costs : costs;
   instr : Stats.t;
   metrics : Metrics.t;
+  instr_h : Instrument.handles;
   mutable services : services option;
   locks : (int, lock_state) Hashtbl.t;
   mutable next_lock : int;
@@ -69,15 +70,20 @@ type t = {
   mutable next_barrier : int;
   mutable fault_loop_limit : int;
   diff_handlers : (int, diff_handler) Hashtbl.t;
+  diffs_batch_handlers : (int, diffs_handler) Hashtbl.t;
   mutable history : History.t option;
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
 
+and diffs_handler =
+  t -> node:int -> diffs:Diff.t list -> sender:int -> release:bool -> unit
+
 let create ?(costs = default_costs) pm2 =
   let n = Pm2.nodes pm2 in
   let geo = Page.geometry ~size:(Isoalloc.page_size (Pm2.iso pm2)) in
   let metrics = Metrics.create () in
+  let instr = Stats.create () in
   {
     pm2;
     geo;
@@ -90,8 +96,9 @@ let create ?(costs = default_costs) pm2 =
     registry = Protocol.create_registry ();
     default_protocol = 0;
     costs;
-    instr = Stats.create ();
+    instr;
     metrics;
+    instr_h = Instrument.intern instr metrics ~nodes:n;
     services = None;
     locks = Hashtbl.create 16;
     next_lock = 0;
@@ -99,6 +106,7 @@ let create ?(costs = default_costs) pm2 =
     next_barrier = 0;
     fault_loop_limit = 1000;
     diff_handlers = Hashtbl.create 8;
+    diffs_batch_handlers = Hashtbl.create 8;
     history = None;
   }
 

@@ -73,6 +73,8 @@ type t = {
   instr : Stats.t;
   metrics : Metrics.t;
       (** labeled (per-node, per-protocol) counters and latency histograms *)
+  instr_h : Instrument.handles;
+      (** pre-resolved hot-path counters/spans, interned at {!create} *)
   mutable services : services option;  (** set once by {!Dsm_comm.init} *)
   locks : (int, lock_state) Hashtbl.t;
   mutable next_lock : int;
@@ -82,12 +84,21 @@ type t = {
       (** safety bound on fault-retry iterations per access *)
   diff_handlers : (int, diff_handler) Hashtbl.t;
       (** per-protocol diff processing, see {!Dsm_comm.set_diff_handler} *)
+  diffs_batch_handlers : (int, diffs_handler) Hashtbl.t;
+      (** per-protocol whole-batch diff processing, preferred over
+          [diff_handlers] when present; see {!Dsm_comm.set_diffs_handler} *)
   mutable history : History.t option;
       (** when set, the access and sync paths record every shared operation
           for the conformance checker (see [Dsm.enable_history]) *)
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
+
+and diffs_handler =
+  t -> node:int -> diffs:Diff.t list -> sender:int -> release:bool -> unit
+(** Handles one arriving [Diffs] message's whole batch for a protocol: the
+    batch form lets a home apply every diff and then issue {e one} batched
+    invalidation per copyset node instead of one per page. *)
 
 val create : ?costs:costs -> Pm2.t -> t
 val nodes : t -> int

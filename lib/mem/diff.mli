@@ -15,11 +15,23 @@ val make_twin : bytes -> bytes
 (** A snapshot copy of the page. *)
 
 val compute : page:int -> twin:bytes -> current:bytes -> t
-(** Byte ranges where [current] differs from [twin]. *)
+(** Byte ranges where [current] differs from [twin].  Equal regions are
+    scanned 8 bytes at a time ([Bytes.get_int64_le]); byte granularity is
+    paid only inside differing words, so the cost of diffing a sparsely
+    written page is dominated by [size / 8] word compares. *)
+
+val compute_bytewise : page:int -> twin:bytes -> current:bytes -> t
+(** The byte-at-a-time reference kernel with identical semantics to
+    {!compute} (maximal runs of differing bytes).  Exposed as the
+    executable specification for property tests and as the baseline of the
+    diff-compute microbench; protocol code should call {!compute}. *)
 
 val of_words : geometry:Page.geometry -> page:int -> (int * int) list -> t
-(** [(offset, value)] word-granularity write records; later records win on
-    the same offset.  Offsets must be 8-aligned and in page range. *)
+(** [(offset, value)] word-granularity write records.  Offsets must be
+    8-aligned and in page range.  Duplicate offsets are legal and resolve
+    last-write-wins: the record appearing {e later in the caller's list}
+    overwrites earlier ones, matching program order of an on-the-fly write
+    log ([java_ic]/[java_pf] replay). *)
 
 val apply : t -> bytes -> unit
 (** Patches the target page in place. *)

@@ -1,25 +1,64 @@
-type t = { geo : Page.geometry; frames : (int, bytes) Hashtbl.t }
+type t = {
+  geo : Page.geometry;
+  frames : (int, bytes) Hashtbl.t;
+  (* One-entry cache over [frames]: the word-access fast path hits the same
+     page repeatedly (array sweeps, spin loops), so the common case skips
+     the Hashtbl probe entirely.  [last_page = -1] means empty. *)
+  mutable last_page : int;
+  mutable last_frame : bytes;
+}
 
-let create ~geometry = { geo = geometry; frames = Hashtbl.create 64 }
+let create ~geometry =
+  {
+    geo = geometry;
+    frames = Hashtbl.create 64;
+    last_page = -1;
+    last_frame = Bytes.empty;
+  }
+
 let geometry t = t.geo
 let has_frame t page = Hashtbl.mem t.frames page
 
 let frame t page =
-  match Hashtbl.find_opt t.frames page with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make (Page.size t.geo) '\000' in
-      Hashtbl.add t.frames page b;
-      b
+  if t.last_page = page then t.last_frame
+  else begin
+    let b =
+      match Hashtbl.find_opt t.frames page with
+      | Some b -> b
+      | None ->
+          let b = Bytes.make (Page.size t.geo) '\000' in
+          Hashtbl.add t.frames page b;
+          b
+    in
+    t.last_page <- page;
+    t.last_frame <- b;
+    b
+  end
 
-let peek t page = Hashtbl.find_opt t.frames page
+let peek t page =
+  if t.last_page = page then Some t.last_frame else Hashtbl.find_opt t.frames page
+
+(* Installing takes over as the cached entry: the next access is almost
+   always to the page that just arrived. *)
+let install_owned t page data =
+  if Bytes.length data <> Page.size t.geo then
+    invalid_arg "Frame_store.install_owned: wrong page length";
+  Hashtbl.replace t.frames page data;
+  t.last_page <- page;
+  t.last_frame <- data
 
 let install t page data =
   if Bytes.length data <> Page.size t.geo then
     invalid_arg "Frame_store.install: wrong page length";
-  Hashtbl.replace t.frames page (Bytes.copy data)
+  install_owned t page (Bytes.copy data)
 
-let drop t page = Hashtbl.remove t.frames page
+let drop t page =
+  Hashtbl.remove t.frames page;
+  if t.last_page = page then begin
+    t.last_page <- -1;
+    t.last_frame <- Bytes.empty
+  end
+
 let frame_count t = Hashtbl.length t.frames
 
 let check_word_aligned addr =

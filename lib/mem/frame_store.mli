@@ -12,14 +12,23 @@ val geometry : t -> Page.geometry
 
 val has_frame : t -> int -> bool
 val frame : t -> int -> bytes
-(** Returns the frame for the page, creating a zeroed one if absent. *)
+(** Returns the frame for the page, creating a zeroed one if absent.
+    Repeated access to the same page hits a one-entry cache and skips the
+    hash probe. *)
 
 val peek : t -> int -> bytes option
 (** The frame if present, without creating it. *)
 
 val install : t -> int -> bytes -> unit
 (** Replaces (or creates) the frame with a copy of [bytes] (which must have
-    page length). *)
+    page length).  Use when the caller keeps or may mutate [bytes]. *)
+
+val install_owned : t -> int -> bytes -> unit
+(** Ownership-transferring install: the store adopts [bytes] as the frame
+    without copying.  The caller must not retain or mutate [bytes]
+    afterwards.  This is the simulated-wire fast path — a page message's
+    payload is exclusively owned by the receiver on delivery, so a transfer
+    costs one copy (at send) instead of two. *)
 
 val drop : t -> int -> unit
 val frame_count : t -> int

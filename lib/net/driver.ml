@@ -11,6 +11,20 @@ type t = {
 
 type cost = Null_rpc | Request | Bulk of int | Migration of int
 
+(* Every message — control or bulk — carries a fixed software/wire header
+   (RPC service id, source, destination, DSM opcode and page id all fit
+   comfortably).  Byte accounting adds it uniformly so the table 3/4 byte
+   columns compare like with like across message kinds; the *latency* of
+   the header is already inside the per-kind base costs below, so [delay]
+   does not charge it again. *)
+let header_bytes = 32
+
+let payload_bytes = function
+  | Null_rpc | Request -> 0
+  | Bulk n | Migration n -> n
+
+let wire_bytes cost = header_bytes + payload_bytes cost
+
 let delay d = function
   | Null_rpc -> Time.of_us d.null_rpc_us
   | Request -> Time.of_us d.request_us

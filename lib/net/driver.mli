@@ -26,6 +26,20 @@ type cost =
 val delay : t -> cost -> Time.t
 (** One-way latency of a message of the given kind on this driver. *)
 
+val header_bytes : int
+(** Fixed per-message header charged by the byte accounting for {e every}
+    message kind (service id, endpoints, opcode, page id), so byte columns
+    are comparable across control and bulk traffic.  Its latency is part of
+    the per-kind base costs, so {!delay} does not charge it again. *)
+
+val payload_bytes : cost -> int
+(** Payload bytes of the message: 0 for control kinds, [n] for
+    [Bulk n]/[Migration n]. *)
+
+val wire_bytes : cost -> int
+(** [header_bytes + payload_bytes cost] — what {!Network.bytes_sent}
+    accumulates per message. *)
+
 val bip_myrinet : t
 val tcp_myrinet : t
 val tcp_fast_ethernet : t

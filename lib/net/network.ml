@@ -1,5 +1,10 @@
 open Dsmpm2_sim
 
+(* Interned per-kind instrumentation: one counter and one latency series per
+   message kind, resolved once at [create] so the per-message cost is an
+   array index and a cell bump, not a string hash. *)
+type kind_handles = { k_count : Stats.counter; k_delay : Stats.histogram }
+
 type t = {
   eng : Engine.t;
   net_driver : Driver.t;
@@ -11,10 +16,26 @@ type t = {
   mutable bytes : int;
   net_stats : Stats.t;
   net_metrics : Metrics.t;
+  kinds : kind_handles array; (* indexed by [kind_index] *)
+  h_delay : Stats.histogram; (* "net.delay" on [net_stats] *)
+  node_sent : Stats.counter array; (* per source node: "net.sent" *)
+  node_bytes : Stats.counter array; (* per source node: "net.bytes" *)
+  node_delay : Stats.histogram array; (* per source node: "net.delay" *)
 }
+
+let kind_names = [| "msg.null_rpc"; "msg.request"; "msg.bulk"; "msg.migration" |]
+
+let kind_index = function
+  | Driver.Null_rpc -> 0
+  | Driver.Request -> 1
+  | Driver.Bulk _ -> 2
+  | Driver.Migration _ -> 3
 
 let create ?jitter eng ~driver ~nodes =
   if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
+  let net_stats = Stats.create () in
+  let net_metrics = Metrics.create () in
+  let node_group node = Metrics.group net_metrics (Metrics.labels ~node ()) in
   {
     eng;
     net_driver = driver;
@@ -23,8 +44,21 @@ let create ?jitter eng ~driver ~nodes =
     jitter;
     sent = 0;
     bytes = 0;
-    net_stats = Stats.create ();
-    net_metrics = Metrics.create ();
+    net_stats;
+    net_metrics;
+    kinds =
+      Array.map
+        (fun name ->
+          {
+            k_count = Stats.counter net_stats name;
+            k_delay = Stats.histogram net_stats (name ^ ".delay");
+          })
+        kind_names;
+    h_delay = Stats.histogram net_stats "net.delay";
+    node_sent = Array.init nodes (fun n -> Stats.counter (node_group n) "net.sent");
+    node_bytes = Array.init nodes (fun n -> Stats.counter (node_group n) "net.bytes");
+    node_delay =
+      Array.init nodes (fun n -> Stats.histogram (node_group n) "net.delay");
   }
 
 let driver t = t.net_driver
@@ -56,24 +90,16 @@ let seeded_jitter ?(extra_us = 40.) ?(spike_us = 400.) ?(spike_pct = 2) ~seed ()
     in
     Time.(delay + extra + spike)
 
-let kind_name = function
-  | Driver.Null_rpc -> "msg.null_rpc"
-  | Driver.Request -> "msg.request"
-  | Driver.Bulk _ -> "msg.bulk"
-  | Driver.Migration _ -> "msg.migration"
-
-let payload_bytes = function
-  | Driver.Null_rpc | Driver.Request -> 0
-  | Driver.Bulk n | Driver.Migration n -> n
-
 let send t ~src ~dst ~cost k =
   if src < 0 || src >= t.nnodes || dst < 0 || dst >= t.nnodes then
     invalid_arg "Network.send: node id out of range";
+  let wire = Driver.wire_bytes cost in
+  let kh = t.kinds.(kind_index cost) in
   t.sent <- t.sent + 1;
-  t.bytes <- t.bytes + payload_bytes cost;
-  Stats.incr t.net_stats (kind_name cost);
-  Metrics.incr t.net_metrics ~node:src "net.sent";
-  Metrics.add t.net_metrics ~node:src "net.bytes" (payload_bytes cost);
+  t.bytes <- t.bytes + wire;
+  Stats.bump kh.k_count;
+  Stats.bump t.node_sent.(src);
+  Stats.bump_by t.node_bytes.(src) wire;
   if src = dst then Engine.after t.eng Time.zero k
   else begin
     let delay = Driver.delay t.net_driver cost in
@@ -96,8 +122,8 @@ let send t ~src ~dst ~cost k =
     (* The wire-plus-queueing latency this message actually experiences:
        the tail of these histograms is where link contention shows up. *)
     let latency = Time.(arrival - Engine.now t.eng) in
-    Stats.add_span t.net_stats "net.delay" latency;
-    Stats.add_span t.net_stats (kind_name cost ^ ".delay") latency;
-    Metrics.observe t.net_metrics ~node:src "net.delay" latency;
+    Stats.record t.h_delay latency;
+    Stats.record kh.k_delay latency;
+    Stats.record t.node_delay.(src) latency;
     Engine.at t.eng arrival k
   end

@@ -49,7 +49,10 @@ val send : t -> src:int -> dst:int -> cost:Driver.cost -> (unit -> unit) -> unit
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
-(** Counts payload bytes of [Bulk] and [Migration] messages. *)
+(** Wire bytes of every message: {!Driver.header_bytes} per message plus
+    the payload of [Bulk] and [Migration] kinds.  Control traffic therefore
+    shows up in byte columns too, making them comparable across message
+    kinds. *)
 
 val stats : t -> Stats.t
 (** Per-kind message counters ("msg.request", "msg.bulk", ...) plus
@@ -57,5 +60,6 @@ val stats : t -> Stats.t
     message kind, including FIFO queueing behind earlier link traffic. *)
 
 val metrics : t -> Metrics.t
-(** Per-source-node labeled series: "net.sent", "net.bytes" counters and
-    the "net.delay" latency histogram. *)
+(** Per-source-node labeled series: "net.sent", "net.bytes" (wire bytes)
+    counters and the "net.delay" latency histogram.  All series are
+    interned once at {!create}; the per-message cost is a cell bump. *)

@@ -121,20 +121,32 @@ let receive_page_server rt ~node ~msg =
 
 (* Release: flush the eager invalidations for every page written since the
    previous release (for pages whose ownership has since moved on, the new
-   owner took over the copyset and will invalidate at its own release). *)
+   owner took over the copyset and will invalidate at its own release).
+   The per-page copysets are collected under the entry mutexes first, then
+   the whole release goes out as one batched invalidation RPC per copy
+   holder — O(copyset) messages, not O(pages x copyset). *)
 let lock_release rt ~node ~lock:_ =
   let s = state rt ~node in
   let written = List.sort compare s.written in
   s.written <- [];
+  let by_target = Hashtbl.create 8 in
   List.iter
     (fun page ->
       let e = Runtime.entry rt ~node ~page in
       Protocol_lib.with_entry rt e (fun () ->
           if e.Page_table.prob_owner = node && e.Page_table.copyset <> [] then begin
-            Protocol_lib.invalidate_copies rt ~page ~targets:e.Page_table.copyset;
+            List.iter
+              (fun target ->
+                Hashtbl.replace by_target target
+                  (page
+                  :: Option.value ~default:[] (Hashtbl.find_opt by_target target)))
+              e.Page_table.copyset;
             e.Page_table.copyset <- []
           end))
-    written
+    written;
+  Protocol_lib.invalidate_copies_many rt
+    ~pages_by_target:
+      (Hashtbl.fold (fun target pages acc -> (target, pages) :: acc) by_target [])
 
 let protocol =
   {

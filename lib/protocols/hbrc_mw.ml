@@ -134,16 +134,7 @@ let lock_release rt ~node ~lock:_ =
             Option.map (fun d -> (e.Page_table.home, d)) diff))
       dirty
   in
-  let by_home = Hashtbl.create 4 in
-  List.iter
-    (fun (home, d) ->
-      Hashtbl.replace by_home home
-        (d :: Option.value ~default:[] (Hashtbl.find_opt by_home home)))
-    diffs_with_home;
-  Hashtbl.fold (fun home diffs acc -> (home, List.rev diffs) :: acc) by_home []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (home, diffs) ->
-         Dsm_comm.call_diffs rt ~to_:home ~diffs ~release:true)
+  Protocol_lib.send_diffs_grouped rt ~release:true diffs_with_home
 
 (* Acquire: conservatively forget every cached hbrc page so the next access
    refetches the post-release reference copy from the home. *)
@@ -160,23 +151,41 @@ let lock_acquire rt ~node ~lock:_ =
       then Protocol_lib.with_entry rt e (fun () -> flush_and_drop rt ~node e))
     (Page_table.entries table)
 
-(* Home-side processing of release-tagged diffs: apply, then invalidate
-   third-party copies (each of which flushes its own diffs back first). *)
-let on_diffs rt ~node ~diff ~sender ~release =
-  Dsm_comm.apply_diff_locally rt ~node diff;
+(* Home-side processing of release-tagged diff batches: apply every diff,
+   then invalidate third-party copies (each of which flushes its own diffs
+   back first).  The invalidations of the whole batch are coalesced into one
+   RPC per copyset node — O(copyset) messages per release, not
+   O(pages x copyset). *)
+let on_diffs_batch rt ~node ~diffs ~sender ~release =
+  List.iter (fun diff -> Dsm_comm.apply_diff_locally rt ~node diff) diffs;
   if release then begin
-    let e = Runtime.entry rt ~node ~page:diff.Diff.page in
-    let targets =
-      Protocol_lib.with_entry rt e (fun () ->
-          let t = List.filter (fun n -> n <> sender && n <> node) e.Page_table.copyset in
-          e.Page_table.copyset <-
-            (if List.mem sender e.Page_table.copyset then [ sender ] else []);
-          t)
-    in
-    Protocol_lib.invalidate_copies rt ~page:diff.Diff.page ~targets
+    let by_target = Hashtbl.create 8 in
+    List.iter
+      (fun diff ->
+        let page = diff.Diff.page in
+        let e = Runtime.entry rt ~node ~page in
+        let targets =
+          Protocol_lib.with_entry rt e (fun () ->
+              let t =
+                List.filter (fun n -> n <> sender && n <> node) e.Page_table.copyset
+              in
+              e.Page_table.copyset <-
+                (if List.mem sender e.Page_table.copyset then [ sender ] else []);
+              t)
+        in
+        List.iter
+          (fun target ->
+            Hashtbl.replace by_target target
+              (page :: Option.value ~default:[] (Hashtbl.find_opt by_target target)))
+          targets)
+      diffs;
+    Protocol_lib.invalidate_copies_many rt
+      ~pages_by_target:
+        (Hashtbl.fold (fun target pages acc -> (target, pages) :: acc) by_target [])
   end
 
-let register_diff_handler rt ~protocol = Dsm_comm.set_diff_handler rt ~protocol on_diffs
+let register_diff_handler rt ~protocol =
+  Dsm_comm.set_diffs_handler rt ~protocol on_diffs_batch
 
 let protocol =
   {

@@ -57,16 +57,7 @@ let flush_selected rt ~node ~protocol ~only =
           Some (e.Page_table.home, diff))
       pages
   in
-  let by_home = Hashtbl.create 4 in
-  List.iter
-    (fun (home, d) ->
-      Hashtbl.replace by_home home
-        (d :: Option.value ~default:[] (Hashtbl.find_opt by_home home)))
-    diffs_with_home;
-  Hashtbl.fold (fun home diffs acc -> (home, List.rev diffs) :: acc) by_home []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (home, diffs) ->
-         Dsm_comm.call_diffs rt ~to_:home ~diffs ~release:false)
+  Protocol_lib.send_diffs_grouped rt ~release:false diffs_with_home
 
 let flush_records rt ~node ~protocol = flush_selected rt ~node ~protocol ~only:None
 

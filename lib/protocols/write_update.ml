@@ -1,6 +1,5 @@
 open Dsmpm2_mem
 open Dsmpm2_core
-open Dsmpm2_pm2
 
 (* Fault handling shares erc_sw's shape: replication on reads (owner keeps
    write access), ownership-plus-copyset migration on writes, previous
@@ -97,20 +96,8 @@ let on_local_write rt ~node ~page ~offset ~value =
   let e = Runtime.entry rt ~node ~page in
   if e.Page_table.prob_owner = node && e.Page_table.copyset <> [] then begin
     let diff = Diff.of_words ~geometry:rt.Runtime.geo ~page [ (offset, value) ] in
-    let marcel = Runtime.marcel rt in
-    let targets = List.filter (fun n -> n <> node) e.Page_table.copyset in
-    match targets with
-    | [] -> ()
-    | [ target ] -> Dsm_comm.call_diffs rt ~to_:target ~diffs:[ diff ] ~release:false
-    | targets ->
-        let helpers =
-          List.map
-            (fun target ->
-              Marcel.spawn marcel ~node (fun () ->
-                  Dsm_comm.call_diffs rt ~to_:target ~diffs:[ diff ] ~release:false))
-            targets
-        in
-        List.iter (fun th -> Marcel.join marcel th) helpers
+    Protocol_lib.push_diffs rt ~targets:e.Page_table.copyset ~diffs:[ diff ]
+      ~release:false
   end
 
 let protocol =

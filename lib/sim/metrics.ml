@@ -41,7 +41,10 @@ let total t name =
 let samples t name =
   Hashtbl.fold (fun _ s acc -> acc + Stats.span_samples s name) t.groups 0
 
-let reset t = Hashtbl.reset t.groups
+(* Reset shard-by-shard rather than dropping the groups: pre-resolved group
+   handles (Network, Instrument interning) must stay wired to the live
+   series. *)
+let reset t = Hashtbl.iter (fun _ s -> Stats.reset s) t.groups
 
 let labels_to_json l =
   Json.Obj

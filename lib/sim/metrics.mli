@@ -16,7 +16,10 @@ type t
 val create : unit -> t
 
 val group : t -> labels -> Stats.t
-(** The stats shard for a label set, created on first use. *)
+(** The stats shard for a label set, created on first use.  The returned
+    shard is a stable handle: pre-resolve it (plus {!Stats.counter} /
+    {!Stats.histogram} handles inside it) on hot paths instead of paying a
+    label hash per event.  Handles survive {!reset}. *)
 
 val incr : t -> ?node:int -> ?protocol:string -> string -> unit
 val add : t -> ?node:int -> ?protocol:string -> string -> int -> unit
@@ -37,6 +40,7 @@ val all : t -> (labels * Stats.t) list
 (** Deterministically ordered (by node, then protocol). *)
 
 val reset : t -> unit
+(** Zeroes every shard in place; group handles stay valid. *)
 
 val labels_to_json : labels -> Json.t
 val to_json : t -> Json.t

@@ -22,6 +22,9 @@ type t = {
   durations : (string, span) Hashtbl.t;
 }
 
+type counter = int ref
+type histogram = span
+
 let create () = { counts = Hashtbl.create 16; durations = Hashtbl.create 16 }
 
 let counter t name =
@@ -31,6 +34,10 @@ let counter t name =
       let r = ref 0 in
       Hashtbl.add t.counts name r;
       r
+
+let bump (c : counter) = Stdlib.incr c
+let bump_by (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
 
 let incr t name = Stdlib.incr (counter t name)
 let add t name n = counter t name := !(counter t name) + n
@@ -59,13 +66,16 @@ let bucket_index dt =
   in
   go 0
 
-let add_span t name dt =
-  let s = span t name in
+let histogram t name = span t name
+
+let record (s : histogram) dt =
   s.sp_total <- Time.(s.sp_total + dt);
   s.sp_samples <- s.sp_samples + 1;
   if dt > s.sp_max then s.sp_max <- dt;
   let i = bucket_index dt in
   s.sp_buckets.(i) <- s.sp_buckets.(i) + 1
+
+let add_span t name dt = record (span t name) dt
 
 let span_total t name =
   match Hashtbl.find_opt t.durations name with
@@ -168,11 +178,17 @@ let spans t =
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let reset t =
-  (* Dropping the tables discards every counter and every histogram bucket;
-     spans are never handed out by reference, so nothing can resurrect the
-     old buckets. *)
-  Hashtbl.reset t.counts;
-  Hashtbl.reset t.durations
+  (* Zero in place rather than dropping the tables: interned handles
+     ({!counter}, {!histogram}) must stay live across a reset, so the next
+     bump lands in the series being snapshotted, not in a detached cell. *)
+  Hashtbl.iter (fun _ r -> r := 0) t.counts;
+  Hashtbl.iter
+    (fun _ s ->
+      s.sp_total <- Time.zero;
+      s.sp_samples <- 0;
+      s.sp_max <- Time.zero;
+      Array.fill s.sp_buckets 0 (Array.length s.sp_buckets) 0)
+    t.durations
 
 let summary_to_json s =
   Json.Obj

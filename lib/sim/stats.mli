@@ -18,6 +18,33 @@ val add_span : t -> string -> Time.t -> unit
 (** Accumulates a duration under [name], bumps its sample count, and files
     the sample into the histogram bucket containing it. *)
 
+(** {1 Interned handles}
+
+    Hot paths (one bump per simulated message) intern the name once and
+    then update through the handle — an increment on a shared cell instead
+    of a string hash per event.  Handles stay valid across {!reset}: a
+    reset zeroes the series in place. *)
+
+type counter
+(** A pre-resolved counter cell; shared with the string-keyed API ([incr]
+    and [bump] on the same name update the same cell). *)
+
+val counter : t -> string -> counter
+(** Interns (creating if needed) the counter named [name]. *)
+
+val bump : counter -> unit
+val bump_by : counter -> int -> unit
+val counter_value : counter -> int
+
+type histogram
+(** A pre-resolved duration series (total/samples/max plus buckets). *)
+
+val histogram : t -> string -> histogram
+(** Interns (creating if needed) the duration series named [name]. *)
+
+val record : histogram -> Time.t -> unit
+(** Equivalent to {!add_span} on the interned name, without the lookup. *)
+
 val span_total : t -> string -> Time.t
 val span_mean : t -> string -> Time.t
 (** 0 when no samples were recorded (never a division by zero). *)
@@ -63,7 +90,9 @@ val spans : t -> (string * Time.t * int) list
 (** [(name, total, samples)], sorted by name. *)
 
 val reset : t -> unit
-(** Clears every counter, duration and histogram bucket. *)
+(** Clears every counter, duration and histogram bucket in place.  Interned
+    {!counter}/{!histogram} handles survive a reset and keep feeding the
+    (now zeroed) series. *)
 
 val summary_to_json : span_summary -> Json.t
 val to_json : t -> Json.t

@@ -76,6 +76,37 @@ let test_frame_store_install_wrong_size () =
     (Invalid_argument "Frame_store.install: wrong page length") (fun () ->
       Frame_store.install fs 1 (Bytes.create 100))
 
+let test_frame_store_install_owned_adopts () =
+  let fs = Frame_store.create ~geometry:geo in
+  let data = Bytes.make 4096 'x' in
+  Frame_store.install_owned fs 7 data;
+  (* Ownership transferred: the store's frame IS the caller's buffer (the
+     whole point — one copy per page transfer, not two). *)
+  Alcotest.(check bool) "no copy made" true (Frame_store.frame fs 7 == data);
+  Alcotest.check_raises "length still checked"
+    (Invalid_argument "Frame_store.install_owned: wrong page length") (fun () ->
+      Frame_store.install_owned fs 1 (Bytes.create 100))
+
+let test_frame_store_cache_tracks_drop_and_install () =
+  let fs = Frame_store.create ~geometry:geo in
+  Frame_store.write_int fs ~addr:(7 * 4096) 11;
+  (* Page 7 is now the cached hot entry; a drop must invalidate the cache. *)
+  Frame_store.drop fs 7;
+  Alcotest.(check bool) "dropped" false (Frame_store.has_frame fs 7);
+  Alcotest.(check int) "re-created zeroed" 0 (Frame_store.read_int fs ~addr:(7 * 4096));
+  (* An install over the hot page must serve the new data, not the stale
+     cached frame. *)
+  Frame_store.write_int fs ~addr:(3 * 4096) 5;
+  let fresh = Bytes.make 4096 '\000' in
+  Bytes.set_int64_le fresh 0 99L;
+  Frame_store.install fs 3 fresh;
+  Alcotest.(check int) "install visible through cache" 99
+    (Frame_store.read_int fs ~addr:(3 * 4096));
+  (* peek must also agree with the cache. *)
+  (match Frame_store.peek fs 3 with
+  | Some f -> Alcotest.(check int64) "peek sees install" 99L (Bytes.get_int64_le f 0)
+  | None -> Alcotest.fail "frame missing after install")
+
 (* --- Diff --- *)
 
 let test_diff_compute_apply_roundtrip () =
@@ -131,6 +162,57 @@ let prop_diff_merge_composes =
       Diff.apply merged at_once;
       Bytes.equal sequential at_once)
 
+(* The word-scan kernel must produce byte-identical diffs to the
+   byte-at-a-time reference — same ranges, same offsets, not just the same
+   applied result. *)
+let prop_diff_compute_matches_bytewise =
+  QCheck.Test.make ~name:"compute = compute_bytewise (exact ranges)" ~count:300
+    QCheck.(small_list (pair (int_bound 511) (int_bound 255)))
+    (fun writes ->
+      let twin = Bytes.make 512 '\000' in
+      let current = Bytes.copy twin in
+      List.iter (fun (off, v) -> Bytes.set current off (Char.chr v)) writes;
+      let fast = Diff.compute ~page:0 ~twin ~current in
+      let slow = Diff.compute_bytewise ~page:0 ~twin ~current in
+      fast.Diff.page = slow.Diff.page && fast.Diff.ranges = slow.Diff.ranges)
+
+(* Edges the word scan must get right: changes straddling a word boundary,
+   in the unaligned tail of a page whose size is not a multiple of 8, and
+   the full-page change. *)
+let test_diff_compute_word_edges () =
+  let check_equal name twin current =
+    let fast = Diff.compute ~page:0 ~twin ~current in
+    let slow = Diff.compute_bytewise ~page:0 ~twin ~current in
+    Alcotest.(check bool) (name ^ ": matches reference") true
+      (fast.Diff.ranges = slow.Diff.ranges);
+    let target = Bytes.copy twin in
+    Diff.apply fast target;
+    Alcotest.(check bytes) (name ^ ": applies") current target
+  in
+  let twin = Bytes.make 64 '\000' in
+  let straddle = Bytes.copy twin in
+  Bytes.set straddle 7 'a';
+  Bytes.set straddle 8 'b';
+  check_equal "straddles word boundary" twin straddle;
+  let tail = Bytes.make 61 '\000' in
+  let tail_hit = Bytes.copy tail in
+  Bytes.set tail_hit 60 'z';
+  check_equal "last byte of unaligned tail" tail tail_hit;
+  let all = Bytes.make 64 '\001' in
+  check_equal "full-page change" twin all;
+  let full_diff = Diff.compute ~page:0 ~twin ~current:all in
+  Alcotest.(check int) "full change is one range" 1 (Diff.range_count full_diff);
+  Alcotest.(check int) "full payload" 64 (Diff.payload_bytes full_diff);
+  (* Sparse far-apart single words stay separate ranges. *)
+  let sparse = Bytes.make 4096 '\000' in
+  let sparse_hit = Bytes.copy sparse in
+  Bytes.set_int64_le sparse_hit 0 1L;
+  Bytes.set_int64_le sparse_hit 2048 1L;
+  Bytes.set_int64_le sparse_hit 4088 1L;
+  check_equal "sparse words" sparse sparse_hit;
+  Alcotest.(check int) "three sparse ranges" 3
+    (Diff.range_count (Diff.compute ~page:0 ~twin:sparse ~current:sparse_hit))
+
 let test_diff_of_words () =
   let diff = Diff.of_words ~geometry:geo ~page:5 [ (0, 42); (16, 7); (8, 9) ] in
   Alcotest.(check int) "coalesced adjacent words" 1 (Diff.range_count diff);
@@ -145,6 +227,21 @@ let test_diff_of_words_last_wins () =
   let target = Bytes.make 4096 '\000' in
   Diff.apply diff target;
   Alcotest.(check int64) "last record wins" 3L (Bytes.get_int64_le target 0)
+
+(* Last-write-wins must hold per offset even when duplicates interleave with
+   records for other (possibly overlapping-range) offsets. *)
+let test_diff_of_words_interleaved_duplicates () =
+  let diff =
+    Diff.of_words ~geometry:geo ~page:0
+      [ (0, 1); (8, 10); (0, 2); (16, 20); (8, 11); (0, 3) ]
+  in
+  let target = Bytes.make 4096 '\000' in
+  Diff.apply diff target;
+  Alcotest.(check int64) "offset 0 last" 3L (Bytes.get_int64_le target 0);
+  Alcotest.(check int64) "offset 8 last" 11L (Bytes.get_int64_le target 8);
+  Alcotest.(check int64) "offset 16 only" 20L (Bytes.get_int64_le target 16);
+  (* The three adjacent words coalesce into a single normalised range. *)
+  Alcotest.(check int) "coalesced" 1 (Diff.range_count diff)
 
 let test_diff_of_words_validation () =
   Alcotest.check_raises "unaligned offset" (Invalid_argument "Diff.of_words: bad offset")
@@ -205,6 +302,10 @@ let () =
           Alcotest.test_case "unaligned rejected" `Quick test_frame_store_unaligned_rejected;
           Alcotest.test_case "install copies" `Quick test_frame_store_install_copies;
           Alcotest.test_case "install size checked" `Quick test_frame_store_install_wrong_size;
+          Alcotest.test_case "install_owned adopts" `Quick
+            test_frame_store_install_owned_adopts;
+          Alcotest.test_case "hot-page cache coherent" `Quick
+            test_frame_store_cache_tracks_drop_and_install;
         ] );
       ( "diff",
         [
@@ -212,8 +313,12 @@ let () =
           Alcotest.test_case "empty" `Quick test_diff_empty;
           QCheck_alcotest.to_alcotest prop_diff_roundtrip;
           QCheck_alcotest.to_alcotest prop_diff_merge_composes;
+          QCheck_alcotest.to_alcotest prop_diff_compute_matches_bytewise;
+          Alcotest.test_case "word-scan edges" `Quick test_diff_compute_word_edges;
           Alcotest.test_case "of_words" `Quick test_diff_of_words;
           Alcotest.test_case "of_words last wins" `Quick test_diff_of_words_last_wins;
+          Alcotest.test_case "of_words interleaved duplicates" `Quick
+            test_diff_of_words_interleaved_duplicates;
           Alcotest.test_case "of_words validation" `Quick test_diff_of_words_validation;
           Alcotest.test_case "merge page mismatch" `Quick test_diff_merge_page_mismatch;
           QCheck_alcotest.to_alcotest prop_diff_wire_accounting;

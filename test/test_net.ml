@@ -86,7 +86,11 @@ let test_network_counters () =
   Network.send net ~src:2 ~dst:0 ~cost:(Driver.Migration 50) ignore;
   Engine.run eng;
   Alcotest.(check int) "messages" 3 (Network.messages_sent net);
-  Alcotest.(check int) "payload bytes" 150 (Network.bytes_sent net);
+  (* Each message carries the uniform wire header on top of its payload, so
+     control traffic shows up in the byte column too. *)
+  Alcotest.(check int)
+    "wire bytes" (150 + (3 * Driver.header_bytes))
+    (Network.bytes_sent net);
   Alcotest.(check int) "request counter" 1 (Stats.count (Network.stats net) "msg.request");
   Alcotest.(check int) "bulk counter" 1 (Stats.count (Network.stats net) "msg.bulk")
 
@@ -121,7 +125,21 @@ let test_network_self_send_counted () =
   Network.send net ~src:1 ~dst:1 ~cost:(Driver.Bulk 64) ignore;
   Engine.run eng;
   Alcotest.(check int) "loopback still counted" 1 (Network.messages_sent net);
-  Alcotest.(check int) "loopback bytes counted" 64 (Network.bytes_sent net)
+  Alcotest.(check int)
+    "loopback bytes counted" (64 + Driver.header_bytes)
+    (Network.bytes_sent net)
+
+let test_driver_wire_bytes () =
+  Alcotest.(check int) "request is header-only" Driver.header_bytes
+    (Driver.wire_bytes Driver.Request);
+  Alcotest.(check int) "null rpc is header-only" Driver.header_bytes
+    (Driver.wire_bytes Driver.Null_rpc);
+  Alcotest.(check int) "bulk adds payload" (Driver.header_bytes + 4096)
+    (Driver.wire_bytes (Driver.Bulk 4096));
+  Alcotest.(check int) "migration adds payload" (Driver.header_bytes + 50)
+    (Driver.wire_bytes (Driver.Migration 50));
+  Alcotest.(check int) "control payload is zero" 0
+    (Driver.payload_bytes Driver.Request)
 
 let test_network_jitter_never_reorders () =
   let eng = Engine.create () in
@@ -204,6 +222,7 @@ let () =
           Alcotest.test_case "paper calibration" `Quick test_driver_calibration;
           Alcotest.test_case "by_name" `Quick test_driver_by_name;
           Alcotest.test_case "size monotone" `Quick test_driver_size_monotone;
+          Alcotest.test_case "wire bytes" `Quick test_driver_wire_bytes;
         ] );
       ( "network",
         [

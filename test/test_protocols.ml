@@ -483,6 +483,84 @@ let test_li_hudak_fixed_hop_counts () =
         (measured_read dsm ~node:1 ~addr:x))
     [ None; Some 1; Some 7; Some 42 ]
 
+(* --- message economy: batched invalidations ---
+
+   A release over an N-page region with a K-node copyset must cost O(K)
+   invalidation RPCs (one batched message per copy holder), not O(N x K):
+   the [invalidate.rpc] counter counts wire messages, [invalidate.sent]
+   still counts every (page, target) pair. *)
+
+let test_hbrc_release_batched_invalidations () =
+  let dsm, ids = make ~nodes:7 () in
+  let pages = 8 in
+  let base =
+    Dsm.malloc dsm ~protocol:ids.Builtin.hbrc_mw ~home:(Dsm.On_node 0)
+      (pages * 4096)
+  in
+  let lock = Dsm.lock_create dsm ~protocol:ids.Builtin.hbrc_mw () in
+  let barrier = Dsm.barrier_create dsm ~parties:6 () in
+  (* Readers 2..6 cache every page, then the writer updates the whole region
+     under the lock and releases. *)
+  for node = 2 to 6 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for p = 0 to pages - 1 do
+             ignore (Dsm.read_int dsm (base + (p * 4096)))
+           done;
+           Dsm.barrier_wait dsm barrier))
+  done;
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.barrier_wait dsm barrier;
+         Dsm.with_lock dsm lock (fun () ->
+             for p = 0 to pages - 1 do
+               Dsm.write_int dsm (base + (p * 4096)) (p + 1)
+             done)));
+  Dsm.run dsm;
+  let stats = Dsm.stats dsm in
+  (* The home invalidates the 5 third-party readers once each, covering all
+     8 pages per message. *)
+  Alcotest.(check int) "one invalidate RPC per copyset node" 5
+    (Dsmpm2_sim.Stats.count stats Instrument.invalidate_rpcs);
+  Alcotest.(check int) "every (page, target) pair invalidated" (pages * 5)
+    (Dsmpm2_sim.Stats.count stats Instrument.invalidations);
+  (* The writer's whole release travelled as one diffs message to the home. *)
+  Alcotest.(check int) "all dirty pages diffed" pages
+    (Dsmpm2_sim.Stats.count stats Instrument.diffs_sent)
+
+let test_erc_release_batched_invalidations () =
+  let dsm, ids = make ~nodes:7 () in
+  let pages = 8 in
+  let base =
+    Dsm.malloc dsm ~protocol:ids.Builtin.erc_sw ~home:(Dsm.On_node 0)
+      (pages * 4096)
+  in
+  let lock = Dsm.lock_create dsm ~protocol:ids.Builtin.erc_sw () in
+  let barrier = Dsm.barrier_create dsm ~parties:6 () in
+  for node = 2 to 6 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for p = 0 to pages - 1 do
+             ignore (Dsm.read_int dsm (base + (p * 4096)))
+           done;
+           Dsm.barrier_wait dsm barrier))
+  done;
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.barrier_wait dsm barrier;
+         Dsm.with_lock dsm lock (fun () ->
+             for p = 0 to pages - 1 do
+               Dsm.write_int dsm (base + (p * 4096)) (p + 1)
+             done)));
+  Dsm.run dsm;
+  let stats = Dsm.stats dsm in
+  (* Ownership migrated to the writer with a copyset of the old owner plus
+     the 5 readers: the eager release invalidates all 6 with one RPC each. *)
+  Alcotest.(check int) "one invalidate RPC per copy holder" 6
+    (Dsmpm2_sim.Stats.count stats Instrument.invalidate_rpcs);
+  Alcotest.(check int) "every (page, target) pair invalidated" (pages * 6)
+    (Dsmpm2_sim.Stats.count stats Instrument.invalidations)
+
 let test_stress_li_hudak () = stress "li_hudak"
 let test_stress_erc_sw () = stress "erc_sw"
 let test_stress_hbrc_mw () = stress "hbrc_mw"
@@ -542,6 +620,13 @@ let () =
             test_li_hudak_fixed_hop_counts;
           Alcotest.test_case "erc pending writes" `Quick test_erc_pending_writes_tracked;
           Alcotest.test_case "hbrc dirty pages" `Quick test_hbrc_dirty_pages_tracked;
+        ] );
+      ( "message-economy",
+        [
+          Alcotest.test_case "hbrc release batches invalidations" `Quick
+            test_hbrc_release_batched_invalidations;
+          Alcotest.test_case "erc release batches invalidations" `Quick
+            test_erc_release_batched_invalidations;
         ] );
       ( "stress",
         [

@@ -334,6 +334,29 @@ let test_stats_counters_and_spans () =
   Stats.reset s;
   Alcotest.(check int) "reset" 0 (Stats.count s "a")
 
+let test_stats_interned_handles () =
+  let s = Stats.create () in
+  (* A handle and the string API address the same cell. *)
+  let c = Stats.counter s "a" in
+  Stats.bump c;
+  Stats.incr s "a";
+  Stats.bump_by c 3;
+  Alcotest.(check int) "handle and string share the cell" 5 (Stats.count s "a");
+  Alcotest.(check int) "counter_value agrees" 5 (Stats.counter_value c);
+  let h = Stats.histogram s "t" in
+  Stats.record h (Time.of_us 10.);
+  Stats.add_span s "t" (Time.of_us 20.);
+  Alcotest.(check int) "span total via both routes" (Time.of_us 30.)
+    (Stats.span_total s "t");
+  Alcotest.(check int) "two samples" 2 (Stats.span_samples s "t");
+  (* Reset zeroes in place: handles interned before the reset stay live. *)
+  Stats.reset s;
+  Alcotest.(check int) "counter zeroed" 0 (Stats.counter_value c);
+  Stats.bump c;
+  Stats.record h (Time.of_us 7.);
+  Alcotest.(check int) "stale handle still counts" 1 (Stats.count s "a");
+  Alcotest.(check int) "stale histogram still records" 1 (Stats.span_samples s "t")
+
 let test_stats_zero_sample_edges () =
   let s = Stats.create () in
   (* A span key that was never observed must read as zero everywhere, not
@@ -430,6 +453,8 @@ let () =
           Alcotest.test_case "trace disabled" `Quick test_trace_disabled_is_free;
           Alcotest.test_case "trace hash" `Quick test_trace_hash_distinguishes;
           Alcotest.test_case "stats" `Quick test_stats_counters_and_spans;
+          Alcotest.test_case "stats interned handles" `Quick
+            test_stats_interned_handles;
           Alcotest.test_case "stats zero-sample edges" `Quick
             test_stats_zero_sample_edges;
           Alcotest.test_case "stats reset clears histograms" `Quick
