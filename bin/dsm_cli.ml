@@ -292,6 +292,138 @@ let experiments =
         Sharing_patterns.to_json t);
   ]
 
+(* --- dsm analyze: the post-mortem trace analyzer --- *)
+
+let read_file file =
+  try Ok (In_channel.with_open_text file In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let analyze_cmd =
+  let run workload trace_jsonl protocol nodes driver seed top out folded_file =
+    let live_trace w =
+      (* Run the application with monitoring on and analyze its live trace. *)
+      let captured = ref None in
+      let observe dsm =
+        captured := Some dsm;
+        Monitor.enable dsm true
+      in
+      let proto default = Option.value ~default protocol in
+      (match w with
+      | "tsp" ->
+          ignore
+            (Dsmpm2_apps.Tsp.run
+               {
+                 Dsmpm2_apps.Tsp.default with
+                 protocol = proto "li_hudak";
+                 nodes;
+                 driver;
+                 seed;
+                 observe = Some observe;
+               })
+      | "jacobi" ->
+          ignore
+            (Dsmpm2_apps.Jacobi.run
+               {
+                 Dsmpm2_apps.Jacobi.default with
+                 protocol = proto "hbrc_mw";
+                 nodes;
+                 driver;
+                 observe = Some observe;
+               })
+      | "coloring" ->
+          ignore
+            (Dsmpm2_apps.Map_coloring.run
+               {
+                 Dsmpm2_apps.Map_coloring.default with
+                 protocol = proto "java_pf";
+                 nodes;
+                 driver;
+                 observe = Some observe;
+               })
+      | w ->
+          Format.fprintf ppf
+            "analyze: unknown workload %S (known: tsp, jacobi, coloring)@." w;
+          exit 2);
+      match !captured with
+      | Some dsm -> Monitor.trace dsm
+      | None ->
+          Format.fprintf ppf "analyze: %s did not expose its runtime@." w;
+          exit 2
+    in
+    let trace =
+      match (trace_jsonl, workload) with
+      | Some file, _ -> (
+          match read_file file with
+          | Error msg ->
+              Format.fprintf ppf "analyze: %s@." msg;
+              exit 2
+          | Ok contents -> (
+              match Trace.of_jsonl contents with
+              | Ok t -> t
+              | Error msg ->
+                  Format.fprintf ppf "analyze: %s: %s@." file msg;
+                  exit 2))
+      | None, Some w -> live_trace w
+      | None, None ->
+          Format.fprintf ppf
+            "analyze: give a workload (tsp, jacobi, coloring) or --trace-jsonl FILE@.";
+          exit 2
+    in
+    let a = Analyze.analyze ~top trace in
+    Analyze.report ppf a;
+    Option.iter (fun file -> Json.to_file file (Analyze.to_json a)) out;
+    Option.iter
+      (fun file -> to_formatter file (fun fmt -> Analyze.folded fmt a))
+      folded_file
+  in
+  let workload =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Application to run and analyze live: tsp, jacobi or coloring.")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Analyze a previously exported JSONL trace instead of running.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Consistency protocol (default: the workload's own default).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"How many slowest fault spans to detail.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the analysis as stable JSON to $(docv).")
+  in
+  let folded_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Write folded-stack lines (flamegraph.pl input) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Post-mortem trace analysis: fault critical paths, per-page sharing \
+          patterns, lock/barrier contention, protocol advice.")
+    Term.(
+      const run $ workload $ trace_jsonl $ protocol $ nodes_arg $ driver_arg
+      $ seed_arg $ top $ out $ folded_file)
+
 let check_cmd =
   let run seeds protocols workload replay verbose obs =
     let protocols =
@@ -336,7 +468,18 @@ let check_cmd =
                           (fun v ->
                             Format.fprintf ppf "  %s@."
                               (History.violation_to_string v))
-                          o.Conformance.o_violations
+                          o.Conformance.o_violations;
+                        (* Re-run the same schedule with monitoring on and
+                           show what the failing run actually did: its fault
+                           critical paths and per-page profiles. *)
+                        let _, dsm =
+                          Conformance.run_one_traced ~protocol ~driver ~workload
+                            ~seed
+                        in
+                        Analyze.report
+                          ~sections:[ `Critical; `Pages ]
+                          ppf
+                          (Analyze.analyze ~top:3 (Monitor.trace dsm))
                       end
                     end)
                   workload_list)
@@ -398,4 +541,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd; check_cmd ])))
+       (Cmd.group info
+          (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd ])))

@@ -127,16 +127,6 @@ let on_diffs rt ~src:_ payload =
   match payload with
   | Diffs { diffs; sender; release } ->
       let node = handler_node rt in
-      if Monitor.enabled rt then
-        Monitor.emit rt
-          (Trace.Diff
-             {
-               node;
-               pages = List.length diffs;
-               bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 diffs;
-               sender;
-               release;
-             });
       (* Partition the batch by protocol (order-preserving) so a protocol's
          batch handler sees the whole message at once — that is what lets a
          home coalesce the resulting third-party invalidations into one RPC
@@ -154,6 +144,21 @@ let on_diffs rt ~src:_ payload =
       List.iter
         (fun (protocol, rev_ds) ->
           let ds = List.rev rev_ds in
+          (* One trace event per protocol group, with the page list, so the
+             post-mortem analyzer can attribute diff traffic per page and
+             per protocol. *)
+          if Monitor.enabled rt then
+            Monitor.emit rt
+              (Trace.Diff
+                 {
+                   node;
+                   pages = List.length ds;
+                   page_list = List.map (fun d -> d.Diff.page) ds;
+                   bytes = List.fold_left (fun acc d -> acc + Diff.wire_bytes d) 0 ds;
+                   sender;
+                   release;
+                   protocol = (Runtime.proto rt protocol).Protocol.name;
+                 });
           match Hashtbl.find_opt rt.Runtime.diffs_batch_handlers protocol with
           | Some handler -> handler rt ~node ~diffs:ds ~sender ~release
           | None -> (

@@ -37,10 +37,17 @@ let lock_acquire rt id =
   let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
   let services = Runtime.services rt in
   let started = Engine.now (Runtime.engine rt) in
+  (* Client-side request/granted pair: the gap is this node's observed lock
+     wait (manager queueing plus network), the raw material of the
+     analyzer's per-lock contention profile. *)
+  if Monitor.enabled rt then
+    Monitor.emit rt (Trace.Lock { node; lock = id; op = "request" });
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
        ~service:services.Runtime.srv_lock_acquire ~cost:Driver.Request
        (Dsm_comm.Lock_op { lock = id; node; tid }));
+  if Monitor.enabled rt then
+    Monitor.emit rt (Trace.Lock { node; lock = id; op = "granted" });
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
   proto.Protocol.lock_acquire rt ~node ~lock:id;
   Runtime.record_history rt ~start:started (History.Acquire { lock = id });
@@ -52,6 +59,10 @@ let lock_release rt id =
   let ls = Runtime.lock_state rt id in
   let node = Runtime.self_node rt in
   let started = Engine.now (Runtime.engine rt) in
+  (* The hold ends when release processing starts (the protocol's flush
+     runs on the holder's time, not the next waiter's). *)
+  if Monitor.enabled rt then
+    Monitor.emit rt (Trace.Lock { node; lock = id; op = "released" });
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
   proto.Protocol.lock_release rt ~node ~lock:id;
   (* Record before the manager round-trip: the release's place in the

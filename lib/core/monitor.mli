@@ -18,6 +18,10 @@ val enabled : Runtime.t -> bool
 val trace : Runtime.t -> Trace.t
 (** The raw event log (chronological). *)
 
+val events : Runtime.t -> (Trace.entry * Trace.event) list
+(** The typed events, chronological — what the post-mortem analyzer
+    ([Dsmpm2_experiments.Analyze]) consumes on a live runtime. *)
+
 val metrics : Runtime.t -> Metrics.t
 (** The labeled (node, protocol) metrics registry. *)
 

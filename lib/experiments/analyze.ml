@@ -1,0 +1,803 @@
+open Dsmpm2_sim
+
+(* Post-mortem trace analyzer: turns a run's typed event trace (live
+   [Monitor.trace] or a re-loaded [Trace.of_jsonl] dump) into the reports
+   the paper attributes to PM2's "very precise post-mortem monitoring
+   tools" — per-fault critical paths, per-page sharing-pattern profiles,
+   lock/barrier contention, and a per-region protocol recommendation. *)
+
+(* --- exact percentiles (post-mortem data is small; no bucketing) --- *)
+
+type dist = {
+  d_samples : int;
+  d_total_us : float;
+  d_mean_us : float;
+  d_p50_us : float;
+  d_p90_us : float;
+  d_p99_us : float;
+  d_max_us : float;
+}
+
+let dist_empty =
+  {
+    d_samples = 0;
+    d_total_us = 0.;
+    d_mean_us = 0.;
+    d_p50_us = 0.;
+    d_p90_us = 0.;
+    d_p99_us = 0.;
+    d_max_us = 0.;
+  }
+
+let dist_of_list us =
+  match us with
+  | [] -> dist_empty
+  | us ->
+      let a = Array.of_list us in
+      Array.sort compare a;
+      let n = Array.length a in
+      let pct p = a.(min (n - 1) (max 0 (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))) in
+      let total = Array.fold_left ( +. ) 0. a in
+      {
+        d_samples = n;
+        d_total_us = total;
+        d_mean_us = total /. float_of_int n;
+        d_p50_us = pct 50.;
+        d_p90_us = pct 90.;
+        d_p99_us = pct 99.;
+        d_max_us = a.(n - 1);
+      }
+
+let dist_to_json d =
+  Json.Obj
+    [
+      ("samples", Json.Int d.d_samples);
+      ("total_us", Json.Float d.d_total_us);
+      ("mean_us", Json.Float d.d_mean_us);
+      ("p50_us", Json.Float d.d_p50_us);
+      ("p90_us", Json.Float d.d_p90_us);
+      ("p99_us", Json.Float d.d_p99_us);
+      ("max_us", Json.Float d.d_max_us);
+    ]
+
+(* --- critical paths --- *)
+
+(* The stage model: a remote access's span stitches
+     fault --(detect+request propagation)--> request at the server
+           --(serve)--> page send --(transfer)--> install --(install)--> done.
+   Thread-migration protocols replace the transfer chain with a [migrate]
+   stage (fault to migration completion). *)
+let stage_order = [ "request"; "serve"; "transfer"; "install"; "migrate" ]
+
+type chain = {
+  ch_span : int;
+  ch_node : int;
+  ch_page : int;
+  ch_protocol : string;
+  ch_mode : string;
+  ch_start_us : float;
+  ch_total_us : float;
+  ch_stages : (string * float) list;  (* stage name -> us, only present stages *)
+  ch_hops : int;
+  ch_events : (Trace.entry * Trace.event) list;
+}
+
+let us_of t = Time.to_us t
+
+let chain_of_span (span, evs) =
+  let fault =
+    List.find_map
+      (fun ((e : Trace.entry), ev) ->
+        match ev with
+        | Trace.Fault { node; page; protocol; mode } ->
+            Some (e.Trace.at, node, page, protocol, mode)
+        | _ -> None)
+      evs
+  in
+  match fault with
+  | None -> None
+  | Some (t0, node, page, protocol, mode) ->
+      let ats p = List.filter_map (fun ((e : Trace.entry), ev) -> if p ev then Some e.Trace.at else None) evs in
+      let requests = ats (function Trace.Page_request _ -> true | _ -> false) in
+      let sends = ats (function Trace.Page_send _ -> true | _ -> false) in
+      let installs = ats (function Trace.Page_install _ -> true | _ -> false) in
+      let migrations = ats (function Trace.Migration _ -> true | _ -> false) in
+      let last_at =
+        List.fold_left
+          (fun acc ((e : Trace.entry), _) -> Time.max acc e.Trace.at)
+          t0 evs
+      in
+      let first = function [] -> None | x :: _ -> Some x in
+      let last l = first (List.rev l) in
+      let span_us a b = us_of Time.(b - a) in
+      let stages = ref [] in
+      let add name v = if v >= 0. then stages := (name, v) :: !stages in
+      (match first requests with Some r -> add "request" (span_us t0 r) | None -> ());
+      (match (last requests, first sends) with
+      | Some r, Some s -> add "serve" (span_us r s)
+      | _ -> ());
+      (match (first sends, first installs) with
+      | Some s, Some i -> add "transfer" (span_us s i)
+      | _ -> ());
+      (match first installs with
+      | Some i -> add "install" (span_us i last_at)
+      | None -> ());
+      (if sends = [] then
+         match first migrations with
+         | Some m -> add "migrate" (span_us t0 m)
+         | None -> ());
+      Some
+        {
+          ch_span = span;
+          ch_node = node;
+          ch_page = page;
+          ch_protocol = protocol;
+          ch_mode = mode;
+          ch_start_us = us_of t0;
+          ch_total_us = span_us t0 last_at;
+          ch_stages = List.rev !stages;
+          ch_hops = List.length requests;
+          ch_events = evs;
+        }
+
+(* --- per-page sharing patterns --- *)
+
+type pattern =
+  | Private
+  | Read_mostly
+  | Single_writer
+  | Producer_consumer
+  | Migratory
+  | False_sharing
+  | Mixed
+
+let pattern_to_string = function
+  | Private -> "private"
+  | Read_mostly -> "read-mostly"
+  | Single_writer -> "single-writer"
+  | Producer_consumer -> "producer-consumer"
+  | Migratory -> "migratory"
+  | False_sharing -> "false-sharing"
+  | Mixed -> "mixed"
+
+type page_profile = {
+  pg_page : int;
+  pg_protocol : string;
+  pg_pattern : pattern;
+  pg_read_faults : int;
+  pg_write_faults : int;
+  pg_readers : int list;
+  pg_writers : int list;
+  pg_diff_senders : int list;
+  pg_transfers : int;
+  pg_bytes : int;  (* page-send bytes + attributed diff bytes *)
+  pg_invalidations : int;
+}
+
+type page_acc = {
+  mutable a_protocol : string;
+  mutable a_read_faults : int;
+  mutable a_write_faults : int;
+  mutable a_readers : int list;
+  mutable a_writers : int list;
+  mutable a_diff_senders : int list;  (* one entry per diff received *)
+  mutable a_transfers : int;
+  mutable a_send_bytes : int;
+  mutable a_diff_bytes : int;
+  mutable a_invalidations : int;
+  mutable a_write_seq : int list;  (* reverse-chronological writer nodes *)
+}
+
+let page_stats events =
+  let tbl : (int, page_acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc page =
+    match Hashtbl.find_opt tbl page with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_protocol = "?";
+            a_read_faults = 0;
+            a_write_faults = 0;
+            a_readers = [];
+            a_writers = [];
+            a_diff_senders = [];
+            a_transfers = 0;
+            a_send_bytes = 0;
+            a_diff_bytes = 0;
+            a_invalidations = 0;
+            a_write_seq = [];
+          }
+        in
+        Hashtbl.add tbl page a;
+        a
+  in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Fault { node; page; protocol; mode } ->
+          let a = acc page in
+          a.a_protocol <- protocol;
+          if mode = "write" then begin
+            a.a_write_faults <- a.a_write_faults + 1;
+            a.a_writers <- node :: a.a_writers;
+            a.a_write_seq <- node :: a.a_write_seq
+          end
+          else begin
+            a.a_read_faults <- a.a_read_faults + 1;
+            a.a_readers <- node :: a.a_readers
+          end
+      | Trace.Page_send { page; protocol; bytes; _ } ->
+          let a = acc page in
+          a.a_protocol <- protocol;
+          a.a_transfers <- a.a_transfers + 1;
+          a.a_send_bytes <- a.a_send_bytes + bytes
+      | Trace.Invalidate { page; protocol; _ } ->
+          let a = acc page in
+          a.a_protocol <- protocol;
+          a.a_invalidations <- a.a_invalidations + 1
+      | Trace.Diff { page_list; bytes; sender; protocol; _ } ->
+          let n = max 1 (List.length page_list) in
+          List.iter
+            (fun page ->
+              let a = acc page in
+              a.a_protocol <- protocol;
+              a.a_diff_senders <- sender :: a.a_diff_senders;
+              a.a_diff_bytes <- a.a_diff_bytes + (bytes / n);
+              a.a_writers <- sender :: a.a_writers;
+              a.a_write_seq <- sender :: a.a_write_seq)
+            page_list
+      | _ -> ())
+    events;
+  tbl
+
+(* The classification heuristic, in evidence-strength order:
+   - one accessing node: private;
+   - diffs from >= 2 nodes: concurrent multiple writers of one page, i.e.
+     (the protocol tolerates) false sharing — the diffs carry the disjoint
+     word sets each writer changed;
+   - no writers: read-mostly replication;
+   - >= 2 (serial) writers: migratory when write access demonstrably hands
+     off between nodes at least twice, otherwise mixed;
+   - single writer with remote readers that repeatedly re-fetch: producer-
+     consumer; single writer otherwise. *)
+let classify a =
+  let readers = List.sort_uniq compare a.a_readers in
+  let writers = List.sort_uniq compare a.a_writers in
+  let differs = List.sort_uniq compare a.a_diff_senders in
+  let accessors = List.sort_uniq compare (readers @ writers) in
+  if List.length accessors <= 1 then Private
+  else if List.length differs >= 2 then False_sharing
+  else
+    match writers with
+    | [] -> Read_mostly
+    | [ w ] ->
+        let remote_readers = List.filter (fun r -> r <> w) readers in
+        let produces = a.a_write_faults + List.length a.a_diff_senders in
+        if remote_readers <> [] && produces >= 2 && a.a_read_faults >= 2 then
+          Producer_consumer
+        else Single_writer
+    | _ ->
+        let handoffs =
+          let seq = List.rev a.a_write_seq in
+          let rec count prev = function
+            | [] -> 0
+            | n :: rest -> (if n <> prev then 1 else 0) + count n rest
+          in
+          match seq with [] -> 0 | n :: rest -> count n rest
+        in
+        if handoffs >= 2 then Migratory else Mixed
+
+let profile_of_page page a =
+  {
+    pg_page = page;
+    pg_protocol = a.a_protocol;
+    pg_pattern = classify a;
+    pg_read_faults = a.a_read_faults;
+    pg_write_faults = a.a_write_faults;
+    pg_readers = List.sort_uniq compare a.a_readers;
+    pg_writers = List.sort_uniq compare a.a_writers;
+    pg_diff_senders = List.sort_uniq compare a.a_diff_senders;
+    pg_transfers = a.a_transfers;
+    pg_bytes = a.a_send_bytes + a.a_diff_bytes;
+    pg_invalidations = a.a_invalidations;
+  }
+
+(* --- protocol advisor --- *)
+
+(* Pattern -> built-in protocol, following the paper's Table 2 roles (and
+   DRust's observation that the sharing pattern picks the policy):
+   migratory data wants the accessing thread moved to it; false sharing
+   wants a multiple-writer diff protocol; read-mostly and producer-consumer
+   pages want updates pushed instead of replicas invalidated; a single
+   writer with a private working set fits eager release consistency. *)
+let recommended_protocol = function
+  | Migratory -> Some "migrate_thread"
+  | False_sharing -> Some "hbrc_mw"
+  | Read_mostly -> Some "write_update"
+  | Producer_consumer -> Some "write_update"
+  | Single_writer -> Some "erc_sw"
+  | Private | Mixed -> None
+
+type advice = {
+  ad_page : int;
+  ad_pattern : pattern;
+  ad_current : string;
+  ad_recommended : string;
+}
+
+let advise profiles =
+  List.filter_map
+    (fun p ->
+      match recommended_protocol p.pg_pattern with
+      | Some r when r <> p.pg_protocol ->
+          Some
+            {
+              ad_page = p.pg_page;
+              ad_pattern = p.pg_pattern;
+              ad_current = p.pg_protocol;
+              ad_recommended = r;
+            }
+      | _ -> None)
+    profiles
+
+(* --- lock & barrier contention --- *)
+
+type lock_profile = {
+  lk_lock : int;
+  lk_nodes : int;
+  lk_acquisitions : int;
+  lk_wait : dist;
+  lk_hold : dist;
+}
+
+let lock_profiles events =
+  (* Per (lock, node): chronological request / granted / released series;
+     position i of each pairs into one acquisition. *)
+  let series : (int * int, Time.t list ref * Time.t list ref * Time.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ((e : Trace.entry), ev) ->
+      match ev with
+      | Trace.Lock { node; lock; op } when op = "request" || op = "granted" || op = "released" ->
+          let req, grant, rel =
+            match Hashtbl.find_opt series (lock, node) with
+            | Some s -> s
+            | None ->
+                let s = (ref [], ref [], ref []) in
+                Hashtbl.add series (lock, node) s;
+                s
+          in
+          let cell =
+            match op with "request" -> req | "granted" -> grant | _ -> rel
+          in
+          cell := e.Trace.at :: !cell
+      | _ -> ())
+    events;
+  let by_lock : (int, float list ref * float list ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun (lock, _node) (req, grant, rel) ->
+      let waits, holds, acquisitions, nodes =
+        match Hashtbl.find_opt by_lock lock with
+        | Some x -> x
+        | None ->
+            let x = (ref [], ref [], ref 0, ref 0) in
+            Hashtbl.add by_lock lock x;
+            x
+      in
+      incr nodes;
+      let rec pair f xs ys =
+        match (xs, ys) with
+        | x :: xs, y :: ys ->
+            f x y;
+            pair f xs ys
+        | _ -> ()
+      in
+      let req = List.rev !req and grant = List.rev !grant and rel = List.rev !rel in
+      acquisitions := !acquisitions + List.length grant;
+      pair (fun r g -> waits := us_of Time.(g - r) :: !waits) req grant;
+      pair (fun g r -> holds := us_of Time.(r - g) :: !holds) grant rel)
+    series;
+  Hashtbl.fold
+    (fun lock (waits, holds, acquisitions, nodes) acc ->
+      {
+        lk_lock = lock;
+        lk_nodes = !nodes;
+        lk_acquisitions = !acquisitions;
+        lk_wait = dist_of_list !waits;
+        lk_hold = dist_of_list !holds;
+      }
+      :: acc)
+    by_lock []
+  |> List.sort (fun a b -> compare (b.lk_wait.d_total_us, a.lk_lock) (a.lk_wait.d_total_us, b.lk_lock))
+
+type barrier_profile = {
+  br_barrier : int;
+  br_parties : int;
+  br_rounds : int;
+  br_imbalance : dist;  (* last-minus-first arrival per completed round *)
+}
+
+let barrier_profiles events =
+  let arrivals : (int, (Time.t * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((e : Trace.entry), ev) ->
+      match ev with
+      | Trace.Barrier { node; barrier } ->
+          let cell =
+            match Hashtbl.find_opt arrivals barrier with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add arrivals barrier c;
+                c
+          in
+          cell := (e.Trace.at, node) :: !cell
+      | _ -> ())
+    events;
+  Hashtbl.fold
+    (fun barrier cell acc ->
+      let arr = List.rev !cell in
+      let parties =
+        List.length (List.sort_uniq compare (List.map snd arr))
+      in
+      let rec rounds acc = function
+        | [] -> List.rev acc
+        | l ->
+            let rec take n acc = function
+              | rest when n = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | x :: rest -> take (n - 1) (x :: acc) rest
+            in
+            let round, rest = take parties [] l in
+            if List.length round = parties then rounds (round :: acc) rest
+            else List.rev acc
+      in
+      let complete = if parties = 0 then [] else rounds [] arr in
+      let imbalances =
+        List.map
+          (fun round ->
+            let ats = List.map fst round in
+            let first = List.fold_left min (List.hd ats) ats in
+            let last = List.fold_left max (List.hd ats) ats in
+            us_of Time.(last - first))
+          complete
+      in
+      {
+        br_barrier = barrier;
+        br_parties = parties;
+        br_rounds = List.length complete;
+        br_imbalance = dist_of_list imbalances;
+      }
+      :: acc)
+    arrivals []
+  |> List.sort (fun a b -> compare a.br_barrier b.br_barrier)
+
+(* --- the analysis --- *)
+
+type t = {
+  an_events : int;
+  an_spans : int;
+  an_duration_us : float;
+  an_chains : chain list;  (* all fault chains, chronological *)
+  an_stage_dists : (string * (string * dist) list) list;
+      (* protocol -> stage -> distribution, stages in [stage_order] *)
+  an_totals : (string * dist) list;  (* protocol -> whole-fault distribution *)
+  an_top : chain list;  (* top-K slowest, slowest first *)
+  an_pages : page_profile list;  (* ranked by (faults, bytes) desc *)
+  an_locks : lock_profile list;
+  an_barriers : barrier_profile list;
+  an_advice : advice list;
+}
+
+let analyze ?(top = 5) trace =
+  let events = Trace.events trace in
+  let span_groups = Trace.spans trace in
+  let chains = List.filter_map chain_of_span span_groups in
+  let protocols =
+    List.sort_uniq compare (List.map (fun c -> c.ch_protocol) chains)
+  in
+  let stage_dists =
+    List.map
+      (fun proto ->
+        let of_proto = List.filter (fun c -> c.ch_protocol = proto) chains in
+        let per_stage =
+          List.filter_map
+            (fun stage ->
+              let samples =
+                List.filter_map (fun c -> List.assoc_opt stage c.ch_stages) of_proto
+              in
+              if samples = [] then None else Some (stage, dist_of_list samples))
+            stage_order
+        in
+        (proto, per_stage))
+      protocols
+  in
+  let totals =
+    List.map
+      (fun proto ->
+        ( proto,
+          dist_of_list
+            (List.filter_map
+               (fun c -> if c.ch_protocol = proto then Some c.ch_total_us else None)
+               chains) ))
+      protocols
+  in
+  let top_chains =
+    let sorted =
+      List.stable_sort (fun a b -> compare b.ch_total_us a.ch_total_us) chains
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take top sorted
+  in
+  let pages =
+    Hashtbl.fold (fun page a acc -> profile_of_page page a :: acc) (page_stats events) []
+    |> List.sort (fun a b ->
+           compare
+             (b.pg_read_faults + b.pg_write_faults, b.pg_bytes, a.pg_page)
+             (a.pg_read_faults + a.pg_write_faults, a.pg_bytes, b.pg_page))
+  in
+  let duration =
+    List.fold_left (fun acc ((e : Trace.entry), _) -> Time.max acc e.Trace.at) Time.zero events
+  in
+  {
+    an_events = List.length events;
+    an_spans = List.length span_groups;
+    an_duration_us = us_of duration;
+    an_chains = chains;
+    an_stage_dists = stage_dists;
+    an_totals = totals;
+    an_top = top_chains;
+    an_pages = pages;
+    an_locks = lock_profiles events;
+    an_barriers = barrier_profiles events;
+    an_advice = advise pages;
+  }
+
+let pages t = t.an_pages
+let advice t = t.an_advice
+let locks t = t.an_locks
+let barriers t = t.an_barriers
+let chains t = t.an_chains
+
+let page_profile t ~page = List.find_opt (fun p -> p.pg_page = page) t.an_pages
+
+(* --- text report --- *)
+
+let nodes_str nodes =
+  "[" ^ String.concat ";" (List.map string_of_int nodes) ^ "]"
+
+let report ?(sections = [ `Critical; `Pages; `Locks; `Barriers; `Advice ]) ppf t =
+  let want s = List.mem s sections in
+  Format.fprintf ppf "Trace analysis: %d events, %d spans, %.1f us@." t.an_events
+    t.an_spans t.an_duration_us;
+  if want `Critical then begin
+    Format.fprintf ppf "@.== Fault critical paths ==@.";
+    Format.fprintf ppf "%-16s %-10s %7s %9s %9s %9s %9s@." "protocol" "stage"
+      "faults" "p50(us)" "p90(us)" "p99(us)" "max(us)";
+    List.iter
+      (fun (proto, per_stage) ->
+        List.iter
+          (fun (stage, d) ->
+            Format.fprintf ppf "%-16s %-10s %7d %9.1f %9.1f %9.1f %9.1f@." proto
+              stage d.d_samples d.d_p50_us d.d_p90_us d.d_p99_us d.d_max_us)
+          per_stage;
+        match List.assoc_opt proto t.an_totals with
+        | Some d when d.d_samples > 0 ->
+            Format.fprintf ppf "%-16s %-10s %7d %9.1f %9.1f %9.1f %9.1f@." proto
+              "total" d.d_samples d.d_p50_us d.d_p90_us d.d_p99_us d.d_max_us
+        | _ -> ())
+      t.an_stage_dists;
+    if t.an_top <> [] then begin
+      Format.fprintf ppf "@.Top %d slowest faults:@." (List.length t.an_top);
+      List.iter
+        (fun c ->
+          Format.fprintf ppf
+            "  span %d: %s %s fault on page %d by node %d, %.1f us (%d hop%s)@."
+            c.ch_span c.ch_protocol c.ch_mode c.ch_page c.ch_node c.ch_total_us
+            c.ch_hops
+            (if c.ch_hops = 1 then "" else "s");
+          List.iter
+            (fun (stage, us) -> Format.fprintf ppf "    %-10s %9.1f us@." stage us)
+            c.ch_stages;
+          List.iter
+            (fun ((e : Trace.entry), _) ->
+              Format.fprintf ppf "    [%a] %-12s %s@." Time.pp e.Trace.at
+                e.Trace.category e.Trace.message)
+            c.ch_events)
+        t.an_top
+    end
+  end;
+  if want `Pages then begin
+    Format.fprintf ppf "@.== Page heatmap (by faults, bytes) ==@.";
+    Format.fprintf ppf "%-6s %-16s %-17s %6s %6s %6s %9s %6s %-10s %-10s@." "page"
+      "protocol" "pattern" "rf" "wf" "xfers" "bytes" "inval" "readers" "writers";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "%-6d %-16s %-17s %6d %6d %6d %9d %6d %-10s %-10s@."
+          p.pg_page p.pg_protocol
+          (pattern_to_string p.pg_pattern)
+          p.pg_read_faults p.pg_write_faults p.pg_transfers p.pg_bytes
+          p.pg_invalidations (nodes_str p.pg_readers) (nodes_str p.pg_writers))
+      t.an_pages
+  end;
+  if want `Locks && t.an_locks <> [] then begin
+    Format.fprintf ppf "@.== Lock contention ==@.";
+    Format.fprintf ppf "%-6s %6s %6s %9s %9s %9s %9s %9s@." "lock" "nodes" "acq"
+      "wait p50" "wait p99" "wait max" "hold p50" "hold max";
+    List.iter
+      (fun l ->
+        Format.fprintf ppf "%-6d %6d %6d %9.1f %9.1f %9.1f %9.1f %9.1f@."
+          l.lk_lock l.lk_nodes l.lk_acquisitions l.lk_wait.d_p50_us
+          l.lk_wait.d_p99_us l.lk_wait.d_max_us l.lk_hold.d_p50_us
+          l.lk_hold.d_max_us)
+      t.an_locks
+  end;
+  if want `Barriers && t.an_barriers <> [] then begin
+    Format.fprintf ppf "@.== Barrier imbalance ==@.";
+    Format.fprintf ppf "%-8s %8s %7s %10s %10s@." "barrier" "parties" "rounds"
+      "mean(us)" "max(us)";
+    List.iter
+      (fun b ->
+        Format.fprintf ppf "%-8d %8d %7d %10.1f %10.1f@." b.br_barrier
+          b.br_parties b.br_rounds b.br_imbalance.d_mean_us b.br_imbalance.d_max_us)
+      t.an_barriers
+  end;
+  if want `Advice then begin
+    Format.fprintf ppf "@.== Protocol advisor (dsm_malloc attribute suggestions) ==@.";
+    if t.an_advice = [] then
+      Format.fprintf ppf "  every page already runs a protocol matching its pattern@."
+    else
+      List.iter
+        (fun a ->
+          Format.fprintf ppf
+            "  page %d: %s under %s -> allocate with ~protocol:%s@." a.ad_page
+            (pattern_to_string a.ad_pattern)
+            a.ad_current a.ad_recommended)
+        t.an_advice
+  end
+
+(* --- stable JSON --- *)
+
+let chain_to_json c =
+  Json.Obj
+    [
+      ("span", Json.Int c.ch_span);
+      ("node", Json.Int c.ch_node);
+      ("page", Json.Int c.ch_page);
+      ("protocol", Json.String c.ch_protocol);
+      ("mode", Json.String c.ch_mode);
+      ("start_us", Json.Float c.ch_start_us);
+      ("total_us", Json.Float c.ch_total_us);
+      ("hops", Json.Int c.ch_hops);
+      ( "stages",
+        Json.Obj (List.map (fun (s, us) -> (s, Json.Float us)) c.ch_stages) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun ((e : Trace.entry), ev) ->
+               Trace.event_to_json ~at:e.Trace.at ~span:e.Trace.span ev)
+             c.ch_events) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("events", Json.Int t.an_events);
+      ("spans", Json.Int t.an_spans);
+      ("duration_us", Json.Float t.an_duration_us);
+      ( "critical_path",
+        Json.Obj
+          (List.map
+             (fun (proto, per_stage) ->
+               ( proto,
+                 Json.Obj
+                   (List.map (fun (s, d) -> (s, dist_to_json d)) per_stage
+                   @
+                   match List.assoc_opt proto t.an_totals with
+                   | Some d -> [ ("total", dist_to_json d) ]
+                   | None -> []) ))
+             t.an_stage_dists) );
+      ("top_spans", Json.List (List.map chain_to_json t.an_top));
+      ( "pages",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("page", Json.Int p.pg_page);
+                   ("protocol", Json.String p.pg_protocol);
+                   ("pattern", Json.String (pattern_to_string p.pg_pattern));
+                   ("read_faults", Json.Int p.pg_read_faults);
+                   ("write_faults", Json.Int p.pg_write_faults);
+                   ("readers", Json.List (List.map (fun n -> Json.Int n) p.pg_readers));
+                   ("writers", Json.List (List.map (fun n -> Json.Int n) p.pg_writers));
+                   ( "diff_senders",
+                     Json.List (List.map (fun n -> Json.Int n) p.pg_diff_senders) );
+                   ("transfers", Json.Int p.pg_transfers);
+                   ("bytes", Json.Int p.pg_bytes);
+                   ("invalidations", Json.Int p.pg_invalidations);
+                 ])
+             t.an_pages) );
+      ( "locks",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("lock", Json.Int l.lk_lock);
+                   ("nodes", Json.Int l.lk_nodes);
+                   ("acquisitions", Json.Int l.lk_acquisitions);
+                   ("wait", dist_to_json l.lk_wait);
+                   ("hold", dist_to_json l.lk_hold);
+                 ])
+             t.an_locks) );
+      ( "barriers",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [
+                   ("barrier", Json.Int b.br_barrier);
+                   ("parties", Json.Int b.br_parties);
+                   ("rounds", Json.Int b.br_rounds);
+                   ("imbalance", dist_to_json b.br_imbalance);
+                 ])
+             t.an_barriers) );
+      ( "advice",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("page", Json.Int a.ad_page);
+                   ("pattern", Json.String (pattern_to_string a.ad_pattern));
+                   ("current", Json.String a.ad_current);
+                   ("recommended", Json.String a.ad_recommended);
+                 ])
+             t.an_advice) );
+    ]
+
+(* --- folded stacks (flamegraph.pl / speedscope input) --- *)
+
+(* One line per (protocol, stage) with the total time attributed, plus the
+   per-fault residual (total minus accounted stages) as [other]; values in
+   integer microseconds as flamegraph folded format expects. *)
+let folded ppf t =
+  List.iter
+    (fun (proto, per_stage) ->
+      let accounted = ref 0. in
+      List.iter
+        (fun (stage, d) ->
+          accounted := !accounted +. d.d_total_us;
+          Format.fprintf ppf "dsmpm2;%s;fault;%s %d@." proto stage
+            (int_of_float (Float.round d.d_total_us)))
+        per_stage;
+      match List.assoc_opt proto t.an_totals with
+      | Some d when d.d_total_us -. !accounted > 0.5 ->
+          Format.fprintf ppf "dsmpm2;%s;fault;other %d@." proto
+            (int_of_float (Float.round (d.d_total_us -. !accounted)))
+      | _ -> ())
+    t.an_stage_dists;
+  List.iter
+    (fun l ->
+      if l.lk_wait.d_total_us >= 0.5 then
+        Format.fprintf ppf "dsmpm2;locks;lock_%d;wait %d@." l.lk_lock
+          (int_of_float (Float.round l.lk_wait.d_total_us));
+      if l.lk_hold.d_total_us >= 0.5 then
+        Format.fprintf ppf "dsmpm2;locks;lock_%d;hold %d@." l.lk_lock
+          (int_of_float (Float.round l.lk_hold.d_total_us)))
+    t.an_locks;
+  List.iter
+    (fun b ->
+      if b.br_imbalance.d_total_us >= 0.5 then
+        Format.fprintf ppf "dsmpm2;barriers;barrier_%d;imbalance %d@." b.br_barrier
+          (int_of_float (Float.round b.br_imbalance.d_total_us)))
+    t.an_barriers

@@ -187,11 +187,14 @@ type outcome = {
 
 let outcome_failed o = o.o_violations <> [] || o.o_wrong_result <> None
 
-let run_one ~protocol ~driver ~workload ~seed =
+let run_one_dsm ~monitor ~protocol ~driver ~workload ~seed =
   let jitter = Network.seeded_jitter ~seed () in
   let dsm = Dsm.create ~tie_seed:seed ~jitter ~nodes ~driver () in
   ignore (Builtin.register_all dsm);
   ignore (Builtin.register_extras dsm);
+  (* Monitoring only records events — it never perturbs the schedule, so a
+     traced replay is the same execution as the bare run. *)
+  if monitor then Monitor.enable dsm true;
   let proto_id =
     match Dsm.protocol_by_name dsm protocol with
     | Some id -> id
@@ -201,15 +204,22 @@ let run_one ~protocol ~driver ~workload ~seed =
   let check_result = build dsm ~protocol:proto_id workload ~seed in
   Dsm.run dsm;
   let model = (Runtime.proto dsm proto_id).Protocol.model in
-  {
-    o_seed = seed;
-    o_workload = workload_name workload;
-    o_driver = driver.Driver.name;
-    o_violations = History.check ~model hist;
-    o_wrong_result = check_result hist;
-    o_fingerprint = History.fingerprint hist;
-    o_ops = History.length hist;
-  }
+  ( {
+      o_seed = seed;
+      o_workload = workload_name workload;
+      o_driver = driver.Driver.name;
+      o_violations = History.check ~model hist;
+      o_wrong_result = check_result hist;
+      o_fingerprint = History.fingerprint hist;
+      o_ops = History.length hist;
+    },
+    dsm )
+
+let run_one ~protocol ~driver ~workload ~seed =
+  fst (run_one_dsm ~monitor:false ~protocol ~driver ~workload ~seed)
+
+let run_one_traced ~protocol ~driver ~workload ~seed =
+  run_one_dsm ~monitor:true ~protocol ~driver ~workload ~seed
 
 type verdict = {
   v_protocol : string;

@@ -52,6 +52,17 @@ val run_one :
     recording enabled, and check the history against the protocol's declared
     model.  Deterministic: the same arguments replay the same schedule. *)
 
+val run_one_traced :
+  protocol:string ->
+  driver:Driver.t ->
+  workload:workload ->
+  seed:int ->
+  outcome * Dsm.t
+(** Like {!run_one} but with the post-mortem monitor enabled, returning the
+    finished runtime so the caller can analyze its trace
+    ({!Dsmpm2_core.Monitor.trace}, {!Analyze.analyze}).  Monitoring only
+    records — the schedule is the one {!run_one} replays. *)
+
 (** {1 Sweeps} *)
 
 type verdict = {

@@ -23,7 +23,15 @@ type event =
       grant : string;
     }
   | Invalidate of { node : int; page : int; protocol : string; sender : int }
-  | Diff of { node : int; pages : int; bytes : int; sender : int; release : bool }
+  | Diff of {
+      node : int;
+      pages : int;
+      page_list : int list;
+      bytes : int;
+      sender : int;
+      release : bool;
+      protocol : string;
+    }
   | Lock of { node : int; lock : int; op : string }
   | Barrier of { node : int; barrier : int }
   | Migration of { thread : int; src : int; dst : int }
@@ -59,9 +67,9 @@ let event_message = function
   | Lock { node; lock; op } -> Printf.sprintf "lock %d: %s by node %d" lock op node
   | Barrier { node; barrier } ->
       Printf.sprintf "barrier %d: node %d arrived" barrier node
-  | Diff { node; pages; bytes; sender; release } ->
-      Printf.sprintf "node %d: %d diff(s) from %d (%d bytes)%s" node pages sender
-        bytes
+  | Diff { node; pages; bytes; sender; release; protocol; page_list = _ } ->
+      Printf.sprintf "node %d: %d %s diff(s) from %d (%d bytes)%s" node pages
+        protocol sender bytes
         (if release then " (release)" else "")
   | Migration { thread; src; dst } ->
       Printf.sprintf "thread %d: node %d -> %d" thread src dst
@@ -161,6 +169,38 @@ let by_category t c = List.filter (fun e -> String.equal e.category c) (entries 
 let by_span t s = List.filter (fun (e, _) -> e.span = s) (events t)
 let length t = List.length t.entries
 
+(* Every span's events grouped together (chronological inside each group),
+   ordered by each span's first event — the analyzer's raw material. *)
+let spans t =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ((e, _) as x) ->
+      if e.span <> no_span then begin
+        (match Hashtbl.find_opt tbl e.span with
+        | Some rev -> Hashtbl.replace tbl e.span (x :: rev)
+        | None ->
+            order := e.span :: !order;
+            Hashtbl.replace tbl e.span [ x ])
+      end)
+    (events t);
+  List.rev_map (fun s -> (s, List.rev (Hashtbl.find tbl s))) !order
+
+(* Rebuild a trace from typed events, e.g. re-loaded from a JSONL dump.
+   The result is a disabled (post-mortem) trace: inspection and export work,
+   recording would need [enable]. *)
+let of_events evs =
+  let t = create ~enabled:false () in
+  let max_span = ref (-1) in
+  t.entries <-
+    List.rev_map
+      (fun (at, span, ev) ->
+        if span > !max_span then max_span := span;
+        ({ at; span; category = event_category ev; message = event_message ev }, ev))
+      evs;
+  t.next_span <- !max_span + 1;
+  t
+
 let hash t =
   List.fold_left
     (fun acc (e, _) -> Hashtbl.hash (acc, e.at, e.category, e.message))
@@ -223,14 +263,16 @@ let event_fields = function
         ("protocol", Json.String protocol);
         ("sender", Json.Int sender);
       ]
-  | Diff { node; pages; bytes; sender; release } ->
+  | Diff { node; pages; page_list; bytes; sender; release; protocol } ->
       [
         ("type", Json.String "diff");
         ("node", Json.Int node);
         ("pages", Json.Int pages);
+        ("page_list", Json.List (List.map (fun p -> Json.Int p) page_list));
         ("bytes", Json.Int bytes);
         ("sender", Json.Int sender);
         ("release", Json.Bool release);
+        ("protocol", Json.String protocol);
       ]
   | Lock { node; lock; op } ->
       [
@@ -310,10 +352,20 @@ let event_of_json j =
     | "diff" ->
         let* node = geti "node" in
         let* pages = geti "pages" in
+        let* page_list =
+          let* items = Option.join (Json.member "page_list" j |> Option.map Json.to_list) in
+          List.fold_right
+            (fun item acc ->
+              let* acc = acc in
+              let* p = Json.to_int item in
+              Some (p :: acc))
+            items (Some [])
+        in
         let* bytes = geti "bytes" in
         let* sender = geti "sender" in
         let* release = getb "release" in
-        Some (Diff { node; pages; bytes; sender; release })
+        let* protocol = gets "protocol" in
+        Some (Diff { node; pages; page_list; bytes; sender; release; protocol })
     | "lock" ->
         let* node = geti "node" in
         let* lock = geti "lock" in
@@ -342,6 +394,24 @@ let to_jsonl ppf t =
       Format.fprintf ppf "%s@."
         (Json.to_string (event_to_json ~at:e.at ~span:e.span ev)))
     (events t)
+
+(* Inverse of [to_jsonl] over a whole dump (the file's contents, one JSON
+   object per line).  Blank lines are skipped; the first malformed line
+   aborts the load with its line number. *)
+let of_jsonl contents =
+  let rec parse acc lineno = function
+    | [] -> Ok (of_events (List.rev acc))
+    | line :: rest -> (
+        if String.trim line = "" then parse acc (lineno + 1) rest
+        else
+          match Json.of_string (String.trim line) with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j -> (
+              match event_of_json j with
+              | None -> Error (Printf.sprintf "line %d: not a trace event" lineno)
+              | Some (at, span, ev) -> parse ((at, span, ev) :: acc) (lineno + 1) rest))
+  in
+  parse [] 1 (String.split_on_char '\n' contents)
 
 (* Chrome trace_event format (chrome://tracing, Perfetto): one instant
    event per trace entry, with the simulated node as the process lane and

@@ -41,7 +41,15 @@ type event =
       grant : string;
     }
   | Invalidate of { node : int; page : int; protocol : string; sender : int }
-  | Diff of { node : int; pages : int; bytes : int; sender : int; release : bool }
+  | Diff of {
+      node : int;  (** receiving node (the home applying the batch) *)
+      pages : int;  (** batch size, [List.length page_list] *)
+      page_list : int list;  (** the diffed pages, so traffic is attributable *)
+      bytes : int;  (** wire bytes of the whole batch *)
+      sender : int;
+      release : bool;
+      protocol : string;  (** the pages' protocol (batches are split per protocol) *)
+    }
   | Lock of { node : int; lock : int; op : string }
   | Barrier of { node : int; barrier : int }
   | Migration of { thread : int; src : int; dst : int }
@@ -113,6 +121,10 @@ val by_category : t -> string -> entry list
 val by_span : t -> int -> (entry * event) list
 (** Every event of one logical operation, chronological. *)
 
+val spans : t -> (int * (entry * event) list) list
+(** Every span's events grouped (chronological within a group), ordered by
+    first appearance — each group is one logical operation's full chain. *)
+
 val length : t -> int
 val hash : t -> int
 (** Order-sensitive digest of the whole trace. *)
@@ -132,6 +144,16 @@ val event_of_json : Json.t -> (Time.t * int * event) option
 
 val to_jsonl : Format.formatter -> t -> unit
 (** One {!event_to_json} object per line, chronological. *)
+
+val of_events : (Time.t * int * event) list -> t
+(** Rebuilds a (disabled, post-mortem) trace from chronological typed
+    events; inspection and export behave as on a live trace. *)
+
+val of_jsonl : string -> (t, string) result
+(** [of_jsonl contents] re-loads a {!to_jsonl} dump (the whole file as one
+    string).  Blank lines are skipped; [Error] carries the first offending
+    line's number.  Inverse of {!to_jsonl}: exporting the result re-prints
+    the same lines. *)
 
 val chrome_json : t -> Json.t
 (** The whole trace as a Chrome [trace_event] document: instant events with

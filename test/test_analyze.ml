@@ -1,0 +1,396 @@
+(* The post-mortem trace analyzer: exact sharing-pattern classification on
+   synthetic traces, critical-path stage arithmetic, lock/barrier contention
+   profiles, the [of_jsonl] round-trip, and the advisor's end-to-end value
+   (re-running TSP under the advised protocol reduces faults). *)
+
+open Dsmpm2_sim
+open Dsmpm2_experiments
+
+let us = Time.of_us
+let ev at ?(span = Trace.no_span) e = (us at, span, e)
+
+let fault ~node ~page ~mode at span =
+  ev at ~span (Trace.Fault { node; page; protocol = "li_hudak"; mode })
+
+let send ~node ~page ~dst at span =
+  ev at ~span
+    (Trace.Page_send { node; page; protocol = "li_hudak"; dst; bytes = 4096; grant = "read" })
+
+let pattern_of events page =
+  let t = Trace.of_events events in
+  match Analyze.page_profile (Analyze.analyze t) ~page with
+  | Some p -> p.Analyze.pg_pattern
+  | None -> Alcotest.failf "page %d has no profile" page
+
+let check_pattern what expected events page =
+  Alcotest.(check string)
+    what
+    (Analyze.pattern_to_string expected)
+    (Analyze.pattern_to_string (pattern_of events page))
+
+(* --- classification on synthetic traces --- *)
+
+let test_classify_private () =
+  check_pattern "one accessing node is private" Analyze.Private
+    [ fault ~node:1 ~page:3 ~mode:"read" 10. 0; fault ~node:1 ~page:3 ~mode:"write" 20. 1 ]
+    3
+
+let test_classify_read_mostly () =
+  check_pattern "remote readers, no writer" Analyze.Read_mostly
+    [
+      fault ~node:0 ~page:5 ~mode:"read" 10. 0;
+      fault ~node:1 ~page:5 ~mode:"read" 20. 1;
+      fault ~node:2 ~page:5 ~mode:"read" 30. 2;
+    ]
+    5
+
+let test_classify_migratory () =
+  (* Write access hands off 0 -> 1 -> 2: each node write-faults the page away
+     from the previous writer. *)
+  check_pattern "serial write handoffs migrate" Analyze.Migratory
+    [
+      fault ~node:0 ~page:7 ~mode:"write" 10. 0;
+      fault ~node:1 ~page:7 ~mode:"write" 20. 1;
+      send ~node:0 ~page:7 ~dst:1 25. 1;
+      fault ~node:2 ~page:7 ~mode:"write" 30. 2;
+      send ~node:1 ~page:7 ~dst:2 35. 2;
+    ]
+    7
+
+let test_classify_false_sharing () =
+  (* Two nodes' diffs land on the same page: they wrote disjoint words
+     concurrently — the page itself is falsely shared. *)
+  let diff ~sender at =
+    ev at
+      (Trace.Diff
+         {
+           node = 0;
+           pages = 1;
+           page_list = [ 9 ];
+           bytes = 48;
+           sender;
+           release = true;
+           protocol = "li_hudak";
+         })
+  in
+  check_pattern "diffs from two nodes are false sharing" Analyze.False_sharing
+    [
+      fault ~node:1 ~page:9 ~mode:"write" 10. 0;
+      fault ~node:2 ~page:9 ~mode:"write" 12. 1;
+      diff ~sender:1 20.;
+      diff ~sender:2 21.;
+    ]
+    9
+
+let test_classify_producer_consumer () =
+  check_pattern "one writer, re-fetching readers" Analyze.Producer_consumer
+    [
+      fault ~node:0 ~page:2 ~mode:"write" 10. 0;
+      fault ~node:1 ~page:2 ~mode:"read" 20. 1;
+      fault ~node:0 ~page:2 ~mode:"write" 30. 2;
+      fault ~node:1 ~page:2 ~mode:"read" 40. 3;
+    ]
+    2
+
+let test_classify_single_writer () =
+  check_pattern "one writer, one cold reader" Analyze.Single_writer
+    [
+      fault ~node:0 ~page:4 ~mode:"write" 10. 0;
+      fault ~node:1 ~page:4 ~mode:"read" 20. 1;
+    ]
+    4
+
+let test_advisor_mapping () =
+  let expect pat proto =
+    Alcotest.(check (option string))
+      (Analyze.pattern_to_string pat) proto
+      (Analyze.recommended_protocol pat)
+  in
+  expect Analyze.Migratory (Some "migrate_thread");
+  expect Analyze.False_sharing (Some "hbrc_mw");
+  expect Analyze.Read_mostly (Some "write_update");
+  expect Analyze.Producer_consumer (Some "write_update");
+  expect Analyze.Single_writer (Some "erc_sw");
+  expect Analyze.Private None;
+  expect Analyze.Mixed None
+
+(* --- critical-path stage arithmetic --- *)
+
+let test_critical_path_stages () =
+  let events =
+    [
+      fault ~node:0 ~page:1 ~mode:"read" 100. 7;
+      ev 110. ~span:7
+        (Trace.Page_request
+           { node = 1; page = 1; protocol = "li_hudak"; mode = "read"; requester = 0 });
+      send ~node:1 ~page:1 ~dst:0 140. 7;
+      ev 180. ~span:7
+        (Trace.Page_install
+           { node = 0; page = 1; protocol = "li_hudak"; sender = 1; grant = "read" });
+    ]
+  in
+  let a = Analyze.analyze (Trace.of_events events) in
+  match Analyze.chains a with
+  | [ c ] ->
+      Alcotest.(check int) "span" 7 c.Analyze.ch_span;
+      Alcotest.(check int) "hops" 1 c.Analyze.ch_hops;
+      Alcotest.(check (float 0.01)) "total" 80. c.Analyze.ch_total_us;
+      let stage name = List.assoc name c.Analyze.ch_stages in
+      Alcotest.(check (float 0.01)) "request" 10. (stage "request");
+      Alcotest.(check (float 0.01)) "serve" 30. (stage "serve");
+      Alcotest.(check (float 0.01)) "transfer" 40. (stage "transfer");
+      Alcotest.(check (float 0.01)) "install" 0. (stage "install");
+      Alcotest.(check bool) "no migrate stage" true
+        (not (List.mem_assoc "migrate" c.Analyze.ch_stages))
+  | cs -> Alcotest.failf "expected one fault chain, got %d" (List.length cs)
+
+let test_migration_stage () =
+  let events =
+    [
+      fault ~node:0 ~page:1 ~mode:"write" 100. 3;
+      ev 160. ~span:3 (Trace.Migration { thread = 5; src = 0; dst = 2 });
+    ]
+  in
+  let a = Analyze.analyze (Trace.of_events events) in
+  match Analyze.chains a with
+  | [ c ] ->
+      Alcotest.(check (float 0.01)) "migrate stage" 60.
+        (List.assoc "migrate" c.Analyze.ch_stages)
+  | cs -> Alcotest.failf "expected one chain, got %d" (List.length cs)
+
+(* --- lock & barrier contention --- *)
+
+let test_lock_contention () =
+  let lock ~node ~op at = ev at (Trace.Lock { node; lock = 0; op }) in
+  let events =
+    [
+      (* Node 1 waits 5us, holds 10us; node 2 requests at 12, granted at 30
+         (18us wait, the contended acquisition), holds 5us. *)
+      lock ~node:1 ~op:"request" 10.;
+      lock ~node:2 ~op:"request" 12.;
+      lock ~node:1 ~op:"granted" 15.;
+      lock ~node:1 ~op:"released" 25.;
+      lock ~node:2 ~op:"granted" 30.;
+      lock ~node:2 ~op:"released" 35.;
+      (* Manager-side bookkeeping ops must not pollute the client series. *)
+      lock ~node:1 ~op:"acquire" 15.;
+      lock ~node:1 ~op:"release" 25.;
+    ]
+  in
+  let a = Analyze.analyze (Trace.of_events events) in
+  match Analyze.locks a with
+  | [ l ] ->
+      Alcotest.(check int) "lock id" 0 l.Analyze.lk_lock;
+      Alcotest.(check int) "nodes" 2 l.Analyze.lk_nodes;
+      Alcotest.(check int) "acquisitions" 2 l.Analyze.lk_acquisitions;
+      Alcotest.(check (float 0.01)) "total wait" 23. l.Analyze.lk_wait.Analyze.d_total_us;
+      Alcotest.(check (float 0.01)) "max wait" 18. l.Analyze.lk_wait.Analyze.d_max_us;
+      Alcotest.(check (float 0.01)) "total hold" 15. l.Analyze.lk_hold.Analyze.d_total_us
+  | ls -> Alcotest.failf "expected one lock profile, got %d" (List.length ls)
+
+let test_barrier_imbalance () =
+  let arrive ~node at = ev at (Trace.Barrier { node; barrier = 1 }) in
+  let events =
+    [
+      (* Two complete rounds of three parties: imbalances 8us and 2us. *)
+      arrive ~node:0 10.; arrive ~node:1 12.; arrive ~node:2 18.;
+      arrive ~node:2 30.; arrive ~node:0 31.; arrive ~node:1 32.;
+      (* A trailing incomplete round must be ignored. *)
+      arrive ~node:0 50.;
+    ]
+  in
+  let a = Analyze.analyze (Trace.of_events events) in
+  match Analyze.barriers a with
+  | [ b ] ->
+      Alcotest.(check int) "parties" 3 b.Analyze.br_parties;
+      Alcotest.(check int) "complete rounds" 2 b.Analyze.br_rounds;
+      Alcotest.(check (float 0.01)) "max imbalance" 8. b.Analyze.br_imbalance.Analyze.d_max_us;
+      Alcotest.(check (float 0.01)) "mean imbalance" 5. b.Analyze.br_imbalance.Analyze.d_mean_us
+  | bs -> Alcotest.failf "expected one barrier profile, got %d" (List.length bs)
+
+(* --- of_jsonl round-trip over every event variant --- *)
+
+let all_variant_events =
+  [
+    ev 0. ~span:0 (Trace.Fault { node = 1; page = 3; protocol = "li_hudak"; mode = "read" });
+    ev 10. ~span:0
+      (Trace.Page_request
+         { node = 0; page = 3; protocol = "li_hudak"; mode = "write"; requester = 1 });
+    ev 20. ~span:0
+      (Trace.Page_send
+         { node = 0; page = 3; protocol = "li_hudak"; dst = 1; bytes = 4096; grant = "RW" });
+    ev 30. ~span:0
+      (Trace.Page_install
+         { node = 1; page = 3; protocol = "li_hudak"; sender = 0; grant = "R" });
+    ev 40. (Trace.Invalidate { node = 2; page = 7; protocol = "hbrc_mw"; sender = 0 });
+    ev 50.
+      (Trace.Diff
+         {
+           node = 0;
+           pages = 2;
+           page_list = [ 4; 9 ];
+           bytes = 96;
+           sender = 3;
+           release = true;
+           protocol = "hbrc_mw";
+         });
+    ev 60. (Trace.Lock { node = 1; lock = 4; op = "request" });
+    ev 70. (Trace.Barrier { node = 2; barrier = 0 });
+    ev 80. ~span:2 (Trace.Migration { thread = 9; src = 0; dst = 3 });
+    ev 90. (Trace.Message { category = "custom"; message = "free-form \"quoted\" text" });
+  ]
+
+let test_of_jsonl_round_trip () =
+  let t = Trace.of_events all_variant_events in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.to_jsonl fmt t;
+  Format.pp_print_flush fmt ();
+  match Trace.of_jsonl (Buffer.contents buf) with
+  | Error msg -> Alcotest.failf "of_jsonl failed: %s" msg
+  | Ok t' ->
+      Alcotest.(check int) "same length" (Trace.length t) (Trace.length t');
+      List.iter2
+        (fun ((e : Trace.entry), ev) ((e' : Trace.entry), ev') ->
+          Alcotest.(check int) "timestamp survives" e.Trace.at e'.Trace.at;
+          Alcotest.(check int) "span survives" e.Trace.span e'.Trace.span;
+          Alcotest.(check bool) "event survives" true (ev = ev'))
+        (Trace.events t) (Trace.events t');
+      (* Fresh spans minted after a reload must not collide with loaded ones. *)
+      Trace.enable t' true;
+      Alcotest.(check bool) "next span past loaded max" true (Trace.new_span t' > 2)
+
+let test_of_jsonl_rejects_garbage () =
+  let good =
+    Json.to_string
+      (Trace.event_to_json ~at:(us 1.) ~span:Trace.no_span
+         (Trace.Barrier { node = 0; barrier = 0 }))
+  in
+  (match Trace.of_jsonl (good ^ "\nnot json at all\n") with
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Trace.of_jsonl "{\"kind\":\"nope\"}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown event kind accepted"
+
+(* --- the advisor pays off end to end --- *)
+
+(* The TSP global bound is lock-protected and bounces between workers:
+   the analyzer must classify its page migratory and recommend
+   migrate_thread; following the advice must reduce page traffic. *)
+let tsp_run protocol =
+  let captured = ref None in
+  let observe dsm =
+    captured := Some dsm;
+    Dsmpm2_core.Monitor.enable dsm true
+  in
+  let r =
+    Dsmpm2_apps.Tsp.run
+      { Dsmpm2_apps.Tsp.default with protocol; observe = Some observe }
+  in
+  match !captured with
+  | Some dsm -> (r, dsm)
+  | None -> Alcotest.fail "tsp did not expose its runtime"
+
+let test_tsp_advice_end_to_end () =
+  let baseline, dsm = tsp_run "li_hudak" in
+  let a = Analyze.analyze (Dsmpm2_core.Monitor.trace dsm) in
+  let advice = Analyze.advice a in
+  let to_migrate =
+    List.filter (fun ad -> ad.Analyze.ad_recommended = "migrate_thread") advice
+  in
+  Alcotest.(check bool) "advisor recommends migrate_thread for the bound page"
+    true (to_migrate <> []);
+  List.iter
+    (fun ad ->
+      Alcotest.(check string) "because the page is migratory" "migratory"
+        (Analyze.pattern_to_string ad.Analyze.ad_pattern))
+    to_migrate;
+  let advised, _ = tsp_run "migrate_thread" in
+  let faults r = r.Dsmpm2_apps.Tsp.read_faults + r.Dsmpm2_apps.Tsp.write_faults in
+  Alcotest.(check bool)
+    (Printf.sprintf "advised protocol faults less (%d < %d)" (faults advised)
+       (faults baseline))
+    true
+    (faults advised < faults baseline);
+  Alcotest.(check bool) "and still finds the same tour" true
+    (advised.Dsmpm2_apps.Tsp.best = baseline.Dsmpm2_apps.Tsp.best)
+
+(* --- analysis exports --- *)
+
+let test_json_export_parses () =
+  let _, dsm = tsp_run "li_hudak" in
+  let a = Analyze.analyze (Dsmpm2_core.Monitor.trace dsm) in
+  match Json.of_string (Json.to_string (Analyze.to_json a)) with
+  | Error msg -> Alcotest.failf "analysis JSON does not re-parse: %s" msg
+  | Ok json ->
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) ("has " ^ field) true (Json.member field json <> None))
+        [ "critical_path"; "top_spans"; "pages"; "locks"; "barriers"; "advice" ]
+
+let test_folded_output_shape () =
+  let _, dsm = tsp_run "li_hudak" in
+  let a = Analyze.analyze (Dsmpm2_core.Monitor.trace dsm) in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Analyze.folded fmt a;
+  Format.pp_print_flush fmt ();
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check bool) "has folded lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      (* flamegraph folded format: "frame;frame;frame <integer>" *)
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "no sample count in %S" line
+      | Some i ->
+          let stack = String.sub line 0 i in
+          let count = String.sub line (i + 1) (String.length line - i - 1) in
+          Alcotest.(check bool) "stack is rooted" true
+            (String.length stack > 7 && String.sub stack 0 7 = "dsmpm2;");
+          Alcotest.(check bool) "count is an integer" true
+            (int_of_string_opt count <> None))
+    lines
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "private" `Quick test_classify_private;
+          Alcotest.test_case "read-mostly" `Quick test_classify_read_mostly;
+          Alcotest.test_case "migratory" `Quick test_classify_migratory;
+          Alcotest.test_case "false sharing" `Quick test_classify_false_sharing;
+          Alcotest.test_case "producer-consumer" `Quick test_classify_producer_consumer;
+          Alcotest.test_case "single writer" `Quick test_classify_single_writer;
+          Alcotest.test_case "advisor mapping" `Quick test_advisor_mapping;
+        ] );
+      ( "critical-path",
+        [
+          Alcotest.test_case "stage arithmetic" `Quick test_critical_path_stages;
+          Alcotest.test_case "migration stage" `Quick test_migration_stage;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "lock wait and hold" `Quick test_lock_contention;
+          Alcotest.test_case "barrier imbalance" `Quick test_barrier_imbalance;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip all variants" `Quick test_of_jsonl_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick test_of_jsonl_rejects_garbage;
+        ] );
+      ( "advisor",
+        [
+          Alcotest.test_case "tsp end to end" `Quick test_tsp_advice_end_to_end;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "json re-parses" `Quick test_json_export_parses;
+          Alcotest.test_case "folded shape" `Quick test_folded_output_shape;
+        ] );
+    ]

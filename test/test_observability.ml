@@ -19,7 +19,16 @@ let sample_events =
     Trace.Page_install
       { node = 1; page = 3; protocol = "li_hudak"; sender = 0; grant = "R" };
     Trace.Invalidate { node = 2; page = 7; protocol = "hbrc_mw"; sender = 0 };
-    Trace.Diff { node = 0; pages = 2; bytes = 96; sender = 3; release = true };
+    Trace.Diff
+      {
+        node = 0;
+        pages = 2;
+        page_list = [ 4; 9 ];
+        bytes = 96;
+        sender = 3;
+        release = true;
+        protocol = "hbrc_mw";
+      };
     Trace.Lock { node = 1; lock = 4; op = "acquire" };
     Trace.Barrier { node = 2; barrier = 0 };
     Trace.Migration { thread = 9; src = 0; dst = 3 };
