@@ -8,10 +8,12 @@
 
    Every subcommand accepts the observability flags:
 
-     --trace-out FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)
-     --trace-jsonl FILE  one typed event per line, machine-readable
-     --metrics-out FILE  stable JSON metrics snapshot
-     --report            post-mortem per-category / per-stage report
+     --trace-out FILE     Chrome trace_event JSON (chrome://tracing, Perfetto)
+     --trace-jsonl FILE   one typed event per line, machine-readable
+     --metrics-out FILE   stable JSON metrics snapshot
+     --metrics-prom FILE  Prometheus text exposition of the metrics registry
+     --report             post-mortem per-category / per-stage report
+     --health             live watchdog + end-of-run health summary
 
    For the application subcommands these export the live trace of the run;
    for the table/figure experiments (which run many simulations internally)
@@ -61,7 +63,9 @@ type obs = {
   trace_out : string option;
   trace_jsonl : string option;
   metrics_out : string option;
+  metrics_prom : string option;
   report : bool;
+  health : bool;
 }
 
 let obs_term =
@@ -86,18 +90,33 @@ let obs_term =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write a JSON metrics snapshot to $(docv).")
   in
+  let metrics_prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-prom" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry in Prometheus text exposition format to $(docv).")
+  in
   let report =
     Arg.(
       value & flag
       & info [ "report" ] ~doc:"Print the post-mortem monitoring report after the run.")
   in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Attach the live watchdog (invariant audits, deadlock/stall/thrash \
+             detection) and print its health summary after the run.")
+  in
   Term.(
-    const (fun trace_out trace_jsonl metrics_out report ->
-        { trace_out; trace_jsonl; metrics_out; report })
-    $ trace_out $ trace_jsonl $ metrics_out $ report)
+    const (fun trace_out trace_jsonl metrics_out metrics_prom report health ->
+        { trace_out; trace_jsonl; metrics_out; metrics_prom; report; health })
+    $ trace_out $ trace_jsonl $ metrics_out $ metrics_prom $ report $ health)
 
 let obs_wants_monitor o =
-  o.trace_out <> None || o.trace_jsonl <> None || o.report
+  o.trace_out <> None || o.trace_jsonl <> None || o.report || o.health
 
 let to_formatter file f =
   let oc = open_out file in
@@ -112,9 +131,11 @@ let to_formatter file f =
    the run via the app's [observe] hook and dumps everything afterwards. *)
 let app_observe obs =
   let captured = ref None in
+  let watchdog = ref None in
   let observe dsm =
     captured := Some dsm;
-    if obs_wants_monitor obs then Monitor.enable dsm true
+    if obs_wants_monitor obs then Monitor.enable dsm true;
+    if obs.health then watchdog := Some (Watchdog.attach dsm)
   in
   let export ~name () =
     match !captured with
@@ -128,7 +149,12 @@ let app_observe obs =
         Option.iter
           (fun file -> Json.to_file file (Monitor.to_json ~experiment:name dsm))
           obs.metrics_out;
-        if obs.report then Monitor.report ppf dsm
+        Option.iter
+          (fun file ->
+            to_formatter file (fun fmt -> Metrics.to_prometheus fmt (Monitor.metrics dsm)))
+          obs.metrics_prom;
+        if obs.report then Monitor.report ppf dsm;
+        Option.iter (fun w -> Format.fprintf ppf "%a@." Watchdog.pp_summary w) !watchdog
   in
   (observe, export)
 
@@ -136,10 +162,12 @@ let app_observe obs =
    no single trace to export; --metrics-out and --report operate on the
    result table instead. *)
 let experiment_obs obs ~name json =
-  if obs.trace_out <> None || obs.trace_jsonl <> None then
+  if obs.trace_out <> None || obs.trace_jsonl <> None || obs.metrics_prom <> None
+     || obs.health
+  then
     Format.fprintf ppf
-      "%s: --trace-out/--trace-jsonl only apply to application subcommands \
-       (tsp, jacobi, coloring); ignoring@."
+      "%s: --trace-out/--trace-jsonl/--metrics-prom/--health only apply to \
+       application subcommands (tsp, jacobi, coloring); ignoring@."
       name;
   Option.iter (fun file -> Json.to_file file json) obs.metrics_out;
   if obs.report then Format.fprintf ppf "%a@." Json.pp json
@@ -477,7 +505,7 @@ let check_cmd =
                             ~seed
                         in
                         Analyze.report
-                          ~sections:[ `Critical; `Pages ]
+                          ~sections:[ `Alerts; `Critical; `Pages ]
                           ppf
                           (Analyze.analyze ~top:3 (Monitor.trace dsm))
                       end
@@ -534,6 +562,131 @@ let check_cmd =
     Term.(
       const run $ seeds $ protocols $ workload $ replay $ verbose $ obs_term)
 
+(* --- dsm watch: live health dashboard over a running application --- *)
+
+let watch_cmd =
+  let run workload protocol nodes driver seed interval_us stall_us out quiet =
+    let tty = Unix.isatty Unix.stdout in
+    let wd = ref None in
+    let observe dsm =
+      Monitor.enable dsm true;
+      let config =
+        Watchdog.
+          {
+            default_config with
+            interval = Time.of_us interval_us;
+            stall = Time.of_us stall_us;
+          }
+      in
+      let w = Watchdog.attach ~config dsm in
+      wd := Some w;
+      if not quiet then
+        Watchdog.set_on_sample w (fun s ->
+            (* On a terminal each frame repaints in place; piped output gets
+               one frame per sample. *)
+            if tty then Format.fprintf ppf "\027[H\027[2J";
+            Format.fprintf ppf "%a@." Watchdog.pp_sample (w, s))
+    in
+    let proto default = Option.value ~default protocol in
+    let run_app () =
+      match workload with
+      | "tsp" ->
+          ignore
+            (Dsmpm2_apps.Tsp.run
+               {
+                 Dsmpm2_apps.Tsp.default with
+                 protocol = proto "li_hudak";
+                 nodes;
+                 driver;
+                 seed;
+                 observe = Some observe;
+               })
+      | "jacobi" ->
+          ignore
+            (Dsmpm2_apps.Jacobi.run
+               {
+                 Dsmpm2_apps.Jacobi.default with
+                 protocol = proto "hbrc_mw";
+                 nodes;
+                 driver;
+                 observe = Some observe;
+               })
+      | "coloring" ->
+          ignore
+            (Dsmpm2_apps.Map_coloring.run
+               {
+                 Dsmpm2_apps.Map_coloring.default with
+                 protocol = proto "java_pf";
+                 nodes;
+                 driver;
+                 observe = Some observe;
+               })
+      | w ->
+          Format.fprintf ppf "watch: unknown workload %S (known: tsp, jacobi, coloring)@." w;
+          exit 2
+    in
+    (try run_app ()
+     with Engine.Stalled live ->
+       Format.fprintf ppf "watch: run deadlocked with %d live fiber(s)@." live);
+    match !wd with
+    | None ->
+        Format.fprintf ppf "watch: %s did not expose its runtime@." workload;
+        exit 2
+    | Some w ->
+        Format.fprintf ppf "%a@." Watchdog.pp_summary w;
+        Option.iter (fun file -> Json.to_file file (Watchdog.health_json w)) out;
+        let _, _, critical = Watchdog.alert_counts w in
+        if critical > 0 then exit 1
+  in
+  let workload =
+    Arg.(
+      value & opt string "jacobi"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Application to watch: tsp, jacobi or coloring.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Consistency protocol (default: the workload's own default).")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float (Time.to_us Watchdog.default_config.Watchdog.interval)
+      & info [ "interval" ] ~docv:"US"
+          ~doc:"Sampling period in simulated microseconds.")
+  in
+  let stall_us =
+    Arg.(
+      value
+      & opt float (Time.to_us Watchdog.default_config.Watchdog.stall)
+      & info [ "stall-us" ] ~docv:"US"
+          ~doc:"Report threads blocked longer than $(docv) simulated microseconds.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the stable JSON health report to $(docv).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Skip the live dashboard; print only the final summary.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run an application under the live watchdog: periodic invariant \
+          audits, deadlock/stall detection, thrash detection and a \
+          refreshing rate dashboard.  Exits non-zero on critical alerts.")
+    Term.(
+      const run $ workload $ protocol $ nodes_arg $ driver_arg $ seed_arg $ interval
+      $ stall_us $ out $ quiet)
+
 let () =
   let info =
     Cmd.info "dsm-cli" ~version:"1.0.0"
@@ -542,4 +695,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          (experiments @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd ])))
+          (experiments
+          @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd; watch_cmd ])))

@@ -280,5 +280,9 @@ let charge rt us =
 let compute rt us =
   Marcel.compute (Runtime.marcel rt) us;
   Pm2.migrate_if_requested rt.Runtime.pm2
-let run ?limit (rt : t) = Pm2.run ?limit rt.Runtime.pm2
+let run ?limit (rt : t) =
+  (* An attached watchdog stops its timer when a run drains; re-arm it for
+     this run (no-op without a watcher). *)
+  Runtime.notify_rearm rt;
+  Pm2.run ?limit rt.Runtime.pm2
 let now_us (rt : t) = Pm2.now_us rt.Runtime.pm2

@@ -42,10 +42,12 @@ let lock_acquire rt id =
      analyzer's per-lock contention profile. *)
   if Monitor.enabled rt then
     Monitor.emit rt (Trace.Lock { node; lock = id; op = "request" });
+  Runtime.notify_wait rt ~node ~tid ~target:id;
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:ls.Runtime.lock_manager
        ~service:services.Runtime.srv_lock_acquire ~cost:Driver.Request
        (Dsm_comm.Lock_op { lock = id; node; tid }));
+  Runtime.notify_wake rt ~node ~tid ~target:id;
   if Monitor.enabled rt then
     Monitor.emit rt (Trace.Lock { node; lock = id; op = "granted" });
   let proto = Runtime.proto rt ls.Runtime.lock_protocol in
@@ -113,10 +115,13 @@ let barrier_wait rt id =
   proto.Protocol.lock_release rt ~node ~lock:hook;
   let services = Runtime.services rt in
   let started = Engine.now (Runtime.engine rt) in
+  let tid = Marcel.tid (Marcel.self (Runtime.marcel rt)) in
+  Runtime.notify_wait rt ~node ~tid ~target:hook;
   ignore
     (Rpc.call (Runtime.rpc rt) ~dst:bs.Runtime.barrier_manager
        ~service:services.Runtime.srv_barrier ~cost:Driver.Request
        (Dsm_comm.Barrier_wait { barrier = id; node }));
+  Runtime.notify_wake rt ~node ~tid ~target:hook;
   let waited = Time.(Engine.now (Runtime.engine rt) - started) in
   Stats.add_span rt.Runtime.instr Instrument.barrier_wait waited;
   Metrics.observe rt.Runtime.metrics ~node Instrument.m_barrier_wait waited;

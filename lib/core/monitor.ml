@@ -60,7 +60,11 @@ let summary rt =
     (fun category (first, last, events) acc ->
       { category; events; first_us = Time.to_us first; last_us = Time.to_us last } :: acc)
     tbl []
-  |> List.sort (fun a b -> compare (b.events, b.category) (a.events, a.category))
+  (* Count descending, then category name ascending: ties used to fall back
+     to hashtable iteration order, which is seed-dependent. *)
+  |> List.sort (fun a b ->
+         let c = compare b.events a.events in
+         if c <> 0 then c else String.compare a.category b.category)
 
 let report ppf rt =
   Format.fprintf ppf "Post-mortem monitoring report@.";

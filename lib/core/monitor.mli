@@ -55,7 +55,9 @@ type summary_line = {
 }
 
 val summary : Runtime.t -> summary_line list
-(** Event counts and activity window per category, sorted by count. *)
+(** Event counts and activity window per category, sorted by count
+    (descending) with ties broken by category name (ascending) — fully
+    deterministic. *)
 
 val report : Format.formatter -> Runtime.t -> unit
 (** The post-mortem report: the per-category summary followed by the

@@ -9,6 +9,8 @@ let model_to_string = function
   | Release -> "release"
   | Java -> "java"
 
+let strict_coherence = function Sequential -> true | Release | Java -> false
+
 type page_message = {
   page : int;
   data : bytes;

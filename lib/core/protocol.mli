@@ -46,6 +46,14 @@ type model = Sequential | Release | Java
 
 val model_to_string : model -> string
 
+val strict_coherence : model -> bool
+(** Whether the model promises single-writer/multiple-reader page coherence
+    at {e every} instant ([Sequential] only).  The live watchdog audits
+    ownership uniqueness, writable-frame exclusivity and copyset/frame
+    agreement only for protocols whose model passes this test: relaxed
+    models legitimately keep stale replicas and conservative copysets
+    between synchronization points. *)
+
 type page_message = {
   page : int;
   data : bytes;

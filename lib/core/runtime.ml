@@ -72,12 +72,19 @@ type t = {
   diff_handlers : (int, diff_handler) Hashtbl.t;
   diffs_batch_handlers : (int, diffs_handler) Hashtbl.t;
   mutable history : History.t option;
+  mutable watch : watch_hooks option;
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
 
 and diffs_handler =
   t -> node:int -> diffs:Diff.t list -> sender:int -> release:bool -> unit
+
+and watch_hooks = {
+  wh_wait : node:int -> tid:int -> target:int -> unit;
+  wh_wake : node:int -> tid:int -> target:int -> unit;
+  wh_rearm : unit -> unit;
+}
 
 let create ?(costs = default_costs) pm2 =
   let n = Pm2.nodes pm2 in
@@ -108,7 +115,19 @@ let create ?(costs = default_costs) pm2 =
     diff_handlers = Hashtbl.create 8;
     diffs_batch_handlers = Hashtbl.create 8;
     history = None;
+    watch = None;
   }
+
+(* The notify helpers take unboxed labeled ints, so a call site costs one
+   option match and nothing else while no watcher is attached. *)
+let notify_wait t ~node ~tid ~target =
+  match t.watch with None -> () | Some w -> w.wh_wait ~node ~tid ~target
+
+let notify_wake t ~node ~tid ~target =
+  match t.watch with None -> () | Some w -> w.wh_wake ~node ~tid ~target
+
+let notify_rearm t =
+  match t.watch with None -> () | Some w -> w.wh_rearm ()
 
 let nodes t = Pm2.nodes t.pm2
 let marcel t = Pm2.marcel t.pm2

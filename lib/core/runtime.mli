@@ -90,6 +90,9 @@ type t = {
   mutable history : History.t option;
       (** when set, the access and sync paths record every shared operation
           for the conformance checker (see [Dsm.enable_history]) *)
+  mutable watch : watch_hooks option;
+      (** when set, the sync client paths report blocking/waking threads to
+          the live watchdog (see [Watchdog.attach]) *)
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
@@ -99,6 +102,20 @@ and diffs_handler =
 (** Handles one arriving [Diffs] message's whole batch for a protocol: the
     batch form lets a home apply every diff and then issue {e one} batched
     invalidation per copyset node instead of one per page. *)
+
+and watch_hooks = {
+  wh_wait : node:int -> tid:int -> target:int -> unit;
+      (** a client thread is about to block: [target] is a lock id
+          ([>= 0]) or an encoded barrier id ([< 0], decode with
+          [Dsm_sync.hook_target]) *)
+  wh_wake : node:int -> tid:int -> target:int -> unit;
+      (** the same thread resumed (lock granted / barrier released) *)
+  wh_rearm : unit -> unit;
+      (** called at the start of every [Dsm.run] so a watchdog whose timer
+          stopped when a previous run drained can re-arm itself *)
+}
+(** Live-watchdog callbacks.  All arguments are immediate ints: a notify
+    call allocates nothing, watcher attached or not. *)
 
 val create : ?costs:costs -> Pm2.t -> t
 val nodes : t -> int
@@ -117,6 +134,12 @@ val entry : t -> node:int -> page:int -> Page_table.entry
 
 val lock_state : t -> int -> lock_state
 val barrier_state : t -> int -> barrier_state
+
+val notify_wait : t -> node:int -> tid:int -> target:int -> unit
+val notify_wake : t -> node:int -> tid:int -> target:int -> unit
+val notify_rearm : t -> unit
+(** Watch-hook dispatch; no-ops (and allocation-free) when [watch] is
+    unset. *)
 
 val record_history : t -> start:Time.t -> History.kind -> unit
 (** Appends to the conformance history (no-op when recording is off).  Must

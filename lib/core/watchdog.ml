@@ -1,0 +1,709 @@
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_pm2
+open Dsmpm2_mem
+
+type severity = Info | Warning | Critical
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+type alert = {
+  al_at_us : float;
+  al_severity : severity;
+  al_kind : string;
+  al_node : int;
+  al_detail : string;
+}
+
+type node_rates = {
+  nr_node : int;
+  nr_faults_s : float;
+  nr_msgs_s : float;
+  nr_bytes_s : float;
+}
+
+type sample = {
+  sp_at_us : float;
+  sp_events : int;
+  sp_live_fibers : int;
+  sp_rates : node_rates array;
+  sp_proto_faults : (string * int) list;
+  sp_hot_pages : (int * int) list;
+  sp_alerts : int;
+}
+
+type config = {
+  interval : Time.t;
+  stall : Time.t;
+  thrash_window : int;
+  thrash_span : Time.t;
+  ring_capacity : int;
+  audits : bool;
+}
+
+let default_config =
+  {
+    interval = Time.of_us 200.;
+    stall = Time.of_us 20_000.;
+    thrash_window = 8;
+    thrash_span = Time.of_us 300.;
+    ring_capacity = 64;
+    audits = true;
+  }
+
+type t = {
+  rt : Runtime.t;
+  cfg : config;
+  mutable seen : int;  (* trace events already consumed by the thrash scan *)
+  waiters : (int, int * Time.t * int) Hashtbl.t;
+      (* blocked tid -> (target, since, node); target as in Runtime.watch_hooks *)
+  thread_node : (int, int) Hashtbl.t;  (* last known node of a tid *)
+  windows : (int, (Time.t * int) list ref) Hashtbl.t;
+      (* page -> recent installs (at, node), newest first, <= thrash_window *)
+  thrash_last : (int, Time.t) Hashtbl.t;  (* page -> last thrash alert *)
+  interval_installs : (int, int) Hashtbl.t;  (* page -> installs this interval *)
+  reported : (string, unit) Hashtbl.t;  (* alert dedup keys *)
+  mutable alerts_rev : alert list;  (* newest first *)
+  mutable alert_count : int;
+  mutable crit_count : int;
+  mutable warn_count : int;
+  mutable info_count : int;
+  mutable prev_alerts : int;  (* alert_count at the previous sample *)
+  ring : sample option array;
+  mutable ring_len : int;
+  mutable ring_next : int;
+  mutable prev_at : Time.t;
+  prev_node_faults : int array;
+  prev_node_msgs : int array;
+  prev_node_bytes : int array;
+  prev_proto_faults : (string, int) Hashtbl.t;
+  mutable samples_taken : int;
+  mutable pages_audited : int;
+  mutable armed : bool;
+  mutable on_sample : (sample -> unit) option;
+}
+
+(* --- alerts --- *)
+
+(* The one choke point through which watchdog findings reach the trace.
+   The [Monitor.enabled] guard means the [Trace.Alert] value is never even
+   allocated while monitoring is off (pinned by the allocation smoke test);
+   the explicit [no_span] matters because the watchdog runs in plain event
+   context, where the default thread-span lookup would fault. *)
+let forward_alert rt a =
+  if Monitor.enabled rt then
+    Monitor.emit rt ~span:Trace.no_span
+      (Trace.Alert
+         {
+           severity = severity_to_string a.al_severity;
+           kind = a.al_kind;
+           node = a.al_node;
+           detail = a.al_detail;
+         })
+
+let raise_alert w ?(node = -1) ~severity ~kind detail =
+  let a =
+    {
+      al_at_us = Pm2.now_us w.rt.Runtime.pm2;
+      al_severity = severity;
+      al_kind = kind;
+      al_node = node;
+      al_detail = detail;
+    }
+  in
+  w.alerts_rev <- a :: w.alerts_rev;
+  w.alert_count <- w.alert_count + 1;
+  (match severity with
+  | Critical -> w.crit_count <- w.crit_count + 1
+  | Warning -> w.warn_count <- w.warn_count + 1
+  | Info -> w.info_count <- w.info_count + 1);
+  forward_alert w.rt a
+
+(* Raise each distinct finding once: the sampler would otherwise repeat a
+   persistent violation every tick. *)
+let once w key f =
+  if not (Hashtbl.mem w.reported key) then begin
+    Hashtbl.add w.reported key ();
+    f ()
+  end
+
+let alerts w = List.rev w.alerts_rev
+let alert_counts w = (w.info_count, w.warn_count, w.crit_count)
+let samples_taken w = w.samples_taken
+let pages_audited w = w.pages_audited
+let set_on_sample w f = w.on_sample <- Some f
+
+let samples w =
+  let cap = Array.length w.ring in
+  let start = (w.ring_next - w.ring_len + cap) mod cap in
+  List.init w.ring_len (fun i ->
+      match w.ring.((start + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let push_ring w s =
+  let cap = Array.length w.ring in
+  w.ring.(w.ring_next) <- Some s;
+  w.ring_next <- (w.ring_next + 1) mod cap;
+  if w.ring_len < cap then w.ring_len <- w.ring_len + 1
+
+(* --- wait-for graph --- *)
+
+let on_wait w ~node ~tid ~target =
+  Hashtbl.replace w.thread_node tid node;
+  Hashtbl.replace w.waiters tid (target, Engine.now (Runtime.engine w.rt), node)
+
+let on_wake w ~node ~tid ~target:_ =
+  Hashtbl.replace w.thread_node tid node;
+  Hashtbl.remove w.waiters tid
+
+let target_name target =
+  match Dsm_sync.hook_target target with
+  | `Lock l -> Printf.sprintf "lock %d" l
+  | `Barrier b -> Printf.sprintf "barrier %d" b
+
+let node_of_tid w tid =
+  Option.value ~default:(-1) (Hashtbl.find_opt w.thread_node tid)
+
+(* [chain] is [(tid, lock); ...]: each thread waits for its lock, whose
+   holder is the next thread (cyclically).  Named in full — both locks and
+   both waiting nodes — because the deadlock regression asserts on them. *)
+let report_cycle w chain =
+  let locks = List.sort_uniq compare (List.map snd chain) in
+  let key =
+    "deadlock:" ^ String.concat "," (List.map string_of_int locks)
+  in
+  once w key (fun () ->
+      let desc =
+        String.concat " -> "
+          (List.map
+             (fun (tid, lock) ->
+               Printf.sprintf "thread %d (node %d) waits for lock %d" tid
+                 (node_of_tid w tid) lock)
+             chain)
+      in
+      raise_alert w ~severity:Critical ~kind:"deadlock.cycle"
+        (Printf.sprintf "%s -> back to thread %d" desc (fst (List.hd chain))))
+
+(* Follow waiting-thread -> wanted-lock -> holding-thread edges.  Client
+   wait hooks provide the first kind of edge, the managers' [lock_state]
+   directories the second; barrier waits have no single holder and end a
+   chain.  A self-edge (a thread "holding" the lock it waits for) is the
+   grant-in-flight transient, not a deadlock, and cycles are only reported
+   through two or more threads. *)
+let detect_cycles w =
+  let rt = w.rt in
+  let next tid =
+    match Hashtbl.find_opt w.waiters tid with
+    | None -> None
+    | Some (target, _, _) when target < 0 -> None
+    | Some (lock, _, _) -> (
+        match Hashtbl.find_opt rt.Runtime.locks lock with
+        | Some ls when ls.Runtime.lock_held && ls.Runtime.lock_holder >= 0 ->
+            Some (lock, ls.Runtime.lock_holder)
+        | _ -> None)
+  in
+  Hashtbl.iter
+    (fun tid0 _ ->
+      let rec follow tid path steps =
+        if steps <= 64 then
+          match next tid with
+          | None -> ()
+          | Some (lock, holder) ->
+              if holder = tid then ()
+              else if holder = tid0 && path <> [] then
+                report_cycle w (List.rev ((tid, lock) :: path))
+              else if List.exists (fun (t, _) -> t = holder) ((tid, lock) :: path)
+              then () (* a cycle not through tid0: found from its own start *)
+              else follow holder ((tid, lock) :: path) (steps + 1)
+      in
+      follow tid0 [] 0)
+    w.waiters
+
+let check_stalls w now =
+  Hashtbl.iter
+    (fun tid (target, since, node) ->
+      let waited = Time.(now - since) in
+      if waited >= w.cfg.stall then
+        let kind = if target < 0 then "stall.barrier" else "stall.lock" in
+        once w (Printf.sprintf "%s:%d:%d" kind tid target) (fun () ->
+            raise_alert w ~node ~severity:Warning ~kind
+              (Printf.sprintf "thread %d on node %d blocked on %s for %.0f us"
+                 tid node (target_name target) (Time.to_us waited))))
+    w.waiters
+
+(* --- thrashing --- *)
+
+let note_install w ~page ~node at =
+  let win =
+    match Hashtbl.find_opt w.windows page with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add w.windows page r;
+        r
+  in
+  let rec trim n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: trim (n - 1) rest
+  in
+  win := trim w.cfg.thrash_window ((at, node) :: !win);
+  Hashtbl.replace w.interval_installs page
+    (1 + Option.value ~default:0 (Hashtbl.find_opt w.interval_installs page));
+  let entries = !win in
+  if List.length entries >= w.cfg.thrash_window then begin
+    let newest = fst (List.hd entries) in
+    let oldest = fst (List.nth entries (List.length entries - 1)) in
+    let span = Time.(newest - oldest) in
+    let distinct = List.sort_uniq compare (List.map snd entries) in
+    let last = Option.value ~default:Time.zero (Hashtbl.find_opt w.thrash_last page) in
+    let quiet = Time.(newest - last) in
+    if
+      span <= w.cfg.thrash_span
+      && List.length distinct >= 2
+      && (Hashtbl.mem w.thrash_last page = false || quiet > w.cfg.thrash_span)
+    then begin
+      Hashtbl.replace w.thrash_last page newest;
+      raise_alert w ~severity:Warning ~kind:"thrash.page"
+        (Printf.sprintf
+           "page %d ping-ponged %d times across nodes [%s] within %.0f us" page
+           (List.length entries)
+           (String.concat "," (List.map string_of_int distinct))
+           (Time.to_us span))
+    end
+  end
+
+let scan_trace w =
+  let tr = Monitor.trace w.rt in
+  if Trace.enabled tr || Trace.length tr > w.seen then begin
+    let fresh = Trace.recent tr ~since:w.seen in
+    w.seen <- Trace.length tr;
+    List.iter
+      (fun ((e : Trace.entry), ev) ->
+        match ev with
+        | Trace.Page_install { node; page; _ } ->
+            note_install w ~page ~node e.Trace.at
+        | _ -> ())
+      fresh
+  end
+
+(* --- page-table invariant audits --- *)
+
+let audit w =
+  let rt = w.rt in
+  let n = Runtime.nodes rt in
+  List.iter
+    (fun (e0 : Page_table.entry) ->
+      let page = e0.Page_table.page in
+      let entries =
+        Array.init n (fun node -> Page_table.find_opt (Runtime.table rt node) page)
+      in
+      let transient =
+        Array.exists
+          (function
+            | Some (e : Page_table.entry) ->
+                e.Page_table.faulting || e.Page_table.pinned
+            | None -> false)
+          entries
+      in
+      (* A page with a fault in flight anywhere is mid-transition: every
+         legal protocol transient (ownership transfer, invalidation sweep,
+         copyset update) happens under some node's faulting/pinned flag, so
+         skipping those pages makes the audit transient-free. *)
+      if not transient then begin
+        w.pages_audited <- w.pages_audited + 1;
+        Array.iteri
+          (fun node -> function
+            | None -> ()
+            | Some (e : Page_table.entry) ->
+                if e.Page_table.protocol <> e0.Page_table.protocol then
+                  once w (Printf.sprintf "inv.proto:%d:%d" page node) (fun () ->
+                      raise_alert w ~node ~severity:Critical
+                        ~kind:"invariant.protocol"
+                        (Printf.sprintf
+                           "page %d: node %d maps protocol %d but node 0 maps \
+                            %d"
+                           page node e.Page_table.protocol
+                           e0.Page_table.protocol));
+                if e.Page_table.home <> e0.Page_table.home then
+                  once w (Printf.sprintf "inv.home:%d:%d" page node) (fun () ->
+                      raise_alert w ~node ~severity:Critical ~kind:"invariant.home"
+                        (Printf.sprintf
+                           "page %d: node %d believes home is %d but node 0 \
+                            says %d"
+                           page node e.Page_table.home e0.Page_table.home)))
+          entries;
+        let proto = Runtime.proto rt e0.Page_table.protocol in
+        if Protocol.strict_coherence proto.Protocol.model then begin
+          let owners = ref [] in
+          Array.iteri
+            (fun node -> function
+              | Some (e : Page_table.entry) when e.Page_table.prob_owner = node
+                ->
+                  owners := node :: !owners
+              | _ -> ())
+            entries;
+          match List.rev !owners with
+          | [ owner ] ->
+              let oe =
+                match entries.(owner) with Some e -> e | None -> assert false
+              in
+              Array.iteri
+                (fun node -> function
+                  | Some (e : Page_table.entry) when node <> owner ->
+                      if Access.allows e.Page_table.rights Access.Write then
+                        once w (Printf.sprintf "inv.owner.w:%d:%d" page node)
+                          (fun () ->
+                            raise_alert w ~node ~severity:Critical
+                              ~kind:"invariant.owner"
+                              (Printf.sprintf
+                                 "page %d: node %d holds a writable frame but \
+                                  the owner is node %d"
+                                 page node owner))
+                      else if
+                        oe.Page_table.rights = Access.Read_write
+                        && e.Page_table.rights <> Access.No_access
+                      then
+                        once w (Printf.sprintf "inv.owner.x:%d:%d" page node)
+                          (fun () ->
+                            raise_alert w ~node ~severity:Critical
+                              ~kind:"invariant.owner"
+                              (Printf.sprintf
+                                 "page %d: owner %d is in write mode but node \
+                                  %d still has %s rights"
+                                 page owner node
+                                 (Access.to_string e.Page_table.rights)))
+                  | _ -> ())
+                entries;
+              List.iter
+                (fun c ->
+                  if c <> owner && c >= 0 && c < n then
+                    match entries.(c) with
+                    | Some (e : Page_table.entry) ->
+                        if
+                          (not (Access.allows e.Page_table.rights Access.Read))
+                          || not (Frame_store.has_frame (Runtime.store rt c) page)
+                        then
+                          once w (Printf.sprintf "inv.copyset:%d:%d" page c)
+                            (fun () ->
+                              raise_alert w ~node:c ~severity:Critical
+                                ~kind:"invariant.copyset"
+                                (Printf.sprintf
+                                   "page %d: node %d is in the owner's copyset \
+                                    but holds %s rights%s"
+                                   page c
+                                   (Access.to_string e.Page_table.rights)
+                                   (if
+                                      Frame_store.has_frame (Runtime.store rt c)
+                                        page
+                                    then ""
+                                    else " and no frame")))
+                    | None -> ())
+                oe.Page_table.copyset
+          | [] ->
+              once w (Printf.sprintf "inv.owner0:%d" page) (fun () ->
+                  raise_alert w ~severity:Critical ~kind:"invariant.owner"
+                    (Printf.sprintf "page %d: no node believes it is the owner"
+                       page))
+          | many ->
+              once w (Printf.sprintf "inv.ownerN:%d" page) (fun () ->
+                  raise_alert w ~severity:Critical ~kind:"invariant.owner"
+                    (Printf.sprintf "page %d: multiple self-owners: [%s]" page
+                       (String.concat "," (List.map string_of_int many))))
+        end
+      end)
+    (Page_table.entries (Runtime.table rt 0))
+
+(* --- interval rates --- *)
+
+let snapshot w now =
+  let rt = w.rt in
+  let nodes = Runtime.nodes rt in
+  let dt_s = Time.to_us Time.(now - w.prev_at) /. 1e6 in
+  let node_faults = Array.make nodes 0 in
+  let proto_faults : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((l : Metrics.labels), s) ->
+      let f =
+        Stats.count s Instrument.m_read_faults
+        + Stats.count s Instrument.m_write_faults
+      in
+      if f > 0 then begin
+        (match l.Metrics.lbl_node with
+        | Some nd when nd >= 0 && nd < nodes ->
+            node_faults.(nd) <- node_faults.(nd) + f
+        | _ -> ());
+        match l.Metrics.lbl_protocol with
+        | Some p ->
+            Hashtbl.replace proto_faults p
+              (f + Option.value ~default:0 (Hashtbl.find_opt proto_faults p))
+        | None -> ()
+      end)
+    (Metrics.all rt.Runtime.metrics);
+  let net = Pm2.network rt.Runtime.pm2 in
+  let node_msgs = Array.make nodes 0 in
+  let node_bytes = Array.make nodes 0 in
+  List.iter
+    (fun ((l : Metrics.labels), s) ->
+      match l.Metrics.lbl_node with
+      | Some nd when nd >= 0 && nd < nodes ->
+          node_msgs.(nd) <- node_msgs.(nd) + Stats.count s "net.sent";
+          node_bytes.(nd) <- node_bytes.(nd) + Stats.count s "net.bytes"
+      | _ -> ())
+    (Metrics.all (Network.metrics net));
+  let rate prev cur =
+    if dt_s <= 0. then 0. else float_of_int (cur - prev) /. dt_s
+  in
+  let rates =
+    Array.init nodes (fun nd ->
+        {
+          nr_node = nd;
+          nr_faults_s = rate w.prev_node_faults.(nd) node_faults.(nd);
+          nr_msgs_s = rate w.prev_node_msgs.(nd) node_msgs.(nd);
+          nr_bytes_s = rate w.prev_node_bytes.(nd) node_bytes.(nd);
+        })
+  in
+  let proto_list =
+    Hashtbl.fold
+      (fun p cur acc ->
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt w.prev_proto_faults p)
+        in
+        if cur - prev > 0 then (p, cur - prev) :: acc else acc)
+      proto_faults []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Array.blit node_faults 0 w.prev_node_faults 0 nodes;
+  Array.blit node_msgs 0 w.prev_node_msgs 0 nodes;
+  Array.blit node_bytes 0 w.prev_node_bytes 0 nodes;
+  Hashtbl.iter (Hashtbl.replace w.prev_proto_faults) proto_faults;
+  let hot =
+    Hashtbl.fold (fun p c acc -> (p, c) :: acc) w.interval_installs []
+    |> List.sort (fun (pa, ca) (pb, cb) ->
+           let c = compare cb ca in
+           if c <> 0 then c else compare pa pb)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  Hashtbl.reset w.interval_installs;
+  w.prev_at <- now;
+  let eng = Runtime.engine rt in
+  let s =
+    {
+      sp_at_us = Time.to_us now;
+      sp_events = Engine.events_executed eng;
+      sp_live_fibers = Engine.live_fibers eng;
+      sp_rates = rates;
+      sp_proto_faults = proto_list;
+      sp_hot_pages = hot;
+      sp_alerts = w.alert_count - w.prev_alerts;
+    }
+  in
+  w.prev_alerts <- w.alert_count;
+  s
+
+(* --- the sampler --- *)
+
+let tick w =
+  let rt = w.rt in
+  let eng = Runtime.engine rt in
+  let now = Engine.now eng in
+  w.samples_taken <- w.samples_taken + 1;
+  scan_trace w;
+  check_stalls w now;
+  detect_cycles w;
+  if w.cfg.audits then audit w;
+  let s = snapshot w now in
+  push_ring w s;
+  (match w.on_sample with Some f -> f s | None -> ());
+  let live = Engine.live_fibers eng in
+  let pending = Engine.pending_events eng in
+  if pending = 0 && live > 0 then begin
+    (* Nothing left in the queue but fibers remain: the exact condition
+       under which [Engine.run] raises [Stalled] once we step aside.  Name
+       what we know, then stop re-arming so the stall surfaces. *)
+    if
+      not
+        (List.exists
+           (fun a -> a.al_kind = "deadlock.cycle")
+           w.alerts_rev)
+    then begin
+      let blocked =
+        Hashtbl.fold
+          (fun tid (target, _, node) acc ->
+            Printf.sprintf "thread %d (node %d) on %s" tid node
+              (target_name target)
+            :: acc)
+          w.waiters []
+      in
+      let detail =
+        if blocked = [] then
+          Printf.sprintf "%d fibers blocked outside DSM synchronization" live
+        else
+          Printf.sprintf "%d fibers blocked: %s" live
+            (String.concat "; " (List.sort String.compare blocked))
+      in
+      raise_alert w ~severity:Critical ~kind:"deadlock.stall" detail
+    end;
+    w.armed <- false;
+    false
+  end
+  else if pending = 0 && live = 0 then begin
+    (* Run drained; [Dsm.run] re-arms us if another phase starts. *)
+    w.armed <- false;
+    false
+  end
+  else true
+
+let arm w =
+  if not w.armed then begin
+    w.armed <- true;
+    Engine.periodic (Runtime.engine w.rt) ~interval:w.cfg.interval (fun () ->
+        tick w)
+  end
+
+let attach ?(config = default_config) rt =
+  (match rt.Runtime.watch with
+  | Some _ -> invalid_arg "Watchdog.attach: a watchdog is already attached"
+  | None -> ());
+  if config.ring_capacity <= 0 then
+    invalid_arg "Watchdog.attach: ring_capacity must be positive";
+  let nodes = Runtime.nodes rt in
+  let w =
+    {
+      rt;
+      cfg = config;
+      seen = 0;
+      waiters = Hashtbl.create 32;
+      thread_node = Hashtbl.create 32;
+      windows = Hashtbl.create 64;
+      thrash_last = Hashtbl.create 16;
+      interval_installs = Hashtbl.create 64;
+      reported = Hashtbl.create 32;
+      alerts_rev = [];
+      alert_count = 0;
+      crit_count = 0;
+      warn_count = 0;
+      info_count = 0;
+      prev_alerts = 0;
+      ring = Array.make config.ring_capacity None;
+      ring_len = 0;
+      ring_next = 0;
+      prev_at = Engine.now (Runtime.engine rt);
+      prev_node_faults = Array.make nodes 0;
+      prev_node_msgs = Array.make nodes 0;
+      prev_node_bytes = Array.make nodes 0;
+      prev_proto_faults = Hashtbl.create 8;
+      samples_taken = 0;
+      pages_audited = 0;
+      armed = false;
+      on_sample = None;
+    }
+  in
+  rt.Runtime.watch <-
+    Some
+      {
+        Runtime.wh_wait = (fun ~node ~tid ~target -> on_wait w ~node ~tid ~target);
+        wh_wake = (fun ~node ~tid ~target -> on_wake w ~node ~tid ~target);
+        wh_rearm = (fun () -> arm w);
+      };
+  arm w;
+  w
+
+(* --- reports --- *)
+
+let alert_to_json a =
+  Json.Obj
+    [
+      ("at_us", Json.Float a.al_at_us);
+      ("severity", Json.String (severity_to_string a.al_severity));
+      ("kind", Json.String a.al_kind);
+      ("node", Json.Int a.al_node);
+      ("detail", Json.String a.al_detail);
+    ]
+
+let sample_to_json s =
+  Json.Obj
+    [
+      ("at_us", Json.Float s.sp_at_us);
+      ("events", Json.Int s.sp_events);
+      ("live_fibers", Json.Int s.sp_live_fibers);
+      ( "nodes",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun r ->
+                  Json.Obj
+                    [
+                      ("node", Json.Int r.nr_node);
+                      ("faults_s", Json.Float r.nr_faults_s);
+                      ("msgs_s", Json.Float r.nr_msgs_s);
+                      ("bytes_s", Json.Float r.nr_bytes_s);
+                    ])
+                s.sp_rates)) );
+      ( "protocol_faults",
+        Json.Obj (List.map (fun (p, c) -> (p, Json.Int c)) s.sp_proto_faults) );
+      ( "hot_pages",
+        Json.List
+          (List.map
+             (fun (p, c) ->
+               Json.Obj [ ("page", Json.Int p); ("transfers", Json.Int c) ])
+             s.sp_hot_pages) );
+      ("alerts", Json.Int s.sp_alerts);
+    ]
+
+let health_json w =
+  Json.Obj
+    [
+      ("sim_time_us", Json.Float (Pm2.now_us w.rt.Runtime.pm2));
+      ("samples", Json.Int w.samples_taken);
+      ("pages_audited", Json.Int w.pages_audited);
+      ("healthy", Json.Bool (w.crit_count = 0));
+      ( "alert_counts",
+        Json.Obj
+          [
+            ("info", Json.Int w.info_count);
+            ("warning", Json.Int w.warn_count);
+            ("critical", Json.Int w.crit_count);
+            ("total", Json.Int w.alert_count);
+          ] );
+      ("alerts", Json.List (List.rev_map alert_to_json w.alerts_rev));
+      ("timeseries", Json.List (List.map sample_to_json (samples w)));
+    ]
+
+let pp_sample ppf (w, s) =
+  Format.fprintf ppf "t=%10.1f us  events=%-9d live=%-4d alerts=%d@."
+    s.sp_at_us s.sp_events s.sp_live_fibers w.alert_count;
+  Format.fprintf ppf "  %-6s %12s %12s %14s@." "node" "faults/s" "msgs/s"
+    "bytes/s";
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "  %-6d %12.0f %12.0f %14.0f@." r.nr_node
+        r.nr_faults_s r.nr_msgs_s r.nr_bytes_s)
+    s.sp_rates;
+  if s.sp_proto_faults <> [] then
+    Format.fprintf ppf "  interval faults: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (p, c) -> Printf.sprintf "%s=%d" p c)
+            s.sp_proto_faults));
+  if s.sp_hot_pages <> [] then
+    Format.fprintf ppf "  hot pages: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (p, c) -> Printf.sprintf "%d (%d transfers)" p c)
+            s.sp_hot_pages))
+
+let pp_summary ppf w =
+  Format.fprintf ppf "Watchdog: %d samples, %d page audits, %d alerts@."
+    w.samples_taken w.pages_audited w.alert_count;
+  if w.alert_count = 0 then Format.fprintf ppf "  no findings: run is healthy@."
+  else
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "  [%-8s] %8.1f us  %-18s %s@."
+          (severity_to_string a.al_severity)
+          a.al_at_us a.al_kind a.al_detail)
+      (alerts w)

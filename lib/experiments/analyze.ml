@@ -476,6 +476,32 @@ let barrier_profiles events =
     arrivals []
   |> List.sort (fun a b -> compare a.br_barrier b.br_barrier)
 
+(* --- watchdog alerts --- *)
+
+type alert_line = {
+  at_us : float;
+  at_severity : string;
+  at_kind : string;
+  at_node : int;
+  at_detail : string;
+}
+
+let alert_lines events =
+  List.filter_map
+    (fun ((e : Trace.entry), ev) ->
+      match ev with
+      | Trace.Alert { severity; kind; node; detail } ->
+          Some
+            {
+              at_us = us_of e.Trace.at;
+              at_severity = severity;
+              at_kind = kind;
+              at_node = node;
+              at_detail = detail;
+            }
+      | _ -> None)
+    events
+
 (* --- the analysis --- *)
 
 type t = {
@@ -491,6 +517,7 @@ type t = {
   an_locks : lock_profile list;
   an_barriers : barrier_profile list;
   an_advice : advice list;
+  an_alerts : alert_line list;  (* watchdog findings, chronological *)
 }
 
 let analyze ?(top = 5) trace =
@@ -559,6 +586,7 @@ let analyze ?(top = 5) trace =
     an_locks = lock_profiles events;
     an_barriers = barrier_profiles events;
     an_advice = advise pages;
+    an_alerts = alert_lines events;
   }
 
 let pages t = t.an_pages
@@ -566,6 +594,7 @@ let advice t = t.an_advice
 let locks t = t.an_locks
 let barriers t = t.an_barriers
 let chains t = t.an_chains
+let alerts t = t.an_alerts
 
 let page_profile t ~page = List.find_opt (fun p -> p.pg_page = page) t.an_pages
 
@@ -574,10 +603,20 @@ let page_profile t ~page = List.find_opt (fun p -> p.pg_page = page) t.an_pages
 let nodes_str nodes =
   "[" ^ String.concat ";" (List.map string_of_int nodes) ^ "]"
 
-let report ?(sections = [ `Critical; `Pages; `Locks; `Barriers; `Advice ]) ppf t =
+let report
+    ?(sections = [ `Alerts; `Critical; `Pages; `Locks; `Barriers; `Advice ]) ppf
+    t =
   let want s = List.mem s sections in
   Format.fprintf ppf "Trace analysis: %d events, %d spans, %.1f us@." t.an_events
     t.an_spans t.an_duration_us;
+  if want `Alerts && t.an_alerts <> [] then begin
+    Format.fprintf ppf "@.== Watchdog alerts ==@.";
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "  [%-8s] %10.1f us  %-18s %s@." a.at_severity a.at_us
+          a.at_kind a.at_detail)
+      t.an_alerts
+  end;
   if want `Critical then begin
     Format.fprintf ppf "@.== Fault critical paths ==@.";
     Format.fprintf ppf "%-16s %-10s %7s %9s %9s %9s %9s@." "protocol" "stage"
@@ -763,6 +802,19 @@ let to_json t =
                    ("recommended", Json.String a.ad_recommended);
                  ])
              t.an_advice) );
+      ( "alerts",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("at_us", Json.Float a.at_us);
+                   ("severity", Json.String a.at_severity);
+                   ("kind", Json.String a.at_kind);
+                   ("node", Json.Int a.at_node);
+                   ("detail", Json.String a.at_detail);
+                 ])
+             t.an_alerts) );
     ]
 
 (* --- folded stacks (flamegraph.pl / speedscope input) --- *)

@@ -117,6 +117,18 @@ type barrier_profile = {
   br_imbalance : dist;  (** last minus first arrival, per round *)
 }
 
+(** {2 Watchdog alerts} *)
+
+type alert_line = {
+  at_us : float;
+  at_severity : string;
+  at_kind : string;
+  at_node : int;
+  at_detail : string;
+}
+(** One [Trace.Alert] event from a run monitored by the live watchdog
+    ({!Dsmpm2_core.Watchdog}), as found in the trace. *)
+
 (** {2 Analysis} *)
 
 type t
@@ -138,12 +150,16 @@ val barriers : t -> barrier_profile list
 val advice : t -> advice list
 (** Only pages whose recommended protocol differs from the one they ran. *)
 
+val alerts : t -> alert_line list
+(** Watchdog findings recorded in the trace, chronological. *)
+
 val report :
-  ?sections:[ `Critical | `Pages | `Locks | `Barriers | `Advice ] list ->
+  ?sections:[ `Alerts | `Critical | `Pages | `Locks | `Barriers | `Advice ] list ->
   Format.formatter ->
   t ->
   unit
-(** The human-readable report; [sections] defaults to all of them. *)
+(** The human-readable report; [sections] defaults to all of them (the
+    alert summary is printed only when the trace contains alerts). *)
 
 val to_json : t -> Json.t
 (** Stable machine-readable form of the whole analysis. *)

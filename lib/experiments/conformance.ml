@@ -193,8 +193,14 @@ let run_one_dsm ~monitor ~protocol ~driver ~workload ~seed =
   ignore (Builtin.register_all dsm);
   ignore (Builtin.register_extras dsm);
   (* Monitoring only records events — it never perturbs the schedule, so a
-     traced replay is the same execution as the bare run. *)
-  if monitor then Monitor.enable dsm true;
+     traced replay is the same execution as the bare run.  The same holds
+     for the watchdog: its sampler runs on observer events that never draw
+     from the tie-key stream, so its invariant audits and alerts ride along
+     without changing the fingerprint. *)
+  if monitor then begin
+    Monitor.enable dsm true;
+    ignore (Watchdog.attach dsm)
+  end;
   let proto_id =
     match Dsm.protocol_by_name dsm protocol with
     | Some id -> id

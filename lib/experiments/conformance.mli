@@ -58,10 +58,13 @@ val run_one_traced :
   workload:workload ->
   seed:int ->
   outcome * Dsm.t
-(** Like {!run_one} but with the post-mortem monitor enabled, returning the
-    finished runtime so the caller can analyze its trace
-    ({!Dsmpm2_core.Monitor.trace}, {!Analyze.analyze}).  Monitoring only
-    records — the schedule is the one {!run_one} replays. *)
+(** Like {!run_one} but with the post-mortem monitor and the live watchdog
+    ({!Dsmpm2_core.Watchdog}) enabled, returning the finished runtime so the
+    caller can analyze its trace ({!Dsmpm2_core.Monitor.trace},
+    {!Analyze.analyze} — watchdog alerts appear in the analyzer's alert
+    section).  Monitoring only records and the watchdog samples on
+    schedule-neutral observer events — the schedule is the one {!run_one}
+    replays. *)
 
 (** {1 Sweeps} *)
 

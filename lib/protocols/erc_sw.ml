@@ -84,15 +84,21 @@ let write_server rt ~node ~page ~requester =
           Protocol_lib.server_overhead rt;
           (* Ownership migrates with write access; no invalidations now.
              The copyset travels with the page, extended with ourselves —
-             we keep a (possibly staling) read-only copy. *)
-          let copyset =
-            List.sort_uniq compare
-              (node :: List.filter (fun n -> n <> requester) e.Page_table.copyset)
-          in
+             we keep a (possibly staling) read-only copy.  If we dirtied
+             the page under a lock we have not released yet, we must also
+             RETAIN the copyset: our release is still obliged to invalidate
+             every copy that predates our writes, and the new owner's
+             release may come too late for the next acquirer of our lock.
+             Both sides flushing the same holder is harmless — a stale
+             invalidation at a node that re-fetched (or became owner) is
+             ignored or just forces a re-fetch. *)
+          let others = List.filter (fun n -> n <> requester) e.Page_table.copyset in
+          let copyset = List.sort_uniq compare (node :: others) in
           Dsm_comm.send_page rt ~to_:requester ~page ~grant:Access.Read_write
             ~ownership:true ~copyset ~req_mode:Access.Write;
           e.Page_table.prob_owner <- requester;
-          e.Page_table.copyset <- [];
+          e.Page_table.copyset <-
+            (if List.mem page (state rt ~node).written then others else []);
           e.Page_table.rights <- Access.Read_only
         end
         else begin
@@ -113,28 +119,36 @@ let receive_page_server rt ~node ~msg =
       Protocol_lib.install_page rt ~node msg;
       if msg.Protocol.ownership then begin
         e.Page_table.prob_owner <- node;
-        e.Page_table.copyset <- List.filter (fun n -> n <> node) msg.Protocol.copyset
+        (* Merge rather than overwrite: a copyset retained across an
+           ownership migration (dirty page, see [write_server]) must not be
+           dropped when ownership bounces back before our release. *)
+        e.Page_table.copyset <-
+          List.sort_uniq compare
+            (List.filter (fun n -> n <> node) msg.Protocol.copyset
+            @ e.Page_table.copyset)
       end
       else e.Page_table.prob_owner <- msg.Protocol.sender;
       Protocol_lib.client_overhead rt;
       Protocol_lib.complete_fault rt e)
 
 (* Release: flush the eager invalidations for every page written since the
-   previous release (for pages whose ownership has since moved on, the new
-   owner took over the copyset and will invalidate at its own release).
-   The per-page copysets are collected under the entry mutexes first, then
-   the whole release goes out as one batched invalidation RPC per copy
-   holder — O(copyset) messages, not O(pages x copyset). *)
+   previous release.  Pages whose ownership has since moved on still carry
+   the copyset we retained at migration time (see [write_server]), so our
+   release invalidates every copy that predates our writes even when we are
+   no longer the owner — the current owner simply ignores a stale
+   invalidation.  The per-page copysets are collected under the entry
+   mutexes first, then the whole release goes out as one batched
+   invalidation RPC per copy holder — O(copyset) messages, not
+   O(pages x copyset). *)
 let lock_release rt ~node ~lock:_ =
   let s = state rt ~node in
   let written = List.sort compare s.written in
-  s.written <- [];
   let by_target = Hashtbl.create 8 in
   List.iter
     (fun page ->
       let e = Runtime.entry rt ~node ~page in
       Protocol_lib.with_entry rt e (fun () ->
-          if e.Page_table.prob_owner = node && e.Page_table.copyset <> [] then begin
+          if e.Page_table.copyset <> [] then begin
             List.iter
               (fun target ->
                 Hashtbl.replace by_target target
@@ -144,6 +158,11 @@ let lock_release rt ~node ~lock:_ =
             e.Page_table.copyset <- []
           end))
     written;
+  (* Cleared only after the collection loop: a server fiber migrating one of
+     these pages away mid-release must still see it as written so it retains
+     the copyset (see [write_server]) instead of shipping our invalidation
+     obligation to the new owner. *)
+  s.written <- List.filter (fun p -> not (List.mem p written)) s.written;
   Protocol_lib.invalidate_copies_many rt
     ~pages_by_target:
       (Hashtbl.fold (fun target pages acc -> (target, pages) :: acc) by_target [])

@@ -58,6 +58,29 @@ let at t time action =
 
 let after t dt action = at t Time.(t.clock + dt) action
 
+(* Observer events: scheduled with the maximal tie key and without drawing
+   from the perturbation RNG, so they run after every same-time workload
+   event and attaching them leaves a seeded schedule bit-for-bit intact
+   (the tie-key stream only advances for workload events). *)
+let at_observer t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.at_observer: time %d is in the past (now %d)" time
+         t.clock);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.add t.queue { time; seq; tie = max_int; action }
+
+let periodic t ~interval tick =
+  if interval <= Time.zero then
+    invalid_arg "Engine.periodic: interval must be positive";
+  let rec arm () =
+    at_observer t Time.(t.clock + interval) (fun () -> if tick () then arm ())
+  in
+  arm ()
+
+let pending_events t = Heap.length t.queue
+
 (* Runs a slice of fiber [fid]'s code (its body or a resumed continuation)
    with [current] set for the duration, so that thread packages built on top
    can implement "self". *)

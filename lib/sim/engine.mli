@@ -39,6 +39,22 @@ val at : t -> Time.t -> (unit -> unit) -> unit
 val after : t -> Time.t -> (unit -> unit) -> unit
 (** [after t dt f] schedules [f] at [now t + dt]. *)
 
+val periodic : t -> interval:Time.t -> (unit -> bool) -> unit
+(** [periodic t ~interval tick] runs [tick] every [interval] of virtual time
+    for as long as it returns [true] — the heartbeat the online watchdog is
+    built on.  The timer is an {e observer}: its events carry the maximal
+    tie key and never draw from the schedule-perturbation RNG, so they run
+    after every same-time workload event and attaching a periodic observer
+    to a seeded run leaves the workload's schedule bit-for-bit identical.
+    Raises [Invalid_argument] on a non-positive interval. *)
+
+val pending_events : t -> int
+(** Events currently queued.  Inside a [periodic] tick this counts everyone
+    {e else}: the tick's own event has been popped and the re-arm is only
+    scheduled after the tick returns, so [pending_events t = 0] with
+    [live_fibers t > 0] means no event can ever wake the remaining fibers —
+    exactly the condition under which {!run} would raise {!Stalled}. *)
+
 val spawn : t -> (unit -> unit) -> int
 (** [spawn t f] schedules a new fiber running [f] at the current time and
     returns its fiber id.  While the fiber (or one of its resumed

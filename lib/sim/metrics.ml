@@ -63,6 +63,94 @@ let to_json t =
          Json.Obj [ ("labels", labels_to_json l); ("stats", Stats.to_json s) ])
        (all t))
 
+(* --- Prometheus text exposition ---
+
+   Counters become [dsm_<name>_total]; duration series become summaries in
+   microseconds with p50/p90/p99 quantiles plus [_sum]/[_count].  The node
+   and protocol labels map straight onto Prometheus labels, so the same
+   questions the JSON snapshot answers ("p99 fault latency of hbrc_mw on
+   node 3") are one PromQL selector away. *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if String.length s >= 4 && String.sub s 0 4 = "dsm_" then s else "dsm_" ^ s
+
+let prom_labels ?quantile l =
+  let parts =
+    List.concat
+      [
+        (match l.lbl_node with
+        | Some n -> [ Printf.sprintf "node=\"%d\"" n ]
+        | None -> []);
+        (match l.lbl_protocol with
+        | Some p -> [ Printf.sprintf "protocol=\"%s\"" p ]
+        | None -> []);
+        (match quantile with
+        | Some q -> [ Printf.sprintf "quantile=\"%s\"" q ]
+        | None -> []);
+      ]
+  in
+  match parts with [] -> "" | _ -> "{" ^ String.concat "," parts ^ "}"
+
+let to_prometheus ppf t =
+  let groups = all t in
+  let uniq names = List.sort_uniq String.compare names in
+  let counter_names =
+    uniq (List.concat_map (fun (_, s) -> List.map fst (Stats.counters s)) groups)
+  in
+  let span_names =
+    uniq
+      (List.concat_map
+         (fun (_, s) -> List.map (fun (n, _, _) -> n) (Stats.spans s))
+         groups)
+  in
+  List.iter
+    (fun name ->
+      let metric = prom_name name ^ "_total" in
+      Format.fprintf ppf "# HELP %s Events counted under %S.@." metric name;
+      Format.fprintf ppf "# TYPE %s counter@." metric;
+      List.iter
+        (fun (l, s) ->
+          if List.mem_assoc name (Stats.counters s) then
+            Format.fprintf ppf "%s%s %d@." metric (prom_labels l)
+              (Stats.count s name))
+        groups)
+    counter_names;
+  List.iter
+    (fun name ->
+      let metric = prom_name name ^ "_us" in
+      Format.fprintf ppf "# HELP %s Duration of %S in microseconds.@." metric
+        name;
+      Format.fprintf ppf "# TYPE %s summary@." metric;
+      List.iter
+        (fun (l, s) ->
+          let sm = Stats.span_summary s name in
+          if sm.Stats.sm_samples > 0 then begin
+            List.iter
+              (fun (q, v) ->
+                Format.fprintf ppf "%s%s %g@." metric
+                  (prom_labels ~quantile:q l)
+                  (Time.to_us v))
+              [
+                ("0.5", sm.Stats.sm_p50);
+                ("0.9", sm.Stats.sm_p90);
+                ("0.99", sm.Stats.sm_p99);
+              ];
+            Format.fprintf ppf "%s_sum%s %g@." metric (prom_labels l)
+              (Time.to_us sm.Stats.sm_total);
+            Format.fprintf ppf "%s_count%s %d@." metric (prom_labels l)
+              sm.Stats.sm_samples
+          end)
+        groups)
+    span_names
+
 let pp_labels ppf l =
   let parts =
     List.concat

@@ -46,5 +46,14 @@ val labels_to_json : labels -> Json.t
 val to_json : t -> Json.t
 (** [[{"labels": {...}, "stats": {...}}, ...]] in {!all} order. *)
 
+val to_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition of the whole registry.  Each counter [name]
+    becomes [dsm_<sanitized name>_total] with [node]/[protocol] labels (one
+    sample per label group holding the counter); each duration series
+    becomes a summary [dsm_<sanitized name>_us] in microseconds with
+    [quantile="0.5"|"0.9"|"0.99"] samples plus [_sum] and [_count].
+    Metric families and label groups appear in deterministic order (names
+    sorted, groups in {!all} order). *)
+
 val pp_labels : Format.formatter -> labels -> unit
 val pp : Format.formatter -> t -> unit

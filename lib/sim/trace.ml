@@ -35,9 +35,13 @@ type event =
   | Lock of { node : int; lock : int; op : string }
   | Barrier of { node : int; barrier : int }
   | Migration of { thread : int; src : int; dst : int }
+  | Alert of { severity : string; kind : string; node : int; detail : string }
   | Message of { category : string; message : string }
 
 let no_span = -1
+
+let alert_severities = [ "info"; "warning"; "critical" ]
+let valid_severity s = List.mem s alert_severities
 
 let event_category = function
   | Fault _ -> "fault"
@@ -49,6 +53,7 @@ let event_category = function
   | Lock _ -> "lock"
   | Barrier _ -> "barrier"
   | Migration _ -> "migrate"
+  | Alert _ -> "alert"
   | Message { category; _ } -> category
 
 let event_message = function
@@ -73,6 +78,10 @@ let event_message = function
         (if release then " (release)" else "")
   | Migration { thread; src; dst } ->
       Printf.sprintf "thread %d: node %d -> %d" thread src dst
+  | Alert { severity; kind; node; detail } ->
+      Printf.sprintf "ALERT[%s] %s%s: %s" severity kind
+        (if node < 0 then "" else Printf.sprintf " (node %d)" node)
+        detail
   | Message { message; _ } -> message
 
 (* The node a trace event belongs to, for the Chrome exporter's process
@@ -87,6 +96,7 @@ let event_node = function
   | Lock { node; _ }
   | Barrier { node; _ } -> node
   | Migration { src; _ } -> src
+  | Alert { node; _ } -> node
   | Message _ -> -1
 
 type entry = { at : Time.t; span : int; category : string; message : string }
@@ -94,12 +104,19 @@ type entry = { at : Time.t; span : int; category : string; message : string }
 type t = {
   mutable on : bool;
   mutable entries : (entry * event) list; (* newest first *)
+  mutable count : int; (* length of [entries], maintained on every mutation *)
   mutable next_span : int;
   thread_spans : (int, int) Hashtbl.t; (* tid -> active span *)
 }
 
 let create ?(enabled = false) () =
-  { on = enabled; entries = []; next_span = 0; thread_spans = Hashtbl.create 16 }
+  {
+    on = enabled;
+    entries = [];
+    count = 0;
+    next_span = 0;
+    thread_spans = Hashtbl.create 16;
+  }
 
 let enable t b = t.on <- b
 let enabled t = t.on
@@ -134,7 +151,7 @@ let thread_span t ~tid =
 (* --- recording --- *)
 
 let emit t eng ?(span = no_span) ev =
-  if t.on then
+  if t.on then begin
     let entry =
       {
         at = Engine.now eng;
@@ -143,14 +160,18 @@ let emit t eng ?(span = no_span) ev =
         message = event_message ev;
       }
     in
-    t.entries <- (entry, ev) :: t.entries
+    t.entries <- (entry, ev) :: t.entries;
+    t.count <- t.count + 1
+  end
 
 let record t eng ~category message =
-  if t.on then
+  if t.on then begin
     t.entries <-
       ( { at = Engine.now eng; span = no_span; category; message },
         Message { category; message } )
-      :: t.entries
+      :: t.entries;
+    t.count <- t.count + 1
+  end
 
 let recordf t eng ~category fmt =
   if t.on then
@@ -159,7 +180,8 @@ let recordf t eng ~category fmt =
         t.entries <-
           ( { at = Engine.now eng; span = no_span; category; message },
             Message { category; message } )
-          :: t.entries)
+          :: t.entries;
+        t.count <- t.count + 1)
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
@@ -167,7 +189,21 @@ let entries t = List.rev_map fst t.entries
 let events t = List.rev_map (fun (e, ev) -> (e, ev)) t.entries
 let by_category t c = List.filter (fun e -> String.equal e.category c) (entries t)
 let by_span t s = List.filter (fun (e, _) -> e.span = s) (events t)
-let length t = List.length t.entries
+let length t = t.count
+
+(* The events recorded after the first [since] ones, chronological: the
+   watchdog's incremental feed.  Cost is proportional to the increment, not
+   to the whole trace, because [entries] is newest-first. *)
+let recent t ~since =
+  let fresh = t.count - since in
+  if fresh <= 0 then []
+  else begin
+    let rec take acc n = function
+      | x :: rest when n > 0 -> take (x :: acc) (n - 1) rest
+      | _ -> acc
+    in
+    take [] fresh t.entries
+  end
 
 (* Every span's events grouped together (chronological inside each group),
    ordered by each span's first event — the analyzer's raw material. *)
@@ -198,6 +234,7 @@ let of_events evs =
         if span > !max_span then max_span := span;
         ({ at; span; category = event_category ev; message = event_message ev }, ev))
       evs;
+  t.count <- List.length t.entries;
   t.next_span <- !max_span + 1;
   t
 
@@ -213,6 +250,7 @@ let pp ppf t =
 
 let clear t =
   t.entries <- [];
+  t.count <- 0;
   t.next_span <- 0;
   Hashtbl.reset t.thread_spans
 
@@ -293,6 +331,14 @@ let event_fields = function
         ("thread", Json.Int thread);
         ("src", Json.Int src);
         ("dst", Json.Int dst);
+      ]
+  | Alert { severity; kind; node; detail } ->
+      [
+        ("type", Json.String "alert");
+        ("severity", Json.String severity);
+        ("kind", Json.String kind);
+        ("node", Json.Int node);
+        ("detail", Json.String detail);
       ]
   | Message { category; message } ->
       [
@@ -380,6 +426,14 @@ let event_of_json j =
         let* src = geti "src" in
         let* dst = geti "dst" in
         Some (Migration { thread; src; dst })
+    | "alert" ->
+        let* severity = gets "severity" in
+        if not (valid_severity severity) then None
+        else
+          let* kind = gets "kind" in
+          let* node = geti "node" in
+          let* detail = gets "detail" in
+          Some (Alert { severity; kind; node; detail })
     | "message" ->
         let* category = gets "category" in
         let* message = gets "message" in

@@ -53,11 +53,25 @@ type event =
   | Lock of { node : int; lock : int; op : string }
   | Barrier of { node : int; barrier : int }
   | Migration of { thread : int; src : int; dst : int }
+  | Alert of { severity : string; kind : string; node : int; detail : string }
+      (** Watchdog finding.  [severity] is one of {!alert_severities};
+          [kind] is a dotted taxonomy name ("invariant.owner",
+          "deadlock.cycle", "stall.lock", "thrash.page", ...); [node] is the
+          node the finding concerns or [-1] for run-wide findings; [detail]
+          carries the human-readable evidence. *)
   | Message of { category : string; message : string }
       (** Free-form compatibility events from [record]/[recordf]. *)
 
 val no_span : int
 (** The span id of events outside any operation ([-1]). *)
+
+val alert_severities : string list
+(** The valid [Alert] severities, mildest first:
+    [["info"; "warning"; "critical"]]. *)
+
+val valid_severity : string -> bool
+(** Whether a string is a member of {!alert_severities}.  {!event_of_json}
+    rejects alert objects whose severity fails this check. *)
 
 val event_category : event -> string
 (** The legacy category name ("fault", "request", "page", ...) used by the
@@ -126,6 +140,14 @@ val spans : t -> (int * (entry * event) list) list
     first appearance — each group is one logical operation's full chain. *)
 
 val length : t -> int
+(** Number of recorded events; O(1). *)
+
+val recent : t -> since:int -> (entry * event) list
+(** [recent t ~since] returns the events recorded after the first [since]
+    ones, chronological — the watchdog's incremental feed.  Cost is
+    proportional to the number of fresh events, not the whole trace; call
+    with [since = length t] from the previous read. *)
+
 val hash : t -> int
 (** Order-sensitive digest of the whole trace. *)
 

@@ -7,10 +7,15 @@ Cases present on only one side are reported but never fail the gate, so the
 suite can grow without lockstep baseline edits.
 
 Usage: bench_gate.py BASELINE FRESH [--threshold PCT]
+
+The threshold can also be set through the ``BENCH_GATE_PCT`` environment
+variable (an explicit ``--threshold`` still wins), so CI can loosen or
+tighten the gate without editing the workflow-pinned command line.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -27,8 +32,14 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("fresh")
-    ap.add_argument("--threshold", type=float, default=25.0,
-                    help="max tolerated slowdown, percent (default 25)")
+    env_pct = os.environ.get("BENCH_GATE_PCT")
+    try:
+        default_pct = float(env_pct) if env_pct else 25.0
+    except ValueError:
+        sys.exit(f"bench_gate: BENCH_GATE_PCT={env_pct!r} is not a number")
+    ap.add_argument("--threshold", type=float, default=default_pct,
+                    help="max tolerated slowdown, percent "
+                         "(default: $BENCH_GATE_PCT or 25)")
     args = ap.parse_args()
 
     unit, base = load_estimates(args.baseline)

@@ -33,6 +33,13 @@ let sample_events =
     Trace.Barrier { node = 2; barrier = 0 };
     Trace.Migration { thread = 9; src = 0; dst = 3 };
     Trace.Message { category = "custom"; message = "free-form \"quoted\" text" };
+    Trace.Alert
+      {
+        severity = "critical";
+        kind = "deadlock.cycle";
+        node = 1;
+        detail = "thread 3 (node 1) waits for lock 0";
+      };
   ]
 
 let test_event_json_round_trip () =
@@ -74,6 +81,104 @@ let test_jsonl_export_shape () =
           Alcotest.(check bool) "line decodes to an event" true
             (Trace.event_of_json json <> None))
     lines
+
+(* --- watchdog alerts in the JSONL format --- *)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_alert_round_trip () =
+  (* Every legal severity survives the JSONL round-trip with every field
+     intact. *)
+  List.iter
+    (fun severity ->
+      Alcotest.(check bool) "severity is legal" true (Trace.valid_severity severity);
+      let ev =
+        Trace.Alert
+          { severity; kind = "invariant.owner"; node = 3; detail = "page 7: no owner" }
+      in
+      let json = Trace.event_to_json ~at:(Time.of_us 12.) ~span:Trace.no_span ev in
+      match Json.of_string (Json.to_string json) with
+      | Error msg -> Alcotest.failf "alert (%s) unparseable: %s" severity msg
+      | Ok parsed -> (
+          match Trace.event_of_json parsed with
+          | Some (at, span, (Trace.Alert a as ev')) ->
+              Alcotest.(check int) "timestamp survives" (Time.of_us 12.) at;
+              Alcotest.(check int) "span survives" Trace.no_span span;
+              Alcotest.(check string) "severity survives" severity a.severity;
+              Alcotest.(check string) "kind survives" "invariant.owner" a.kind;
+              Alcotest.(check int) "node survives" 3 a.node;
+              Alcotest.(check string) "detail survives" "page 7: no owner" a.detail;
+              Alcotest.(check bool) "whole event equal" true (ev = ev')
+          | _ -> Alcotest.failf "alert (%s) did not decode" severity))
+    Trace.alert_severities
+
+let test_alert_rejects_bad_severity () =
+  let ev =
+    Trace.Alert { severity = "warning"; kind = "thrash.page"; node = 0; detail = "d" }
+  in
+  let json = Trace.event_to_json ~at:0 ~span:Trace.no_span ev in
+  let patched =
+    match json with
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (fun (k, v) -> if k = "severity" then (k, Json.String "fatal") else (k, v))
+             kvs)
+    | _ -> Alcotest.fail "alert JSON is not an object"
+  in
+  Alcotest.(check bool) "made-up severity rejected" true
+    (Trace.event_of_json patched = None);
+  match Trace.of_jsonl (Json.to_string patched) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_jsonl accepted an alert with a made-up severity"
+
+(* --- QCheck: mixed event streams round-trip through JSONL --- *)
+
+let gen_event =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let text =
+    string_size ~gen:(oneofl [ 'a'; 'z'; ' '; '"'; '\\'; '/' ]) (int_range 0 12)
+  in
+  oneof
+    [
+      (let* node = int_bound 7 and* page = int_bound 99 and* protocol = name in
+       let* mode = oneofl [ "read"; "write" ] in
+       return (Trace.Fault { node; page; protocol; mode }));
+      (let* node = int_bound 7 and* lock = int_bound 9 in
+       let* op = oneofl [ "acquire"; "granted"; "released" ] in
+       return (Trace.Lock { node; lock; op }));
+      (let* node = int_bound 7 and* barrier = int_bound 9 in
+       return (Trace.Barrier { node; barrier }));
+      (let* thread = int_bound 31 and* src = int_bound 7 and* dst = int_bound 7 in
+       return (Trace.Migration { thread; src; dst }));
+      (let* category = name and* message = text in
+       return (Trace.Message { category; message }));
+      (let* severity = oneofl Trace.alert_severities in
+       let* kind = name and* node = int_bound 7 and* detail = text in
+       return (Trace.Alert { severity; kind; node; detail }));
+    ]
+
+let prop_jsonl_round_trip =
+  QCheck.Test.make ~name:"mixed event streams round-trip through JSONL" ~count:100
+    (QCheck.make
+       ~print:(fun evs -> Printf.sprintf "<%d events>" (List.length evs))
+       QCheck.Gen.(list_size (int_range 0 20) gen_event))
+    (fun evs ->
+      let eng = Engine.create () in
+      let tr = Trace.create ~enabled:true () in
+      List.iter (fun ev -> Trace.emit tr eng ev) evs;
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Trace.to_jsonl fmt tr;
+      Format.pp_print_flush fmt ();
+      match Trace.of_jsonl (Buffer.contents buf) with
+      | Error _ -> false
+      | Ok tr' ->
+          List.map snd (Trace.events tr') = List.map snd (Trace.events tr))
 
 (* --- span linkage: one cold li_hudak read fault on 2 nodes --- *)
 
@@ -176,6 +281,53 @@ let test_metrics_snapshot () =
   | Error msg -> Alcotest.failf "snapshot is not valid JSON: %s" msg
   | Ok _ -> ()
 
+let test_prometheus_export () =
+  let dsm = cold_fault_dsm () in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Metrics.to_prometheus fmt (Monitor.metrics dsm);
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  (* Counters: sanitized name, _total suffix, node/protocol labels. *)
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE dsm_fault_read_total counter");
+  Alcotest.(check bool) "read-fault sample" true
+    (has {|dsm_fault_read_total{node="0",protocol="li_hudak"} 1|});
+  Alcotest.(check bool) "page-send sample" true
+    (has {|dsm_page_sent_total{node="1",protocol="li_hudak"} 1|});
+  (* Durations: summaries in microseconds with quantiles and _sum/_count. *)
+  Alcotest.(check bool) "summary TYPE line" true
+    (has "# TYPE dsm_fault_latency_us summary");
+  Alcotest.(check bool) "p99 quantile sample" true
+    (List.exists
+       (fun l ->
+         contains l "dsm_fault_latency_us{" && contains l {|quantile="0.99"|})
+       lines);
+  Alcotest.(check bool) "count sample" true
+    (has {|dsm_fault_latency_us_count{node="0",protocol="li_hudak"} 1|});
+  (* Names already starting with dsm_ are not double-prefixed. *)
+  Alcotest.(check bool) "no doubled dsm_ prefix" false (contains text "dsm_dsm_")
+
+(* --- Monitor.summary: deterministic ordering on tied counts --- *)
+
+let test_summary_tie_order () =
+  let dsm = Dsm.create ~nodes:1 ~driver:Driver.bip_myrinet () in
+  Monitor.enable dsm true;
+  (* Three categories, one event each: a three-way tie that hashtable
+     iteration order used to break arbitrarily. *)
+  List.iter
+    (fun cat -> Monitor.record dsm ~category:cat "x")
+    [ "zeta"; "alpha"; "mid" ];
+  Monitor.record dsm ~category:"busy" "x";
+  Monitor.record dsm ~category:"busy" "x";
+  let order = List.map (fun l -> l.Monitor.category) (Monitor.summary dsm) in
+  Alcotest.(check (list string))
+    "count descending, name ascending on ties"
+    [ "busy"; "alpha"; "mid"; "zeta" ]
+    order
+
 let test_disabled_monitor_no_events () =
   let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
   let ids = Builtin.register_all dsm in
@@ -193,6 +345,10 @@ let () =
         [
           Alcotest.test_case "event round-trip" `Quick test_event_json_round_trip;
           Alcotest.test_case "export shape" `Quick test_jsonl_export_shape;
+          Alcotest.test_case "alert round-trip" `Quick test_alert_round_trip;
+          Alcotest.test_case "alert rejects bad severity" `Quick
+            test_alert_rejects_bad_severity;
+          QCheck_alcotest.to_alcotest prop_jsonl_round_trip;
         ] );
       ( "spans",
         [
@@ -206,5 +362,7 @@ let () =
         [
           Alcotest.test_case "chrome trace valid" `Quick test_chrome_export_valid;
           Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
+          Alcotest.test_case "prometheus text format" `Quick test_prometheus_export;
+          Alcotest.test_case "summary tie order" `Quick test_summary_tie_order;
         ] );
     ]

@@ -1,0 +1,346 @@
+(* The live watchdog: deadlock-cycle naming, stall warnings, thrash
+   detection, green-path invariant audits across every builtin protocol,
+   schedule transparency of the attached sampler, the bounded time-series
+   ring, the JSON health report and the allocation-free disabled paths. *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_protocols
+open Dsmpm2_experiments
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let make ?(nodes = 2) ?tie_seed () =
+  let dsm = Dsm.create ?tie_seed ~nodes ~driver:Driver.bip_myrinet () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  dsm
+
+let proto dsm name =
+  match Dsm.protocol_by_name dsm name with
+  | Some id -> id
+  | None -> Alcotest.failf "protocol %s not registered" name
+
+let kind_alerts w k =
+  List.filter (fun a -> a.Watchdog.al_kind = k) (Watchdog.alerts w)
+
+(* --- the deadlock regression: two locks taken in reversed order --- *)
+
+let test_deadlock_cycle_named () =
+  let dsm = make () in
+  Monitor.enable dsm true;
+  let l0 = Dsm.lock_create dsm () in
+  let l1 = Dsm.lock_create dsm () in
+  let w = Watchdog.attach dsm in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         Dsm.lock_acquire dsm l0;
+         Dsm.compute dsm 500.;
+         Dsm.lock_acquire dsm l1;
+         Dsm.lock_release dsm l1;
+         Dsm.lock_release dsm l0));
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.lock_acquire dsm l1;
+         Dsm.compute dsm 500.;
+         Dsm.lock_acquire dsm l0;
+         Dsm.lock_release dsm l0;
+         Dsm.lock_release dsm l1));
+  (match Dsm.run dsm with
+  | () -> Alcotest.fail "reversed lock order must deadlock"
+  | exception Engine.Stalled _ -> ());
+  match kind_alerts w "deadlock.cycle" with
+  | [] -> Alcotest.fail "watchdog did not report the cycle"
+  | a :: _ ->
+      Alcotest.(check bool) "critical" true (a.Watchdog.al_severity = Watchdog.Critical);
+      let d = a.Watchdog.al_detail in
+      (* The cycle is named in full: both locks and both waiting nodes. *)
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Printf.sprintf "detail names %S" sub) true
+            (contains d sub))
+        [
+          Printf.sprintf "lock %d" l0;
+          Printf.sprintf "lock %d" l1;
+          "(node 0)";
+          "(node 1)";
+          "back to thread";
+        ];
+      (* A found cycle suppresses the generic stall alert. *)
+      Alcotest.(check int) "no generic stall alert" 0
+        (List.length (kind_alerts w "deadlock.stall"))
+
+let test_missing_barrier_party_is_a_stall () =
+  let dsm = make () in
+  let b = Dsm.barrier_create dsm ~parties:2 () in
+  let w = Watchdog.attach dsm in
+  ignore (Dsm.spawn dsm ~node:0 (fun () -> Dsm.barrier_wait dsm b));
+  (match Dsm.run dsm with
+  | () -> Alcotest.fail "missing barrier party must stall"
+  | exception Engine.Stalled _ -> ());
+  match kind_alerts w "deadlock.stall" with
+  | [] -> Alcotest.fail "watchdog did not report the stalled run"
+  | a :: _ ->
+      Alcotest.(check bool) "names the barrier" true
+        (contains a.Watchdog.al_detail (Printf.sprintf "barrier %d" b))
+
+(* --- stall warning: a lock held across a long compute phase --- *)
+
+let test_long_wait_warns () =
+  let dsm = make () in
+  let l = Dsm.lock_create dsm () in
+  let config =
+    Watchdog.
+      { default_config with interval = Time.of_us 200.; stall = Time.of_us 1000. }
+  in
+  let w = Watchdog.attach ~config dsm in
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         Dsm.lock_acquire dsm l;
+         Dsm.compute dsm 5000.;
+         Dsm.lock_release dsm l));
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.compute dsm 100.;
+         Dsm.lock_acquire dsm l;
+         Dsm.lock_release dsm l));
+  Dsm.run dsm;
+  (match kind_alerts w "stall.lock" with
+  | [] -> Alcotest.fail "no stall warning for a 5 ms wait"
+  | a :: _ ->
+      Alcotest.(check bool) "warning severity" true
+        (a.Watchdog.al_severity = Watchdog.Warning);
+      Alcotest.(check bool) "names the lock" true
+        (contains a.Watchdog.al_detail (Printf.sprintf "lock %d" l));
+      Alcotest.(check bool) "names the waiting node" true
+        (contains a.Watchdog.al_detail "node 1"));
+  let _, _, critical = Watchdog.alert_counts w in
+  Alcotest.(check int) "a slow run is not a deadlock" 0 critical
+
+(* --- thrashing: unsynchronized writer ping-pong on one page --- *)
+
+let test_thrash_detected () =
+  let dsm = make () in
+  Monitor.enable dsm true;
+  let x = Dsm.malloc dsm ~protocol:(proto dsm "li_hudak") 8 in
+  let config =
+    Watchdog.
+      {
+        default_config with
+        interval = Time.of_us 100.;
+        thrash_window = 4;
+        thrash_span = Time.of_us 1_000_000.;
+      }
+  in
+  let w = Watchdog.attach ~config dsm in
+  for node = 0 to 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for i = 1 to 6 do
+             Dsm.write_int dsm x i;
+             Dsm.compute dsm 50.
+           done))
+  done;
+  Dsm.run dsm;
+  match kind_alerts w "thrash.page" with
+  | [] -> Alcotest.fail "page ping-pong not detected"
+  | a :: _ ->
+      Alcotest.(check bool) "names the page" true
+        (contains a.Watchdog.al_detail "ping-ponged")
+
+(* --- green path: clean runs raise no alerts under any builtin protocol --- *)
+
+let green_run ?config protocol_name =
+  let dsm = make () in
+  Monitor.enable dsm true;
+  let p = proto dsm protocol_name in
+  let x = Dsm.malloc dsm ~protocol:p 8 in
+  let l = Dsm.lock_create dsm ~protocol:p () in
+  if protocol_name = "entry_ec" then Entry_ec.bind dsm ~lock:l ~addr:x ~size:8;
+  let b = Dsm.barrier_create dsm ~protocol:p ~parties:2 () in
+  let w = Watchdog.attach ?config dsm in
+  let final = ref (-1) in
+  for node = 0 to 1 do
+    ignore
+      (Dsm.spawn dsm ~node (fun () ->
+           for _ = 1 to 3 do
+             Dsm.with_lock dsm l (fun () ->
+                 Dsm.write_int dsm x (Dsm.read_int dsm x + 1));
+             Dsm.barrier_wait dsm b
+           done;
+           (* An acquire of the guarding lock orders this read after the
+              last increment under every consistency model. *)
+           if node = 0 then
+             Dsm.with_lock dsm l (fun () -> final := Dsm.read_int dsm x)))
+  done;
+  Dsm.run dsm;
+  Alcotest.(check int) (protocol_name ^ ": final value") 6 !final;
+  (dsm, w)
+
+let test_green_path_all_protocols () =
+  List.iter
+    (fun name ->
+      let _, w = green_run name in
+      Alcotest.(check (list string)) (name ^ ": no alerts") []
+        (List.map (fun a -> a.Watchdog.al_detail) (Watchdog.alerts w));
+      Alcotest.(check bool) (name ^ ": sampled") true (Watchdog.samples_taken w > 0);
+      Alcotest.(check bool) (name ^ ": audited pages") true
+        (Watchdog.pages_audited w > 0))
+    Conformance.all_protocols
+
+(* --- schedule transparency: the sampler never perturbs a seeded run --- *)
+
+let test_watchdog_preserves_schedule () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun seed ->
+          let bare =
+            Conformance.run_one ~protocol ~driver:Driver.bip_myrinet
+              ~workload:Conformance.Mixed_sync ~seed
+          in
+          (* run_one_traced attaches the watchdog on top of the monitor. *)
+          let traced, _ =
+            Conformance.run_one_traced ~protocol ~driver:Driver.bip_myrinet
+              ~workload:Conformance.Mixed_sync ~seed
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d: same fingerprint" protocol seed)
+            bare.Conformance.o_fingerprint traced.Conformance.o_fingerprint;
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d: same op count" protocol seed)
+            bare.Conformance.o_ops traced.Conformance.o_ops)
+        [ 0; 1; 2 ])
+    [ "li_hudak"; "hbrc_mw"; "migrate_thread"; "java_pf" ]
+
+let test_traced_alerts_reach_analyzer () =
+  (* Watchdog findings travel as Trace.Alert events, so the post-mortem
+     analyzer sees what the live run saw. *)
+  let dsm = make () in
+  Monitor.enable dsm true;
+  let l0 = Dsm.lock_create dsm () in
+  let l1 = Dsm.lock_create dsm () in
+  ignore (Watchdog.attach dsm);
+  ignore
+    (Dsm.spawn dsm ~node:0 (fun () ->
+         Dsm.lock_acquire dsm l0;
+         Dsm.compute dsm 500.;
+         Dsm.lock_acquire dsm l1));
+  ignore
+    (Dsm.spawn dsm ~node:1 (fun () ->
+         Dsm.lock_acquire dsm l1;
+         Dsm.compute dsm 500.;
+         Dsm.lock_acquire dsm l0));
+  (try Dsm.run dsm with Engine.Stalled _ -> ());
+  let a = Analyze.analyze (Monitor.trace dsm) in
+  match
+    List.filter (fun al -> al.Analyze.at_kind = "deadlock.cycle") (Analyze.alerts a)
+  with
+  | [] -> Alcotest.fail "analyzer did not surface the watchdog alert"
+  | al :: _ ->
+      Alcotest.(check string) "severity" "critical" al.Analyze.at_severity;
+      Alcotest.(check bool) "detail preserved" true
+        (contains al.Analyze.at_detail "back to thread")
+
+(* --- ring buffer, health report, double attach --- *)
+
+let test_ring_is_bounded () =
+  let config =
+    Watchdog.
+      { default_config with interval = Time.of_us 50.; ring_capacity = 4 }
+  in
+  let _, w = green_run ~config "li_hudak" in
+  Alcotest.(check bool) "took more samples than the ring holds" true
+    (Watchdog.samples_taken w > 4);
+  Alcotest.(check bool) "ring bounded" true (List.length (Watchdog.samples w) <= 4)
+
+let test_health_json () =
+  let _, w = green_run "hbrc_mw" in
+  let json = Watchdog.health_json w in
+  (match Json.of_string (Json.to_string json) with
+  | Error msg -> Alcotest.failf "health report is not valid JSON: %s" msg
+  | Ok _ -> ());
+  (match Json.member "healthy" json with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "green run must be healthy");
+  match Json.member "alerts" json with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "green run must report an empty alert list"
+
+let test_double_attach_rejected () =
+  let dsm = make () in
+  ignore (Watchdog.attach dsm);
+  match Watchdog.attach dsm with
+  | _ -> Alcotest.fail "second attach must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- disabled paths allocate nothing (mirrors the interned-handle
+   guarantees from the instrumentation layer) --- *)
+
+let test_disabled_paths_allocate_nothing () =
+  let dsm = make () in
+  (* No Monitor.enable, no Watchdog.attach: both the alert forwarding and
+     the sync-client wait hooks must be free. *)
+  let a =
+    Watchdog.
+      {
+        al_at_us = 1.0;
+        al_severity = Warning;
+        al_kind = "thrash.page";
+        al_node = 0;
+        al_detail = "preallocated";
+      }
+  in
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Watchdog.forward_alert dsm a;
+    Runtime.notify_wait dsm ~node:0 ~tid:1 ~target:2;
+    Runtime.notify_wake dsm ~node:0 ~tid:1 ~target:2;
+    Runtime.notify_rearm dsm
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check bool) "no allocation on disabled paths" true
+    (after -. before < 256.)
+
+let () =
+  Alcotest.run "watchdog"
+    [
+      ( "deadlock",
+        [
+          Alcotest.test_case "cycle named in full" `Quick test_deadlock_cycle_named;
+          Alcotest.test_case "missing barrier party" `Quick
+            test_missing_barrier_party_is_a_stall;
+        ] );
+      ( "stalls",
+        [ Alcotest.test_case "long lock wait warns" `Quick test_long_wait_warns ] );
+      ( "thrashing",
+        [ Alcotest.test_case "page ping-pong" `Quick test_thrash_detected ] );
+      ( "audits",
+        [
+          Alcotest.test_case "green path, all protocols" `Quick
+            test_green_path_all_protocols;
+        ] );
+      ( "transparency",
+        [
+          Alcotest.test_case "schedule preserved" `Quick
+            test_watchdog_preserves_schedule;
+          Alcotest.test_case "alerts reach the analyzer" `Quick
+            test_traced_alerts_reach_analyzer;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "ring bounded" `Quick test_ring_is_bounded;
+          Alcotest.test_case "health json" `Quick test_health_json;
+          Alcotest.test_case "double attach rejected" `Quick
+            test_double_attach_rejected;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "disabled paths are free" `Quick
+            test_disabled_paths_allocate_nothing;
+        ] );
+    ]
