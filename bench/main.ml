@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- everything, in paper order
      dune exec bench/main.exe -- table3  -- a single experiment
      dune exec bench/main.exe -- bechamel
+     dune exec bench/main.exe -- bechamel --filter diff/  -- a subset
 
    Experiments: micro table2 table3 table4 fig4 fig5 splash ablation.
 
@@ -77,7 +78,7 @@ let run_patterns () =
 (* Bechamel micro-benchmarks of the simulator itself: how fast the host can
    execute one simulated cold read fault and one simulated TSP solve.  These
    measure the reproduction platform, not the paper's system. *)
-let bechamel_tests () =
+let bechamel_tests ?filter () =
   let open Bechamel in
   let open Dsmpm2_net in
   let open Dsmpm2_core in
@@ -149,26 +150,43 @@ let bechamel_tests () =
     done;
     Engine.run eng
   in
-  let test name f = Test.make ~name (Staged.stage f) in
-  Test.make_grouped ~name:"dsmpm2"
+  let named =
     [
-      test "sim/read_fault_page_transfer" (fault_once `Page);
-      test "sim/read_fault_thread_migration" (fault_once `Migrate);
-      test "sim/read_fault_monitor_disabled" (fault_once_monitored false);
-      test "sim/read_fault_monitor_enabled" (fault_once_monitored true);
-      test "sim/tsp_10_cities_li_hudak" tsp_small;
-      test "diff/compute_4k_sparse" diff_sparse;
-      test "diff/compute_4k_sparse_bytewise" diff_sparse_bytewise;
-      test "frame/read_int_hot_x64" frame_read_hot;
-      test "net/send_request_x64" network_send;
+      ("sim/read_fault_page_transfer", fault_once `Page);
+      ("sim/read_fault_thread_migration", fault_once `Migrate);
+      ("sim/read_fault_monitor_disabled", fault_once_monitored false);
+      ("sim/read_fault_monitor_enabled", fault_once_monitored true);
+      ("sim/tsp_10_cities_li_hudak", tsp_small);
+      ("diff/compute_4k_sparse", diff_sparse);
+      ("diff/compute_4k_sparse_bytewise", diff_sparse_bytewise);
+      ("frame/read_int_hot_x64", frame_read_hot);
+      ("net/send_request_x64", network_send);
     ]
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    n = 0 || at 0
+  in
+  let selected =
+    match filter with
+    | None -> named
+    | Some sub -> List.filter (fun (name, _) -> contains ~sub name) named
+  in
+  if selected = [] then begin
+    Format.fprintf ppf "bechamel: no test matches the filter; known:@.";
+    List.iter (fun (name, _) -> Format.fprintf ppf "  %s@." name) named;
+    exit 1
+  end;
+  Test.make_grouped ~name:"dsmpm2"
+    (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) selected)
 
-let run_bechamel () =
+let run_bechamel ?filter () =
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
-  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances (bechamel_tests ?filter ()) in
   let results =
     List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw) instances
   in
@@ -221,7 +239,22 @@ let all =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (* `--filter SUBSTR` restricts the bechamel suite to matching test names
+     (CI uses this to smoke the hot-path kernels without the full quota). *)
+  let rec split_filter acc = function
+    | [] -> (List.rev acc, None)
+    | "--filter" :: sub :: rest -> (List.rev_append acc rest, Some sub)
+    | "--filter" :: [] ->
+        Format.fprintf ppf "--filter needs an argument@.";
+        exit 1
+    | a :: rest -> split_filter (a :: acc) rest
+  in
+  let names, filter = split_filter [] args in
+  if filter <> None && not (List.mem "bechamel" names) then begin
+    Format.fprintf ppf "--filter only applies to the bechamel suite@.";
+    exit 1
+  end;
+  match names with
   | [] ->
       Format.fprintf ppf
         "DSM-PM2 reproduction bench: regenerating every table and figure@.";
@@ -231,7 +264,8 @@ let () =
         (fun name ->
           match List.assoc_opt name all with
           | Some f -> section name f
-          | None when name = "bechamel" -> section "bechamel" run_bechamel
+          | None when name = "bechamel" ->
+              section "bechamel" (run_bechamel ?filter)
           | None ->
               Format.fprintf ppf "unknown experiment %S; known: %s bechamel@." name
                 (String.concat " " (List.map fst all));

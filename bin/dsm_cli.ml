@@ -9,7 +9,7 @@
    Every subcommand accepts the observability flags:
 
      --trace-out FILE     Chrome trace_event JSON (chrome://tracing, Perfetto)
-     --trace-jsonl FILE   one typed event per line, machine-readable
+     --trace-jsonl FILE   one typed event per line; FILE.gz gzip-compresses
      --metrics-out FILE   stable JSON metrics snapshot
      --metrics-prom FILE  Prometheus text exposition of the metrics registry
      --report             post-mortem per-category / per-stage report
@@ -137,17 +137,18 @@ let app_observe obs =
     if obs_wants_monitor obs then Monitor.enable dsm true;
     if obs.health then watchdog := Some (Watchdog.attach dsm)
   in
-  let export ~name () =
+  let export ~name ?protocol () =
     match !captured with
     | None -> ()
     | Some dsm ->
         let tr = Monitor.trace dsm in
         Option.iter (fun file -> to_formatter file (fun fmt -> Trace.to_chrome fmt tr))
           obs.trace_out;
-        Option.iter (fun file -> to_formatter file (fun fmt -> Trace.to_jsonl fmt tr))
-          obs.trace_jsonl;
+        Option.iter (fun file -> Trace.save_jsonl file tr) obs.trace_jsonl;
         Option.iter
-          (fun file -> Json.to_file file (Monitor.to_json ~experiment:name dsm))
+          (fun file ->
+            let meta = Monitor.run_meta ?protocol ~case:name dsm in
+            Json.to_file file (Monitor.to_json ~experiment:name ~meta dsm))
           obs.metrics_out;
         Option.iter
           (fun file ->
@@ -201,7 +202,7 @@ let tsp_cmd =
       (r.Dsmpm2_apps.Tsp.read_faults + r.Dsmpm2_apps.Tsp.write_faults)
       r.Dsmpm2_apps.Tsp.messages
       (String.concat ";" (List.map string_of_int r.Dsmpm2_apps.Tsp.final_node_of_thread));
-    export ~name:"tsp" ()
+    export ~name:"tsp" ~protocol ()
   in
   let cities =
     Arg.(value & opt int 14 & info [ "cities" ] ~docv:"N" ~doc:"Number of cities.")
@@ -238,7 +239,7 @@ let jacobi_cmd =
       (if r.Dsmpm2_apps.Jacobi.checksum = reference then "OK" else "WRONG")
       (r.Dsmpm2_apps.Jacobi.read_faults + r.Dsmpm2_apps.Jacobi.write_faults)
       r.Dsmpm2_apps.Jacobi.pages_transferred r.Dsmpm2_apps.Jacobi.diff_bytes;
-    export ~name:"jacobi" ()
+    export ~name:"jacobi" ~protocol ()
   in
   let size = Arg.(value & opt int 48 & info [ "size" ] ~docv:"N" ~doc:"Grid side.") in
   let iters =
@@ -269,7 +270,7 @@ let coloring_cmd =
       r.Dsmpm2_apps.Map_coloring.best_cost r.Dsmpm2_apps.Map_coloring.gets
       r.Dsmpm2_apps.Map_coloring.inline_checks
       (r.Dsmpm2_apps.Map_coloring.read_faults + r.Dsmpm2_apps.Map_coloring.write_faults);
-    export ~name:"coloring" ()
+    export ~name:"coloring" ~protocol ()
   in
   Cmd.v
     (Cmd.info "coloring" ~doc:"Run the Hyperion-style map-colouring application.")
@@ -322,10 +323,6 @@ let experiments =
 
 (* --- dsm analyze: the post-mortem trace analyzer --- *)
 
-let read_file file =
-  try Ok (In_channel.with_open_text file In_channel.input_all)
-  with Sys_error msg -> Error msg
-
 let analyze_cmd =
   let run workload trace_jsonl protocol nodes driver seed top out folded_file =
     let live_trace w =
@@ -373,24 +370,21 @@ let analyze_cmd =
             "analyze: unknown workload %S (known: tsp, jacobi, coloring)@." w;
           exit 2);
       match !captured with
-      | Some dsm -> Monitor.trace dsm
+      | Some dsm ->
+          (Monitor.trace dsm, Some (Monitor.run_meta ?protocol ~case:w dsm))
       | None ->
           Format.fprintf ppf "analyze: %s did not expose its runtime@." w;
           exit 2
     in
-    let trace =
+    let trace, meta =
       match (trace_jsonl, workload) with
       | Some file, _ -> (
-          match read_file file with
+          (* A dump re-loaded from disk carries no identity metadata. *)
+          match Trace.load_jsonl file with
+          | Ok t -> (t, None)
           | Error msg ->
               Format.fprintf ppf "analyze: %s@." msg;
-              exit 2
-          | Ok contents -> (
-              match Trace.of_jsonl contents with
-              | Ok t -> t
-              | Error msg ->
-                  Format.fprintf ppf "analyze: %s: %s@." file msg;
-                  exit 2))
+              exit 2)
       | None, Some w -> live_trace w
       | None, None ->
           Format.fprintf ppf
@@ -399,7 +393,7 @@ let analyze_cmd =
     in
     let a = Analyze.analyze ~top trace in
     Analyze.report ppf a;
-    Option.iter (fun file -> Json.to_file file (Analyze.to_json a)) out;
+    Option.iter (fun file -> Json.to_file file (Analyze.to_json ?meta a)) out;
     Option.iter
       (fun file -> to_formatter file (fun fmt -> Analyze.folded fmt a))
       folded_file
@@ -687,6 +681,160 @@ let watch_cmd =
       const run $ workload $ protocol $ nodes_arg $ driver_arg $ seed_arg $ interval
       $ stall_us $ out $ quiet)
 
+(* --- dsm bench: the seeded macro-benchmark observatory --- *)
+
+let bench_cmd =
+  let run seeds filter quick out quiet =
+    let seeds = match seeds with [] -> Bench_suite.default_seeds | s -> s in
+    let selected =
+      Bench_suite.filter_cases ?filter ~quick (Bench_suite.cases ())
+    in
+    if selected = [] then begin
+      Format.fprintf ppf "bench: no case matches the filter@.";
+      exit 2
+    end;
+    let progress cr =
+      if not quiet then
+        Format.fprintf ppf "bench: done %s (%d seeds)@."
+          cr.Bench_suite.cr_case.Bench_suite.c_id
+          (List.length cr.Bench_suite.cr_samples)
+    in
+    let t = Bench_suite.run ~seeds ?filter ~quick ~progress () in
+    Bench_suite.print ppf t;
+    Option.iter
+      (fun file ->
+        (* write_file gzip-compresses when the path ends in .gz *)
+        Gzip.write_file file
+          (Json.to_string_pretty (Bench_suite.to_json t) ^ "\n");
+        if not quiet then Format.fprintf ppf "bench: wrote %s@." file)
+      out
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "seeds" ] ~docv:"SEED"
+          ~doc:
+            "Engine tie seed (repeatable; default: the suite's committed \
+             seed list).  Baselines are only comparable over the same seeds.")
+  in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:"Run only cases whose id contains $(docv), e.g. jacobi or hbrc_mw.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Run only the CI smoke subset of the matrix.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the BENCH_macro.json snapshot to $(docv) (a .gz suffix \
+             gzip-compresses).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Skip per-case progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the seeded macro-benchmark suite: every application kernel \
+          under a fixed protocol/driver matrix, recording simulated time, \
+          traffic, faults and fault-latency tails.  Deterministic per tie \
+          seed, so snapshots diff exactly across code revisions.")
+    Term.(const run $ seeds $ filter $ quick $ out $ quiet)
+
+(* --- dsm diff: differential comparison of two runs --- *)
+
+let diff_cmd =
+  let run baseline fresh threshold force format out =
+    let load what path =
+      match Rundiff.load_source path with
+      | Ok s -> s
+      | Error msg ->
+          Format.fprintf ppf "diff: %s: %s@." what msg;
+          exit 2
+    in
+    let b = load "baseline" baseline and f = load "fresh" fresh in
+    match Rundiff.diff ~threshold_pct:threshold ~force ~baseline:b ~fresh:f () with
+    | Error msg ->
+        Format.fprintf ppf "diff: %s@." msg;
+        exit 2
+    | Ok d ->
+        let render fmt =
+          match format with
+          | `Text -> Rundiff.pp_text fmt d
+          | `Markdown -> Rundiff.pp_markdown fmt d
+          | `Json -> Format.fprintf fmt "%a@." Json.pp (Rundiff.to_json d)
+        in
+        (match out with
+        | None -> render ppf
+        | Some file ->
+            to_formatter file render;
+            Format.fprintf ppf "diff: wrote %s@." file);
+        List.iter
+          (fun line -> Format.fprintf ppf "regression: %s@." line)
+          (Rundiff.regressions d);
+        if Rundiff.significant_regression d then exit 1
+  in
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Baseline artifact: a BENCH_macro.json snapshot or a JSONL \
+                trace dump (gzip-transparent).")
+  in
+  let fresh =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FRESH" ~doc:"The artifact to compare against the baseline.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float Rundiff.default_threshold_pct
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Relative significance threshold in percent.")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Compare even when the run metadata disagrees (different seeds, \
+             drivers, protocols or node counts).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("markdown", `Markdown) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json or markdown.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two observability artifacts — macro-bench snapshots or \
+          trace dumps — and report per-case metric deltas (with seed-noise \
+          bounds), critical-path stage shifts, sharing-pattern drift and \
+          alert changes.  Exits 1 on a significant regression, 2 on \
+          incomparable inputs.")
+    Term.(const run $ baseline $ fresh $ threshold $ force $ format $ out)
+
 let () =
   let info =
     Cmd.info "dsm-cli" ~version:"1.0.0"
@@ -696,4 +844,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           (experiments
-          @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd; watch_cmd ])))
+          @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd;
+              watch_cmd; bench_cmd; diff_cmd ])))

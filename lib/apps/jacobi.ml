@@ -10,6 +10,9 @@ type config = {
   driver : Driver.t;
   protocol : string;
   point_us : float;
+  tie_seed : int option;
+      (* seeded engine tie-breaking: [Some s] perturbs (deterministically)
+         the legal interleaving, the macro-bench suite's repeat knob *)
   observe : (Dsm.t -> unit) option;
       (* called with the runtime before any thread starts, so callers can
          enable monitoring or keep a handle for post-run export *)
@@ -23,6 +26,7 @@ let default =
     driver = Driver.bip_myrinet;
     protocol = "hbrc_mw";
     point_us = Workloads.jacobi_point_us;
+    tie_seed = None;
     observe = None;
   }
 
@@ -71,8 +75,11 @@ let row_range ~size ~nodes node =
 
 let run config =
   let size = config.size in
-  let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
+  let dsm =
+    Dsm.create ?tie_seed:config.tie_seed ~nodes:config.nodes ~driver:config.driver ()
+  in
   ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
   (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match Dsm.protocol_by_name dsm config.protocol with

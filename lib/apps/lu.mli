@@ -18,6 +18,12 @@ type config = {
   protocol : string;
   op_us : float;
   seed : int;
+  tie_seed : int option;
+      (** seeded engine tie-breaking ({!Dsmpm2_core.Dsm.create}): each seed
+          explores a distinct, replayable legal interleaving *)
+  observe : (Dsmpm2_core.Dsm.t -> unit) option;
+      (** called with the runtime before any thread starts — enable
+          monitoring here and keep the handle for post-run export *)
 }
 
 val default : config

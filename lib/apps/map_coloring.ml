@@ -10,6 +10,7 @@ type config = {
   color_costs : int array;
   refresh_period : int;
   expand_us : float;
+  tie_seed : int option;  (* seeded engine tie-breaking, replayable *)
   observe : (Dsm.t -> unit) option;
       (* called with the runtime before any thread starts, so callers can
          enable monitoring or keep a handle for post-run export *)
@@ -23,6 +24,7 @@ let default =
     color_costs = [| 1; 2; 3; 4 |];
     refresh_period = 4000;
     expand_us = Workloads.coloring_expand_us;
+    tie_seed = None;
     observe = None;
   }
 
@@ -78,8 +80,11 @@ let solve_sequential ?(color_costs = default.color_costs) () =
   !best
 
 let run config =
-  let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
+  let dsm =
+    Dsm.create ?tie_seed:config.tie_seed ~nodes:config.nodes ~driver:config.driver ()
+  in
   let ids = Builtin.register_all dsm in
+  ignore (Builtin.register_extras dsm);
   (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match config.protocol with

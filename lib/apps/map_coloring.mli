@@ -25,6 +25,9 @@ type config = {
   color_costs : int array;  (** four colours with different costs *)
   refresh_period : int;  (** expansions between bound refreshes *)
   expand_us : float;
+  tie_seed : int option;
+      (** seeded engine tie-breaking ({!Dsmpm2_core.Dsm.create}): each seed
+          explores a distinct, replayable legal interleaving *)
   observe : (Dsmpm2_core.Dsm.t -> unit) option;
       (** called with the runtime before any thread starts — enable
           monitoring here and keep the handle for post-run export *)

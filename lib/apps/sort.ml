@@ -10,6 +10,10 @@ type config = {
   protocol : string;
   compare_us : float;
   seed : int;
+  tie_seed : int option;  (* seeded engine tie-breaking, replayable *)
+  observe : (Dsm.t -> unit) option;
+      (* called with the runtime before any thread starts, so callers can
+         enable monitoring or keep a handle for post-run export *)
 }
 
 let default =
@@ -20,6 +24,8 @@ let default =
     protocol = "li_hudak";
     compare_us = Workloads.matmul_inner_us;
     seed = 23;
+    tie_seed = None;
+    observe = None;
   }
 
 type result = {
@@ -34,9 +40,12 @@ type result = {
 
 let run config =
   let n = config.nodes * config.elements_per_node in
-  let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
+  let dsm =
+    Dsm.create ?tie_seed:config.tie_seed ~nodes:config.nodes ~driver:config.driver ()
+  in
   ignore (Builtin.register_all dsm);
   ignore (Builtin.register_extras dsm);
+  (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match Dsm.protocol_by_name dsm config.protocol with
     | Some p -> p

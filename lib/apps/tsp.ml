@@ -12,6 +12,7 @@ type config = {
   refresh_period : int;
   expand_us : float;
   balance : bool;  (* run the PM2 load balancer alongside the workers *)
+  tie_seed : int option;  (* seeded engine tie-breaking, replayable *)
   observe : (Dsm.t -> unit) option;
       (* called with the runtime before any thread starts, so callers can
          enable monitoring or keep a handle for post-run export *)
@@ -27,6 +28,7 @@ let default =
     refresh_period = 2000;
     expand_us = Workloads.tsp_expand_us;
     balance = false;
+    tie_seed = None;
     observe = None;
   }
 
@@ -105,9 +107,12 @@ let solve_sequential d =
   !best
 
 let run config =
-  let dsm = Dsm.create ~nodes:config.nodes ~driver:config.driver () in
+  let dsm =
+    Dsm.create ?tie_seed:config.tie_seed ~nodes:config.nodes ~driver:config.driver ()
+  in
   let ids = Builtin.register_all dsm in
   ignore ids;
+  ignore (Builtin.register_extras dsm);
   (match config.observe with Some f -> f dsm | None -> ());
   let proto =
     match Dsm.protocol_by_name dsm config.protocol with

@@ -30,6 +30,9 @@ type config = {
       (** run PM2's dynamic load balancer alongside the workers (paper
           section 2.1's motivating use of preemptive migration); workers
           are spawned migratable either way *)
+  tie_seed : int option;
+      (** seeded engine tie-breaking ({!Dsmpm2_core.Dsm.create}): each seed
+          explores a distinct, replayable legal interleaving *)
   observe : (Dsmpm2_core.Dsm.t -> unit) option;
       (** called with the runtime before any thread starts — enable
           monitoring here and keep the handle for post-run export *)

@@ -91,15 +91,33 @@ let report ppf rt =
 
 (* --- JSON snapshot --- *)
 
-let to_json ?experiment rt =
+(* The run's identity, embedded in every export so baselines are
+   self-describing and `dsm diff` can refuse apples-to-oranges
+   comparisons.  Everything but the protocol and case id is read off the
+   runtime; those two are properties of what the caller ran, not of the
+   stack, so they are parameters. *)
+let run_meta ?protocol ?case rt =
+  Run_meta.with_git
+    (Run_meta.v
+       ?tie_seed:(Engine.tie_seed (Runtime.engine rt))
+       ~driver:(Pm2.driver rt.Runtime.pm2).Dsmpm2_net.Driver.name
+       ?protocol
+       ~nodes:(Runtime.nodes rt)
+       ?case ())
+
+let to_json ?experiment ?meta rt =
   let net = Pm2.network rt.Runtime.pm2 in
   let tr = trace rt in
+  let meta =
+    match meta with Some m -> m | None -> run_meta ?case:experiment rt
+  in
   Json.Obj
     (List.concat
        [
          (match experiment with
          | Some e -> [ ("experiment", Json.String e) ]
          | None -> []);
+         [ ("meta", Run_meta.to_json meta) ];
          [
            ("sim_time_us", Json.Float (Pm2.now_us rt.Runtime.pm2));
            ("nodes", Json.Int (Runtime.nodes rt));

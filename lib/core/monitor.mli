@@ -64,7 +64,13 @@ val report : Format.formatter -> Runtime.t -> unit
     per-stage latency distribution (mean/p50/p90/p99/max) accumulated by
     the instrumentation layer. *)
 
-val to_json : ?experiment:string -> Runtime.t -> Json.t
-(** Stable machine-readable snapshot: simulated time, migrations, the
-    instrumentation counters and span summaries (with percentiles), the
+val run_meta : ?protocol:string -> ?case:string -> Runtime.t -> Run_meta.t
+(** The run's identity ({!Dsmpm2_sim.Run_meta}): git revision (best
+    effort), engine tie seed, driver name and node count read off the
+    runtime, plus the caller-supplied protocol and case id. *)
+
+val to_json : ?experiment:string -> ?meta:Run_meta.t -> Runtime.t -> Json.t
+(** Stable machine-readable snapshot: run metadata (under ["meta"]; defaults
+    to {!run_meta} with [case] = [experiment]), simulated time, migrations,
+    the instrumentation counters and span summaries (with percentiles), the
     labeled metrics registry, and the network-layer series. *)

@@ -657,6 +657,7 @@ let sample_to_json s =
 let health_json w =
   Json.Obj
     [
+      ("meta", Run_meta.to_json (Monitor.run_meta w.rt));
       ("sim_time_us", Json.Float (Pm2.now_us w.rt.Runtime.pm2));
       ("samples", Json.Int w.samples_taken);
       ("pages_audited", Json.Int w.pages_audited);

@@ -112,7 +112,8 @@ val alert_to_json : alert -> Json.t
 val sample_to_json : sample -> Json.t
 
 val health_json : t -> Json.t
-(** The stable health report: simulated time, sample/audit counts,
+(** The stable health report: run metadata ({!Monitor.run_meta}, under
+    ["meta"]), simulated time, sample/audit counts,
     [healthy] (no critical alerts), per-severity alert counts, the full
     alert list and the retained time series. *)
 

@@ -726,9 +726,12 @@ let chain_to_json c =
              c.ch_events) );
     ]
 
-let to_json t =
+let to_json ?meta t =
   Json.Obj
     [
+      ( "meta",
+        Run_meta.to_json
+          (Run_meta.with_git (Option.value meta ~default:Run_meta.empty)) );
       ("events", Json.Int t.an_events);
       ("spans", Json.Int t.an_spans);
       ("duration_us", Json.Float t.an_duration_us);

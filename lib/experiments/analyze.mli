@@ -161,8 +161,11 @@ val report :
 (** The human-readable report; [sections] defaults to all of them (the
     alert summary is printed only when the trace contains alerts). *)
 
-val to_json : t -> Json.t
-(** Stable machine-readable form of the whole analysis. *)
+val to_json : ?meta:Run_meta.t -> t -> Json.t
+(** Stable machine-readable form of the whole analysis.  [meta] is the
+    run's identity (driver, protocol, seed, ...) when the caller knows it —
+    a trace re-loaded from JSONL carries none, so it defaults to just the
+    git revision. *)
 
 val folded : Format.formatter -> t -> unit
 (** Folded-stack lines ([dsmpm2;<proto>;fault;<stage> <us>] plus lock and

@@ -1,0 +1,110 @@
+(** The macro-benchmark observatory ([dsm bench]).
+
+    Runs every application kernel under a fixed matrix of consistency
+    protocols and network drivers, once per engine tie seed, and records
+    what the {e simulated} system did: virtual-time wall clock, message and
+    byte counts, fault counts, and the fault-latency tail (p50/p90/p99 from
+    the runtime's {!Dsmpm2_sim.Stats} histograms).  Because the simulation
+    is deterministic given a tie seed, every number is bit-reproducible on
+    any host — the committed [BENCH_macro.json] baseline is a statement
+    about the system, not about CI hardware.
+
+    The repeated-seed spread per case is the noise bound {!Rundiff} uses to
+    separate real regressions from schedule sensitivity.  Case parameters
+    are part of the schema: a case id must mean the same workload forever,
+    so grow the matrix by adding cases rather than editing existing ones. *)
+
+open Dsmpm2_sim
+
+val schema_version : string
+(** ["dsm-bench-macro/1"], stored in the snapshot's ["schema"] field. *)
+
+val default_seeds : int list
+(** The tie seeds each case runs under ([[0; 1; 2]]). *)
+
+(** {2 Cases} *)
+
+type case = {
+  c_id : string;  (** ["app:protocol:driver-slug"], stable forever *)
+  c_app : string;  (** jacobi, tsp, coloring, lu, matmul or sort *)
+  c_protocol : string;
+  c_driver : string;  (** the driver's full name, e.g. ["BIP/Myrinet"] *)
+  c_nodes : int;
+  c_params : (string * int) list;  (** app-specific sizes, part of the schema *)
+  c_quick : bool;  (** member of the CI smoke subset *)
+}
+
+val cases : unit -> case list
+(** The committed matrix, in stable order. *)
+
+val filter_cases : ?filter:string -> ?quick:bool -> case list -> case list
+(** [filter] keeps cases whose id contains the substring; [quick] keeps
+    only the CI smoke subset.  Both compose. *)
+
+(** {2 Measurements} *)
+
+type sample = {
+  s_seed : int;
+  s_time_us : float;  (** simulated wall clock of the whole run *)
+  s_messages : int;
+  s_bytes : int;
+  s_read_faults : int;
+  s_write_faults : int;
+  s_fault_p50_us : float;
+  s_fault_p90_us : float;
+  s_fault_p99_us : float;
+}
+
+type case_result = {
+  cr_case : case;
+  cr_meta : Run_meta.t;  (** driver/protocol/nodes/case identity *)
+  cr_samples : sample list;  (** one per seed, in seed order *)
+}
+
+type t = { bs_meta : Run_meta.t; bs_results : case_result list }
+
+val run_case : ?seeds:int list -> case -> case_result
+(** Runs one case under each seed.  Deterministic: the same case and seeds
+    reproduce the same samples exactly. *)
+
+val run :
+  ?seeds:int list ->
+  ?filter:string ->
+  ?quick:bool ->
+  ?progress:(case_result -> unit) ->
+  unit ->
+  t
+(** The sweep over {!cases} (after {!filter_cases}); [progress] fires after
+    each case completes. *)
+
+(** {2 Aggregates} *)
+
+val metric_names : string list
+(** Every per-sample metric, in schema order: [time_us], [messages],
+    [bytes], [read_faults], [write_faults], [fault_p50_us], [fault_p90_us],
+    [fault_p99_us]. *)
+
+val metric : string -> sample -> float
+(** A sample's value for a {!metric_names} member (counts as floats). *)
+
+val metric_mean : case_result -> string -> float
+val metric_stddev : case_result -> string -> float
+(** Population standard deviation over the case's seeds — the repeat-noise
+    estimate. 0 with fewer than two samples. *)
+
+(** {2 Snapshot I/O} *)
+
+val to_json : t -> Json.t
+(** The stable [BENCH_macro.json] document: schema version, suite metadata,
+    one object per case with its parameters, identity metadata and
+    per-seed samples. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; rejects unknown schema versions by name. *)
+
+val load : string -> (t, string) result
+(** Reads a snapshot from a file (gzip-transparent, like every observability
+    loader) and parses it. *)
+
+val print : Format.formatter -> t -> unit
+(** A per-case summary table (mean over seeds, with the time noise bound). *)

@@ -1,0 +1,289 @@
+(* A self-contained gzip codec so large trace/bench artifacts stay small in
+   CI without pulling a compression dependency into the tree.
+
+   The writer emits RFC 1952 containers around RFC 1951 *stored* blocks:
+   byte-identical input, a few bytes of framing per 64 KiB, and every
+   external gzip tool can read the result.  The reader implements the full
+   inflate algorithm (stored, fixed-Huffman and dynamic-Huffman blocks), so
+   it also loads artifacts recompressed by gzip/zlib at any level, and
+   verifies the trailing CRC32 and length. *)
+
+(* --- CRC32 (the gzip polynomial, reflected) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* --- sniffing --- *)
+
+let is_gzip s = String.length s >= 2 && s.[0] = '\x1f' && s.[1] = '\x8b'
+let gzip_path path = Filename.check_suffix path ".gz"
+
+(* --- compression: stored deflate blocks in a gzip container --- *)
+
+let compress input =
+  let buf = Buffer.create (String.length input + 64) in
+  let byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  let le16 v = byte v; byte (v lsr 8) in
+  let le32 v = le16 (v land 0xffff); le16 ((v lsr 16) land 0xffff) in
+  (* header: magic, deflate method, no flags, no mtime, no extra flags,
+     "unknown" OS *)
+  byte 0x1f; byte 0x8b; byte 0x08; byte 0x00;
+  le32 0; byte 0x00; byte 0xff;
+  let n = String.length input in
+  let max_block = 0xffff in
+  let rec blocks off =
+    let len = min max_block (n - off) in
+    let final = off + len >= n in
+    byte (if final then 1 else 0);  (* BFINAL, BTYPE=00 (stored) *)
+    le16 len;
+    le16 (lnot len);
+    Buffer.add_substring buf input off len;
+    if not final then blocks (off + len)
+  in
+  blocks 0;
+  le32 (crc32 input);
+  le32 (n land 0xffffffff);
+  Buffer.contents buf
+
+(* --- decompression: full inflate --- *)
+
+exception Corrupt of string
+
+type bits = { data : string; mutable pos : int; mutable bit : int }
+
+let byte_at r i =
+  if i >= String.length r.data then raise (Corrupt "truncated stream");
+  Char.code r.data.[i]
+
+let get_bit r =
+  let b = (byte_at r r.pos lsr r.bit) land 1 in
+  if r.bit = 7 then begin r.bit <- 0; r.pos <- r.pos + 1 end
+  else r.bit <- r.bit + 1;
+  b
+
+let get_bits r n =
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    v := !v lor (get_bit r lsl i)
+  done;
+  !v
+
+let align_byte r = if r.bit > 0 then begin r.bit <- 0; r.pos <- r.pos + 1 end
+
+(* Canonical Huffman decoding from code lengths, bit by bit (RFC 1951
+   section 3.2.2): per length, track the first code and the symbol offset. *)
+type huffman = { counts : int array; symbols : int array }
+
+let build_huffman lengths =
+  let max_bits = 15 in
+  let counts = Array.make (max_bits + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lengths;
+  let offsets = Array.make (max_bits + 2) 0 in
+  for l = 1 to max_bits do
+    offsets.(l + 1) <- offsets.(l) + counts.(l)
+  done;
+  let symbols = Array.make offsets.(max_bits + 1) 0 in
+  Array.iteri
+    (fun sym l ->
+      if l > 0 then begin
+        symbols.(offsets.(l)) <- sym;
+        offsets.(l) <- offsets.(l) + 1
+      end)
+    lengths;
+  { counts; symbols }
+
+let decode r h =
+  let code = ref 0 and first = ref 0 and index = ref 0 in
+  let rec go len =
+    if len > 15 then raise (Corrupt "bad Huffman code");
+    code := !code lor get_bit r;
+    let count = h.counts.(len) in
+    if !code - !first < count then h.symbols.(!index + (!code - !first))
+    else begin
+      index := !index + count;
+      first := (!first + count) lsl 1;
+      code := !code lsl 1;
+      go (len + 1)
+    end
+  in
+  go 1
+
+let length_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59;
+     67; 83; 99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4;
+     5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385;
+     513; 769; 1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10;
+     10; 11; 11; 12; 12; 13; 13 |]
+
+let fixed_lit =
+  lazy
+    (build_huffman
+       (Array.init 288 (fun i ->
+            if i < 144 then 8 else if i < 256 then 9 else if i < 280 then 7 else 8)))
+
+let fixed_dist = lazy (build_huffman (Array.make 30 5))
+
+let inflate_block r out lit dist =
+  let rec loop () =
+    let sym = decode r lit in
+    if sym < 256 then begin
+      Buffer.add_char out (Char.chr sym);
+      loop ()
+    end
+    else if sym > 256 then begin
+      if sym > 285 then raise (Corrupt "bad length symbol");
+      let idx = sym - 257 in
+      let len = length_base.(idx) + get_bits r length_extra.(idx) in
+      let dsym = decode r dist in
+      if dsym > 29 then raise (Corrupt "bad distance symbol");
+      let d = dist_base.(dsym) + get_bits r dist_extra.(dsym) in
+      let start = Buffer.length out - d in
+      if start < 0 then raise (Corrupt "distance before start of output");
+      (* Byte-by-byte so overlapping copies replicate, as deflate requires. *)
+      for i = start to start + len - 1 do
+        Buffer.add_char out (Buffer.nth out i)
+      done;
+      loop ()
+    end
+    (* sym = 256: end of block *)
+  in
+  loop ()
+
+let code_length_order =
+  [| 16; 17; 18; 0; 8; 7; 9; 6; 10; 5; 11; 4; 12; 3; 13; 2; 14; 1; 15 |]
+
+let read_dynamic_tables r =
+  let hlit = get_bits r 5 + 257 in
+  let hdist = get_bits r 5 + 1 in
+  let hclen = get_bits r 4 + 4 in
+  let cl_lengths = Array.make 19 0 in
+  for i = 0 to hclen - 1 do
+    cl_lengths.(code_length_order.(i)) <- get_bits r 3
+  done;
+  let cl = build_huffman cl_lengths in
+  let lengths = Array.make (hlit + hdist) 0 in
+  let i = ref 0 in
+  while !i < hlit + hdist do
+    let sym = decode r cl in
+    if sym < 16 then begin
+      lengths.(!i) <- sym;
+      incr i
+    end
+    else begin
+      let repeat, value =
+        match sym with
+        | 16 ->
+            if !i = 0 then raise (Corrupt "repeat with no previous length");
+            (3 + get_bits r 2, lengths.(!i - 1))
+        | 17 -> (3 + get_bits r 3, 0)
+        | 18 -> (11 + get_bits r 7, 0)
+        | _ -> raise (Corrupt "bad code-length symbol")
+      in
+      if !i + repeat > hlit + hdist then raise (Corrupt "length overflow");
+      for _ = 1 to repeat do
+        lengths.(!i) <- value;
+        incr i
+      done
+    end
+  done;
+  ( build_huffman (Array.sub lengths 0 hlit),
+    build_huffman (Array.sub lengths hlit hdist) )
+
+let inflate r out =
+  let rec block () =
+    let final = get_bit r = 1 in
+    (match get_bits r 2 with
+    | 0 ->
+        align_byte r;
+        let len = byte_at r r.pos lor (byte_at r (r.pos + 1) lsl 8) in
+        let nlen = byte_at r (r.pos + 2) lor (byte_at r (r.pos + 3) lsl 8) in
+        if len land 0xffff <> lnot nlen land 0xffff then
+          raise (Corrupt "stored-block length check failed");
+        r.pos <- r.pos + 4;
+        if r.pos + len > String.length r.data then
+          raise (Corrupt "truncated stored block");
+        Buffer.add_substring out r.data r.pos len;
+        r.pos <- r.pos + len
+    | 1 -> inflate_block r out (Lazy.force fixed_lit) (Lazy.force fixed_dist)
+    | 2 ->
+        let lit, dist = read_dynamic_tables r in
+        inflate_block r out lit dist
+    | _ -> raise (Corrupt "reserved block type"));
+    if not final then block ()
+  in
+  block ()
+
+let decompress input =
+  try
+    let n = String.length input in
+    if not (is_gzip input) then raise (Corrupt "not a gzip stream (bad magic)");
+    if n < 18 then raise (Corrupt "truncated gzip stream");
+    if Char.code input.[2] <> 8 then raise (Corrupt "unknown compression method");
+    let flg = Char.code input.[3] in
+    let pos = ref 10 in
+    let u8 () =
+      if !pos >= n then raise (Corrupt "truncated gzip header");
+      let b = Char.code input.[!pos] in
+      incr pos;
+      b
+    in
+    if flg land 0x04 <> 0 then begin
+      (* FEXTRA *)
+      let xlen = u8 () lor (u8 () lsl 8) in
+      pos := !pos + xlen
+    end;
+    if flg land 0x08 <> 0 then while u8 () <> 0 do () done;  (* FNAME *)
+    if flg land 0x10 <> 0 then while u8 () <> 0 do () done;  (* FCOMMENT *)
+    if flg land 0x02 <> 0 then pos := !pos + 2;  (* FHCRC *)
+    let r = { data = input; pos = !pos; bit = 0 } in
+    let out = Buffer.create (4 * n) in
+    inflate r out;
+    align_byte r;
+    if r.pos + 8 > n then raise (Corrupt "missing gzip trailer");
+    let le32 off =
+      Char.code input.[off]
+      lor (Char.code input.[off + 1] lsl 8)
+      lor (Char.code input.[off + 2] lsl 16)
+      lor (Char.code input.[off + 3] lsl 24)
+    in
+    let contents = Buffer.contents out in
+    if le32 r.pos <> crc32 contents then raise (Corrupt "CRC32 mismatch");
+    if le32 (r.pos + 4) <> Buffer.length out land 0xffffffff then
+      raise (Corrupt "length mismatch");
+    Ok contents
+  with Corrupt msg -> Error msg
+
+(* --- whole-file helpers --- *)
+
+let write_file path contents =
+  let data = if gzip_path path then compress contents else contents in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents ->
+      if is_gzip contents then decompress contents else Ok contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,32 @@
+(** A dependency-free gzip (RFC 1952) codec for large observability
+    artifacts: trace dumps and macro-bench baselines compress to a fraction
+    of their JSON size, so they stay cheap to keep in CI.
+
+    {!compress} wraps the input in {e stored} deflate blocks — no actual
+    compression ratio beyond framing, but byte-exact, fast, and readable by
+    every gzip implementation; re-compress with the system [gzip] when disk
+    size matters more than speed.  {!decompress} implements full inflate
+    (stored, fixed- and dynamic-Huffman blocks) and therefore reads both our
+    own output and externally compressed files, verifying the CRC32 and
+    length trailer. *)
+
+val compress : string -> string
+(** A valid gzip stream containing the input verbatim (stored blocks). *)
+
+val decompress : string -> (string, string) result
+(** Inflates a gzip stream; [Error] describes the first corruption found
+    (bad magic, bad Huffman data, CRC or length mismatch, truncation). *)
+
+val is_gzip : string -> bool
+(** Whether the bytes start with the gzip magic ([0x1f 0x8b]). *)
+
+val gzip_path : string -> bool
+(** Whether the path ends in [.gz]. *)
+
+val write_file : string -> string -> unit
+(** Writes contents to a file, gzip-compressing when the path ends in
+    [.gz]. *)
+
+val read_file : string -> (string, string) result
+(** Reads a whole file, transparently decompressing when the contents are
+    gzip (sniffed by magic bytes, so a misnamed [.gz] still loads). *)

@@ -183,3 +183,13 @@ val chrome_json : t -> Json.t
     [args] — loadable in chrome://tracing or Perfetto. *)
 
 val to_chrome : Format.formatter -> t -> unit
+
+val save_jsonl : string -> t -> unit
+(** Writes the {!to_jsonl} dump to a file; a path ending in [.gz] is
+    gzip-compressed ({!Gzip.write_file}), so large macro-run artifacts stay
+    small in CI. *)
+
+val load_jsonl : string -> (t, string) result
+(** Reads a JSONL dump back from a file, transparently decompressing gzip
+    contents (sniffed by magic bytes, not just the [.gz] extension), then
+    {!of_jsonl}.  Errors are prefixed with the path. *)

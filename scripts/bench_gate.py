@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over the Bechamel microbenchmark snapshot.
+"""Perf-regression gate over the committed benchmark snapshots.
 
-Compares a fresh ``BENCH_bechamel.json`` against the committed baseline and
-fails when any case slowed down by more than the threshold (default 25%).
-Cases present on only one side are reported but never fail the gate, so the
-suite can grow without lockstep baseline edits.
+Two modes:
 
-Usage: bench_gate.py BASELINE FRESH [--threshold PCT]
+* default: Bechamel microbenchmarks (``BENCH_bechamel.json``) — host-side
+  ns/run estimates, noisy, gated loosely (default 25%).
+* ``--macro``: the seeded macro-bench suite (``BENCH_macro.json``, written
+  by ``dsm bench --out``) — *simulated* per-case wall clock, deterministic
+  per tie seed, so the gate can be tight (CI uses 2%).  The per-case value
+  is the mean ``time_us`` over the snapshot's seeds.
+
+Either way the gate fails when a case slowed down by more than the
+threshold; improvements past the threshold are reported too (refresh the
+baseline to bank them).  Cases present on only one side are reported but
+never fail, so the suite can grow — and ``--quick`` subsets can gate
+against the full committed baseline — without lockstep edits.
+
+Usage: bench_gate.py [--macro] BASELINE FRESH [--threshold PCT]
 
 The threshold can also be set through the ``BENCH_GATE_PCT`` environment
 variable (an explicit ``--threshold`` still wins), so CI can loosen or
@@ -18,6 +28,8 @@ import json
 import os
 import sys
 
+MACRO_SCHEMA = "dsm-bench-macro/1"
+
 
 def load_estimates(path):
     with open(path) as f:
@@ -28,10 +40,29 @@ def load_estimates(path):
     return snapshot.get("unit", "?"), estimates
 
 
+def load_macro(path):
+    with open(path) as f:
+        snapshot = json.load(f)
+    schema = snapshot.get("schema")
+    if schema != MACRO_SCHEMA:
+        sys.exit(f"bench_gate: {path}: schema {schema!r}, expected {MACRO_SCHEMA!r}")
+    cases = {}
+    for case in snapshot.get("cases", []):
+        samples = case.get("samples", [])
+        if samples:
+            cases[case["id"]] = sum(s["time_us"] for s in samples) / len(samples)
+    if not cases:
+        sys.exit(f"bench_gate: {path}: no cases with samples")
+    return "simulated us", cases
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("fresh")
+    ap.add_argument("--macro", action="store_true",
+                    help="compare dsm-bench-macro snapshots (mean simulated "
+                         "time_us per case) instead of Bechamel estimates")
     env_pct = os.environ.get("BENCH_GATE_PCT")
     try:
         default_pct = float(env_pct) if env_pct else 25.0
@@ -42,10 +73,12 @@ def main():
                          "(default: $BENCH_GATE_PCT or 25)")
     args = ap.parse_args()
 
-    unit, base = load_estimates(args.baseline)
-    _, fresh = load_estimates(args.fresh)
+    load = load_macro if args.macro else load_estimates
+    unit, base = load(args.baseline)
+    _, fresh = load(args.fresh)
 
     failures = []
+    improvements = []
     print(f"{'case':48s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}  ({unit})")
     for name in sorted(base):
         if name not in fresh:
@@ -56,10 +89,18 @@ def main():
         if delta > args.threshold:
             flag = "  << REGRESSION"
             failures.append((name, delta))
+        elif delta < -args.threshold:
+            flag = "  << improvement"
+            improvements.append((name, delta))
         print(f"{name:48s} {base[name]:12.1f} {fresh[name]:12.1f} {delta:+7.1f}%{flag}")
     for name in sorted(set(fresh) - set(base)):
         print(f"{name:48s} {'new':>12s} {fresh[name]:12.1f}")
 
+    if improvements:
+        print(f"\nbench_gate: {len(improvements)} case(s) improved more than "
+              f"{args.threshold:.0f}% — consider refreshing the baseline:")
+        for name, delta in improvements:
+            print(f"  {name}: {delta:+.1f}%")
     if failures:
         print(f"\nbench_gate: {len(failures)} case(s) regressed more than "
               f"{args.threshold:.0f}%:", file=sys.stderr)

@@ -1,0 +1,214 @@
+(* Tests of the macro-benchmark suite: schema round-trip, determinism and
+   matrix filtering. *)
+
+open Dsmpm2_sim
+open Dsmpm2_experiments
+module B = Bench_suite
+
+(* --- schema round-trip ---
+
+   The Json printer renders non-integral floats with %.6g, which is lossy;
+   every float the suite records is microseconds from the integer-valued
+   simulated clock, so the generator sticks to integral floats and the
+   round-trip must then be exact. *)
+
+let gen_t =
+  let open QCheck.Gen in
+  let app = oneofl [ "jacobi"; "tsp"; "coloring"; "lu"; "matmul"; "sort" ] in
+  let proto = oneofl [ "hbrc_mw"; "li_hudak"; "erc_sw"; "write_update" ] in
+  let driver = oneofl [ "BIP/Myrinet"; "SISCI/SCI"; "TCP/FastEthernet" ] in
+  let ifloat hi = map float_of_int (0 -- hi) in
+  let sample =
+    map
+      (fun ((seed, t, msgs), (bytes, rf, wf), (p50, p90, p99)) ->
+        {
+          B.s_seed = seed;
+          s_time_us = t;
+          s_messages = msgs;
+          s_bytes = bytes;
+          s_read_faults = rf;
+          s_write_faults = wf;
+          s_fault_p50_us = p50;
+          s_fault_p90_us = p90;
+          s_fault_p99_us = p99;
+        })
+      (triple
+         (triple (0 -- 99) (ifloat 10_000_000) (0 -- 100_000))
+         (triple (0 -- 10_000_000) (0 -- 10_000) (0 -- 10_000))
+         (triple (ifloat 10_000) (ifloat 10_000) (ifloat 10_000)))
+  in
+  let params =
+    list_size (0 -- 3)
+      (pair (oneofl [ "size"; "iterations"; "cities"; "elements" ]) (1 -- 64))
+  in
+  let case_result =
+    map
+      (fun ((app, proto, driver), (nodes, quick, params), samples) ->
+        let id = Printf.sprintf "%s:%s:%d" app proto nodes in
+        {
+          B.cr_case =
+            {
+              B.c_id = id;
+              c_app = app;
+              c_protocol = proto;
+              c_driver = driver;
+              c_nodes = nodes;
+              c_params = params;
+              c_quick = quick;
+            };
+          cr_meta =
+            Run_meta.v ~git_rev:"deadbeef" ~driver ~protocol:proto ~nodes
+              ~case:id ();
+          cr_samples = samples;
+        })
+      (triple
+         (triple app proto driver)
+         (triple (1 -- 16) bool params)
+         (list_size (1 -- 4) sample))
+  in
+  map
+    (fun results ->
+      { B.bs_meta = Run_meta.v ~git_rev:"deadbeef" (); bs_results = results })
+    (list_size (0 -- 6) case_result)
+
+let prop_schema_roundtrip =
+  QCheck.Test.make ~name:"BENCH_macro schema round-trips through text"
+    ~count:200
+    (QCheck.make gen_t)
+    (fun t ->
+      let text = Json.to_string_pretty (B.to_json t) in
+      match Json.of_string text with
+      | Error _ -> false
+      | Ok j -> (
+          match B.of_json j with Ok t' -> t = t' | Error _ -> false))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let test_schema_version_rejected () =
+  let bad =
+    Json.Obj [ ("schema", Json.String "dsm-bench-macro/99"); ("cases", Json.List []) ]
+  in
+  match B.of_json bad with
+  | Ok _ -> Alcotest.fail "unknown schema accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the schema" true
+        (contains ~sub:"dsm-bench-macro/99" msg)
+
+(* --- determinism --- *)
+
+let tiny_case =
+  {
+    B.c_id = "jacobi:hbrc_mw:test";
+    c_app = "jacobi";
+    c_protocol = "hbrc_mw";
+    c_driver = "BIP/Myrinet";
+    c_nodes = 4;
+    c_params = [ ("size", 16); ("iterations", 2) ];
+    c_quick = true;
+  }
+
+let test_run_case_deterministic () =
+  let a = B.run_case ~seeds:[ 0; 1 ] tiny_case in
+  let b = B.run_case ~seeds:[ 0; 1 ] tiny_case in
+  Alcotest.(check bool) "same seeds, same samples" true
+    (a.B.cr_samples = b.B.cr_samples);
+  Alcotest.(check int) "one sample per seed" 2 (List.length a.B.cr_samples);
+  List.iter2
+    (fun seed s -> Alcotest.(check int) "seed recorded" seed s.B.s_seed)
+    [ 0; 1 ] a.B.cr_samples;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "simulated time advanced" true (s.B.s_time_us > 0.);
+      Alcotest.(check bool) "messages flowed" true (s.B.s_messages > 0))
+    a.B.cr_samples
+
+let test_case_meta () =
+  let r = B.run_case ~seeds:[ 3 ] tiny_case in
+  let m = r.B.cr_meta in
+  Alcotest.(check (option string)) "driver" (Some "BIP/Myrinet") m.Run_meta.rm_driver;
+  Alcotest.(check (option string)) "protocol" (Some "hbrc_mw") m.Run_meta.rm_protocol;
+  Alcotest.(check (option int)) "nodes" (Some 4) m.Run_meta.rm_nodes;
+  Alcotest.(check (option string)) "case" (Some tiny_case.B.c_id) m.Run_meta.rm_case
+
+(* --- the committed matrix and its filters --- *)
+
+let test_matrix_well_formed () =
+  let all = B.cases () in
+  Alcotest.(check bool) "non-empty" true (all <> []);
+  let ids = List.map (fun c -> c.B.c_id) all in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "has a quick subset" true
+    (List.exists (fun c -> c.B.c_quick) all);
+  (* every case runs: the registered protocol and driver names must resolve *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.B.c_id ^ " driver resolves")
+        true
+        (Dsmpm2_net.Driver.by_name c.B.c_driver <> None))
+    all
+
+let test_filter_cases () =
+  let all = B.cases () in
+  let quick = B.filter_cases ~quick:true all in
+  Alcotest.(check bool) "quick keeps only quick" true
+    (quick <> [] && List.for_all (fun c -> c.B.c_quick) quick);
+  let jacobi = B.filter_cases ~filter:"jacobi" all in
+  Alcotest.(check bool) "filter keeps only matches" true
+    (jacobi <> [] && List.for_all (fun c -> c.B.c_app = "jacobi") jacobi);
+  let both = B.filter_cases ~filter:"jacobi" ~quick:true all in
+  Alcotest.(check bool) "filters compose" true
+    (both <> []
+    && List.for_all (fun c -> c.B.c_quick && c.B.c_app = "jacobi") both);
+  Alcotest.(check (list string)) "no match" []
+    (List.map (fun c -> c.B.c_id) (B.filter_cases ~filter:"nonesuch" all))
+
+(* --- snapshot file I/O, plain and gzip --- *)
+
+let test_load_gzip_transparent () =
+  let t = B.run ~seeds:[ 0 ] ~filter:"jacobi:hbrc_mw:bip-myrinet" () in
+  let text = Json.to_string_pretty (B.to_json t) ^ "\n" in
+  let check path =
+    Gzip.write_file path text;
+    let back =
+      match B.load path with
+      | Ok t -> t
+      | Error msg -> Alcotest.failf "load %s: %s" path msg
+    in
+    Sys.remove path;
+    Alcotest.(check bool) (path ^ " loads back") true (back = t)
+  in
+  Alcotest.(check int) "filter selected one case" 1 (List.length t.B.bs_results);
+  check (Filename.temp_file "dsm_macro" ".json");
+  check (Filename.temp_file "dsm_macro" ".json.gz")
+
+let () =
+  Alcotest.run "bench_suite"
+    [
+      ( "schema",
+        [
+          QCheck_alcotest.to_alcotest prop_schema_roundtrip;
+          Alcotest.test_case "unknown schema rejected" `Quick
+            test_schema_version_rejected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seeds, same samples" `Quick
+            test_run_case_deterministic;
+          Alcotest.test_case "case identity metadata" `Quick test_case_meta;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "well-formed" `Quick test_matrix_well_formed;
+          Alcotest.test_case "filtering" `Quick test_filter_cases;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "gzip-transparent load" `Quick
+            test_load_gzip_transparent;
+        ] );
+    ]

@@ -397,6 +397,86 @@ let test_stats_percentiles () =
   Alcotest.(check int) "p100 is max" (Stats.span_max s "t")
     (Stats.span_percentile s "t" 100.)
 
+(* --- Gzip --- *)
+
+let prop_gzip_roundtrip =
+  QCheck.Test.make ~name:"gzip round-trips any payload" ~count:200
+    QCheck.(string_gen_of_size Gen.(0 -- 200_000) Gen.char)
+    (fun s ->
+      match Gzip.decompress (Gzip.compress s) with
+      | Ok s' -> String.equal s s'
+      | Error _ -> false)
+
+let test_gzip_sniff () =
+  let z = Gzip.compress "hello" in
+  Alcotest.(check bool) "compressed sniffs as gzip" true (Gzip.is_gzip z);
+  Alcotest.(check bool) "plain text does not" false (Gzip.is_gzip "hello");
+  Alcotest.(check bool) "gz path" true (Gzip.gzip_path "trace.jsonl.gz");
+  Alcotest.(check bool) "plain path" false (Gzip.gzip_path "trace.jsonl");
+  Alcotest.(check bool) "corrupt trailer rejected" true
+    (let n = String.length z in
+     let bad = Bytes.of_string z in
+     Bytes.set bad (n - 1) (Char.chr (Char.code z.[n - 1] lxor 0xff));
+     match Gzip.decompress (Bytes.to_string bad) with
+     | Error _ -> true
+     | Ok _ -> false)
+
+let test_gzip_files () =
+  let payload = String.init 10_000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let check_path path =
+    Gzip.write_file path payload;
+    let back =
+      match Gzip.read_file path with
+      | Ok s -> s
+      | Error msg -> Alcotest.failf "read %s: %s" path msg
+    in
+    Sys.remove path;
+    Alcotest.(check string) (path ^ " round-trips") payload back
+  in
+  let tmp = Filename.temp_file "dsm_gzip" ".bin" in
+  check_path tmp;
+  let tmpgz = Filename.temp_file "dsm_gzip" ".bin.gz" in
+  (* the .gz path must actually hold gzip bytes on disk *)
+  Gzip.write_file tmpgz payload;
+  let raw = In_channel.with_open_bin tmpgz In_channel.input_all in
+  Alcotest.(check bool) "on-disk bytes are gzip" true (Gzip.is_gzip raw);
+  check_path tmpgz
+
+(* --- Run_meta --- *)
+
+let test_run_meta_roundtrip () =
+  let m =
+    Run_meta.v ~git_rev:"abc123" ~tie_seed:7 ~driver:"BIP/Myrinet"
+      ~protocol:"hbrc_mw" ~nodes:4 ~case:"jacobi:hbrc_mw:bip-myrinet" ()
+  in
+  (match Run_meta.of_json (Run_meta.to_json m) with
+  | Ok m' -> Alcotest.(check bool) "round-trips" true (Run_meta.equal m m')
+  | Error msg -> Alcotest.fail msg);
+  match Run_meta.of_json (Run_meta.to_json Run_meta.empty) with
+  | Ok m' -> Alcotest.(check bool) "empty round-trips" true (Run_meta.equal Run_meta.empty m')
+  | Error msg -> Alcotest.fail msg
+
+let test_run_meta_compatible () =
+  let m ?seed ?drv () = Run_meta.v ?tie_seed:seed ?driver:drv ~nodes:4 () in
+  (match Run_meta.compatible ~baseline:(m ~seed:1 ()) ~fresh:(m ~seed:1 ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "same identity rejected: %s" msg);
+  (* a field present on one side only is not a mismatch *)
+  (match Run_meta.compatible ~baseline:(m ()) ~fresh:(m ~seed:1 ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "one-sided field rejected: %s" msg);
+  (match Run_meta.compatible ~baseline:(m ~seed:1 ()) ~fresh:(m ~seed:2 ()) with
+  | Ok () -> Alcotest.fail "tie-seed mismatch accepted"
+  | Error _ -> ());
+  (* git revisions never participate: diffing revisions is the point *)
+  match
+    Run_meta.compatible
+      ~baseline:(Run_meta.v ~git_rev:"aaa" ())
+      ~fresh:(Run_meta.v ~git_rev:"bbb" ())
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "git rev participated: %s" msg
+
 let () =
   Alcotest.run "sim"
     [
@@ -460,5 +540,17 @@ let () =
           Alcotest.test_case "stats reset clears histograms" `Quick
             test_stats_reset_clears_histograms;
           Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+        ] );
+      ( "gzip",
+        [
+          QCheck_alcotest.to_alcotest prop_gzip_roundtrip;
+          Alcotest.test_case "magic sniffing + corruption" `Quick test_gzip_sniff;
+          Alcotest.test_case "file round-trip, plain and .gz" `Quick
+            test_gzip_files;
+        ] );
+      ( "run_meta",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_run_meta_roundtrip;
+          Alcotest.test_case "compatibility" `Quick test_run_meta_compatible;
         ] );
     ]
