@@ -447,7 +447,8 @@ let analyze_cmd =
       $ seed_arg $ top $ out $ folded_file)
 
 let check_cmd =
-  let run seeds protocols workload replay verbose obs =
+  let run seeds protocols workload replay verbose faults loss crashes
+      expect_vulnerable obs =
     let protocols =
       match protocols with [] -> Conformance.all_protocols | ps -> ps
     in
@@ -463,6 +464,65 @@ let check_cmd =
                    (List.map Conformance.workload_name Conformance.workloads));
               exit 2)
     in
+    if faults then begin
+      (* The same grid under seeded crash/loss schedules.  With
+         --expect-vulnerable the sweep is the CI smoke for the legacy
+         protocols: it succeeds only when every swept protocol visibly
+         fails (stall or typed crash) AND the watchdog attributed the
+         failure with a typed fault alert — loud failure, never silent
+         corruption. *)
+      let spec =
+        {
+          Conformance.default_fault_spec with
+          Conformance.f_loss_pct = loss;
+          f_crashes = crashes;
+        }
+      in
+      let progress =
+        if verbose then fun cell -> Format.fprintf ppf "  done %s@." cell
+        else fun _ -> ()
+      in
+      let verdicts =
+        Conformance.fault_sweep ~protocols ~workload_list ~spec ~progress
+          ~seeds ()
+      in
+      Conformance.print_faults ppf verdicts;
+      experiment_obs obs ~name:"check-faults"
+        (Conformance.faults_to_json verdicts);
+      if expect_vulnerable then begin
+        let fault_kinds =
+          [ "node.dead"; "node.restart"; "node.partitioned"; "rpc.retry_storm" ]
+        in
+        let shielded =
+          List.filter
+            (fun v ->
+              v.Conformance.fv_failures = 0
+              || not
+                   (List.exists
+                      (fun k -> List.mem k v.Conformance.fv_alert_kinds)
+                      fault_kinds))
+            verdicts
+        in
+        match shielded with
+        | [] ->
+            Format.fprintf ppf
+              "all %d protocols failed visibly with typed fault alerts, as \
+               expected@."
+              (List.length verdicts)
+        | vs ->
+            List.iter
+              (fun v ->
+                Format.fprintf ppf
+                  "%s: expected a visible fault-induced failure with a typed \
+                   alert, got %d failures (alerts: %s)@."
+                  v.Conformance.fv_protocol v.Conformance.fv_failures
+                  (String.concat ", " v.Conformance.fv_alert_kinds))
+              vs;
+            exit 1
+      end
+      else if Conformance.faults_failed verdicts then exit 1
+    end
+    else
     match replay with
     | Some seed ->
         (* Replay one seed across the selected grid and dump each failing
@@ -548,13 +608,43 @@ let check_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-cell progress.")
   in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Sweep seeded fault schedules (crash/restart windows plus \
+             message loss) instead of fault-free perturbation.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 1.0
+      & info [ "loss" ] ~docv:"PCT"
+          ~doc:"Cross-node message loss percentage for $(b,--faults).")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 2
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:"Crash windows per fault schedule for $(b,--faults).")
+  in
+  let expect_vulnerable =
+    Arg.(
+      value & flag
+      & info [ "expect-vulnerable" ]
+          ~doc:
+            "Invert the $(b,--faults) verdict: succeed only when every swept \
+             protocol fails visibly (stall or crash) with a typed watchdog \
+             fault alert — the CI smoke for non-fault-tolerant protocols.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Conformance-check every protocol against its declared consistency \
-          model under perturbed schedules.")
+          model under perturbed schedules, optionally with fault injection.")
     Term.(
-      const run $ seeds $ protocols $ workload $ replay $ verbose $ obs_term)
+      const run $ seeds $ protocols $ workload $ replay $ verbose $ faults
+      $ loss $ crashes $ expect_vulnerable $ obs_term)
 
 (* --- dsm watch: live health dashboard over a running application --- *)
 

@@ -33,6 +33,8 @@ let hybrid : Runtime.t Protocol.t =
     lock_acquire = Protocol.no_action;
     lock_release = Protocol.no_action;
     on_local_write = None;
+    on_local_read = None;
+    on_page_init = None;
   }
 
 (* Writes must invalidate reader replicas to stay sequentially consistent:

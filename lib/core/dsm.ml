@@ -64,7 +64,10 @@ let malloc (rt : t) ?protocol ?(home = Round_robin) size =
            ~owner:home_node ~protocol ~rights)
     done;
     (* Materialise the reference copy eagerly so sends always find a frame. *)
-    ignore (Frame_store.frame rt.Runtime.stores.(home_node) page)
+    ignore (Frame_store.frame rt.Runtime.stores.(home_node) page);
+    (match (Runtime.proto rt protocol).Protocol.on_page_init with
+    | None -> ()
+    | Some init -> for node = 0 to n - 1 do init rt ~node ~page done)
   done;
   addr
 
@@ -126,7 +129,10 @@ let switch_protocol (rt : t) ~addr ~size ~protocol =
         e.Page_table.rights <-
           (if node = home then Access.Read_write else Access.No_access);
         if node <> home then Frame_store.drop (Runtime.store rt node) page
-      done)
+      done;
+      match (Runtime.proto rt protocol).Protocol.on_page_init with
+      | None -> ()
+      | Some init -> for node = 0 to n - 1 do init rt ~node ~page done)
     pages
 
 (* --- access detection --- *)
@@ -189,21 +195,37 @@ let ensure_access (rt : t) ~addr ~mode =
   in
   attempt 0
 
+let post_read (rt : t) ~node ~addr =
+  let page = Page.page_of_addr rt.Runtime.geo addr in
+  let e = Runtime.entry rt ~node ~page in
+  match (Runtime.proto rt e.Page_table.protocol).Protocol.on_local_read with
+  | None -> ()
+  | Some hook -> hook rt ~node ~page
+
 let read_int rt addr =
   let start = Engine.now (Runtime.engine rt) in
   ensure_access rt ~addr ~mode:Access.Read;
   let node = Runtime.self_node rt in
   let value = Frame_store.read_int (Runtime.store rt node) ~addr in
   Runtime.record_history rt ~start (History.Read { addr; value });
+  post_read rt ~node ~addr;
   value
 
 let post_write (rt : t) ~node ~addr ~value =
   let page = Page.page_of_addr rt.Runtime.geo addr in
   let e = Runtime.entry rt ~node ~page in
-  match (Runtime.proto rt e.Page_table.protocol).Protocol.on_local_write with
+  (match (Runtime.proto rt e.Page_table.protocol).Protocol.on_local_write with
   | None -> ()
   | Some hook ->
-      hook rt ~node ~page ~offset:(Page.offset_of_addr rt.Runtime.geo addr) ~value
+      hook rt ~node ~page ~offset:(Page.offset_of_addr rt.Runtime.geo addr) ~value);
+  (* A blocking hook (the quorum protocols' put round) means the write only
+     takes effect now; widen its recorded real-time window to match. *)
+  match rt.Runtime.history with
+  | None -> ()
+  | Some h ->
+      History.extend_finish h
+        ~tid:(Marcel.tid (Marcel.self (Runtime.marcel rt)))
+        (Engine.now (Runtime.engine rt))
 
 let write_int rt addr value =
   let start = Engine.now (Runtime.engine rt) in
@@ -225,6 +247,7 @@ let read_byte rt addr =
   let word_addr = addr land lnot 7 in
   let value = Frame_store.read_int (Runtime.store rt node) ~addr:word_addr in
   Runtime.record_history rt ~start (History.Read { addr = word_addr; value });
+  post_read rt ~node ~addr:word_addr;
   b
 
 let write_byte rt addr value =
@@ -280,6 +303,36 @@ let charge rt us =
 let compute rt us =
   Marcel.compute (Runtime.marcel rt) us;
   Pm2.migrate_if_requested rt.Runtime.pm2
+(* --- fault injection --- *)
+
+let inject_faults (rt : t) ?(retry = Rpc.default_retry) plan =
+  let net = Pm2.network rt.Runtime.pm2 in
+  Dsmpm2_net.Network.set_fault_plan net plan;
+  if Fault_plan.has_faults plan then begin
+    let marcel = Runtime.marcel rt in
+    (* The gate is consulted at fiber-slice execution time: a slice about to
+       run on a crashed node is parked (re-queued at the window's end)
+       instead of executing — freeze-and-resume crash semantics.  Fibers
+       that are not Marcel threads (drivers, observers) keep running. *)
+    Engine.set_gate (Runtime.engine rt) (fun fid now ->
+        match Marcel.node_of_fiber marcel fid with
+        | None -> None
+        | Some node ->
+            if Fault_plan.is_down plan ~node now then
+              Some (Fault_plan.up_at plan ~node ~now)
+            else None);
+    Rpc.set_retry (Runtime.rpc rt) ~seed:(Fault_plan.seed plan) (Some retry)
+  end
+  else begin
+    (* An empty plan must leave every schedule bit-for-bit intact: no gate
+       (zero extra tie draws) and no reply deadlines (zero extra events). *)
+    Engine.clear_gate (Runtime.engine rt);
+    Rpc.set_retry (Runtime.rpc rt) None
+  end
+
+let fault_plan (rt : t) =
+  Dsmpm2_net.Network.fault_plan (Pm2.network rt.Runtime.pm2)
+
 let run ?limit (rt : t) =
   (* An attached watchdog stops its timer when a run drains; re-arm it for
      this run (no-op without a watcher). *)

@@ -140,6 +140,24 @@ val with_lock : t -> int -> (unit -> 'a) -> 'a
 val barrier_create : t -> ?protocol:int -> ?manager:int -> parties:int -> unit -> int
 val barrier_wait : t -> int -> unit
 
+(** {1 Fault injection} *)
+
+val inject_faults : t -> ?retry:Rpc.retry_policy -> Fault_plan.t -> unit
+(** Installs a fault schedule before {!run}: the network starts consulting
+    the plan (crash blackholes, seeded message loss — see
+    {!Network.set_fault_plan}), the engine gates fiber slices so threads on
+    a crashed node freeze for the window and resume at restart, and the RPC
+    layer arms reply deadlines with seeded retransmission ([retry], default
+    {!Rpc.default_retry}, salted from the plan's seed) so calls into dead
+    nodes fail fast with {!Rpc.Timeout} instead of suspending forever.
+
+    Injecting a plan with no faults ({!Fault_plan.has_faults} [= false])
+    uninstalls everything: no gate, no deadlines, no RNG draws — the run is
+    bit-for-bit the schedule it would be without this call. *)
+
+val fault_plan : t -> Fault_plan.t
+(** The installed plan ({!Fault_plan.none} by default). *)
+
 (** {1 Threads and execution} *)
 
 val spawn :

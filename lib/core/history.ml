@@ -12,7 +12,7 @@ type op = {
   tid : int;
   node : int;
   start : Time.t;
-  finish : Time.t;
+  mutable finish : Time.t;
   kind : kind;
 }
 
@@ -27,6 +27,17 @@ let record t ~tid ~node ~start ~finish kind =
 
 let length t = t.count
 let ops t = List.rev t.rev_ops
+
+(* Blocking protocols (the quorum family) only learn an operation's true
+   completion time after its record went in: the core records the frame
+   update first, then runs the protocol's propagation hook, then extends the
+   op's real-time window to cover it.  Widening [finish] is sound for the
+   checker — it can only make the Sequential per-location real-time rule
+   weaker (fewer masked writes), never manufacture a violation. *)
+let extend_finish t ~tid finish =
+  match List.find_opt (fun o -> o.tid = tid) t.rev_ops with
+  | Some o -> if finish > o.finish then o.finish <- finish
+  | None -> ()
 
 let kind_to_string = function
   | Read { addr; value } -> Printf.sprintf "read  [0x%x] -> %d" addr value

@@ -35,7 +35,7 @@ type op = {
   tid : int;
   node : int;  (** node the operation completed on *)
   start : Time.t;
-  finish : Time.t;
+  mutable finish : Time.t;  (** widened by {!extend_finish} for blocking hooks *)
   kind : kind;
 }
 
@@ -47,6 +47,15 @@ val record :
   t -> tid:int -> node:int -> start:Time.t -> finish:Time.t -> kind -> unit
 
 val length : t -> int
+
+val extend_finish : t -> tid:int -> Time.t -> unit
+(** Widens the real-time window of thread [tid]'s most recent op to end no
+    earlier than the given time.  The core write path uses it after a
+    blocking [on_local_write] hook (the quorum protocols' put round) so the
+    write's window covers its whole propagation — required for the
+    [Sequential] per-location real-time rule to hold for protocols whose
+    writes only take effect at quorum.  Widening can only relax that rule,
+    so it is always sound. *)
 
 val ops : t -> op list
 (** In record order. *)

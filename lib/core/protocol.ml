@@ -37,6 +37,8 @@ type 'rt t = {
   lock_release : 'rt -> node:int -> lock:int -> unit;
   on_local_write :
     ('rt -> node:int -> page:int -> offset:int -> value:int -> unit) option;
+  on_local_read : ('rt -> node:int -> page:int -> unit) option;
+  on_page_init : ('rt -> node:int -> page:int -> unit) option;
 }
 
 type 'rt registry = { mutable protocols : 'rt t array }

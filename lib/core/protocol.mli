@@ -52,7 +52,10 @@ val strict_coherence : model -> bool
     ownership uniqueness, writable-frame exclusivity and copyset/frame
     agreement only for protocols whose model passes this test: relaxed
     models legitimately keep stale replicas and conservative copysets
-    between synchronization points. *)
+    between synchronization points.  Per-access quorum protocols (those
+    with [on_local_read] set, e.g. [sc_abd]) are additionally exempt — they
+    promise sequential consistency through majority intersection, with no
+    standing owner for the audit to check. *)
 
 type page_message = {
   page : int;
@@ -86,6 +89,18 @@ type 'rt t = {
           core write path calls it after every successful shared write so
           that on-the-fly diff recording also works through the plain
           [Dsm.write_*] API.  [None] for all non-recording protocols. *)
+  on_local_read : ('rt -> node:int -> page:int -> unit) option;
+      (** Called by the core read path after every successful shared read.
+          Lets a per-access protocol (the quorum-based [sc_abd]) revoke the
+          rights it granted so the next read faults again and re-runs its
+          quorum round.  [None] for all page-grain protocols. *)
+  on_page_init : ('rt -> node:int -> page:int -> unit) option;
+      (** Called once per (node, page) when a page enters the protocol's
+          custody: at [Dsm.malloc] for pages created under the protocol, and
+          for every page after [Dsm.switch_protocol] consolidates into it.
+          Runs in plain (non-fiber) context during setup; must not block.
+          [sc_abd] uses it to seed its replica tags and clear the
+          default home-node access rights.  [None] elsewhere. *)
 }
 
 type 'rt registry

@@ -42,6 +42,7 @@ type config = {
   thrash_span : Time.t;
   ring_capacity : int;
   audits : bool;
+  retry_storm : int;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     thrash_span = Time.of_us 300.;
     ring_capacity = 64;
     audits = true;
+    retry_storm = 8;
   }
 
 type t = {
@@ -84,6 +86,9 @@ type t = {
   mutable pages_audited : int;
   mutable armed : bool;
   mutable on_sample : (sample -> unit) option;
+  prev_down : bool array;  (* per node: was inside a crash window last tick *)
+  mutable prev_dropped : int;  (* network drop count at the previous tick *)
+  mutable prev_retrans : int;  (* RPC retransmissions at the previous tick *)
 }
 
 (* --- alerts --- *)
@@ -337,7 +342,17 @@ let audit w =
                            page node e.Page_table.home e0.Page_table.home)))
           entries;
         let proto = Runtime.proto rt e0.Page_table.protocol in
-        if Protocol.strict_coherence proto.Protocol.model then begin
+        (* The MRSW invariants below assume ownership-based coherence.  A
+           per-access protocol (one that revokes rights after every read,
+           i.e. [on_local_read] is set — the quorum family) enforces its
+           model by majority intersection instead: there is no standing
+           owner, and a writer briefly holds a writable frame away from the
+           nominal owner while its propagation round is in flight.  Those
+           are legal states, so such protocols are exempt. *)
+        if
+          Protocol.strict_coherence proto.Protocol.model
+          && proto.Protocol.on_local_read = None
+        then begin
           let owners = ref [] in
           Array.iteri
             (fun node -> function
@@ -416,6 +431,49 @@ let audit w =
         end
       end)
     (Page_table.entries (Runtime.table rt 0))
+
+(* --- fault-plan health (only active when a plan is installed) --- *)
+
+let check_faults w now =
+  let rt = w.rt in
+  let net = Pm2.network rt.Runtime.pm2 in
+  let plan = Network.fault_plan net in
+  if Fault_plan.has_faults plan then begin
+    for node = 0 to Runtime.nodes rt - 1 do
+      let down = Fault_plan.is_down plan ~node now in
+      if down && not w.prev_down.(node) then
+        raise_alert w ~node ~severity:Warning ~kind:"node.dead"
+          (Printf.sprintf "node %d entered a crash window (restarts at %.1f us)"
+             node
+             (Time.to_us (Fault_plan.up_at plan ~node ~now)))
+      else if (not down) && w.prev_down.(node) then
+        raise_alert w ~node ~severity:Info ~kind:"node.restart"
+          (Printf.sprintf "node %d restarted" node);
+      w.prev_down.(node) <- down
+    done;
+    let dropped = Network.messages_dropped net in
+    if dropped > w.prev_dropped then
+      once w "fault.partition" (fun () ->
+          raise_alert w ~severity:Info ~kind:"node.partitioned"
+            (Printf.sprintf
+               "fault plan is dropping traffic (%d messages so far: %d seeded \
+                losses, %d crash blackholes)"
+               dropped
+               (Fault_plan.messages_lost plan)
+               (Fault_plan.messages_blackholed plan)));
+    w.prev_dropped <- dropped;
+    let retrans = Rpc.retransmissions (Runtime.rpc rt) in
+    if retrans - w.prev_retrans > w.cfg.retry_storm then
+      once w "fault.retry_storm" (fun () ->
+          raise_alert w ~severity:Warning ~kind:"rpc.retry_storm"
+            (Printf.sprintf
+               "%d RPC retransmissions within one %.0f us interval (threshold \
+                %d): calls are hammering an unreachable node"
+               (retrans - w.prev_retrans)
+               (Time.to_us w.cfg.interval)
+               w.cfg.retry_storm));
+    w.prev_retrans <- retrans
+  end
 
 (* --- interval rates --- *)
 
@@ -514,6 +572,7 @@ let tick w =
   scan_trace w;
   check_stalls w now;
   detect_cycles w;
+  check_faults w now;
   if w.cfg.audits then audit w;
   let s = snapshot w now in
   push_ring w s;
@@ -600,6 +659,9 @@ let attach ?(config = default_config) rt =
       pages_audited = 0;
       armed = false;
       on_sample = None;
+      prev_down = Array.make nodes false;
+      prev_dropped = 0;
+      prev_retrans = 0;
     }
   in
   rt.Runtime.watch <-

@@ -38,7 +38,12 @@ type alert = {
       (** dotted taxonomy: "invariant.owner" / "invariant.copyset" /
           "invariant.home" / "invariant.protocol" (critical),
           "deadlock.cycle" / "deadlock.stall" (critical),
-          "stall.lock" / "stall.barrier" / "thrash.page" (warning) *)
+          "stall.lock" / "stall.barrier" / "thrash.page" (warning); with a
+          fault plan installed ({!Dsm.inject_faults}) also "node.dead"
+          (warning, a node entered a crash window), "node.restart" (info),
+          "node.partitioned" (info, the plan started dropping traffic) and
+          "rpc.retry_storm" (warning, retransmissions over
+          {!config.retry_storm} in one interval) *)
   al_node : int;  (** node concerned, [-1] for run-wide findings *)
   al_detail : string;
 }
@@ -70,11 +75,14 @@ type config = {
       (** a full window spanning less than this => thrash warning *)
   ring_capacity : int;  (** time-series points retained *)
   audits : bool;  (** run the page-table invariant audits *)
+  retry_storm : int;
+      (** RPC retransmissions within one interval above which a
+          "rpc.retry_storm" warning fires (fault plans only) *)
 }
 
 val default_config : config
 (** 200 us interval, 20 ms stall threshold, 8-transfer window over 300 us,
-    64-point ring, audits on. *)
+    64-point ring, audits on, retry-storm threshold 8. *)
 
 type t
 

@@ -37,6 +37,8 @@ type sample = {
   s_bytes : int;
   s_read_faults : int;
   s_write_faults : int;
+  s_dropped : int;  (* messages lost to fault injection *)
+  s_rpc_retries : int;  (* RPC retransmissions after deadline expiry *)
   s_fault_p50_us : float;
   s_fault_p90_us : float;
   s_fault_p99_us : float;
@@ -225,6 +227,8 @@ let measure case ~seed =
     s_bytes = Network.bytes_sent net;
     s_read_faults = Stats.count stats Instrument.read_faults;
     s_write_faults = Stats.count stats Instrument.write_faults;
+    s_dropped = Network.messages_dropped net;
+    s_rpc_retries = Dsmpm2_pm2.Rpc.retransmissions (Dsmpm2_pm2.Pm2.rpc (Dsm.pm2 dsm));
     s_fault_p50_us = pct 50.;
     s_fault_p90_us = pct 90.;
     s_fault_p99_us = pct 99.;
@@ -285,6 +289,7 @@ let stddev xs =
 let metric_names =
   [
     "time_us"; "messages"; "bytes"; "read_faults"; "write_faults";
+    "dropped"; "rpc_retries";
     "fault_p50_us"; "fault_p90_us"; "fault_p99_us";
   ]
 
@@ -295,6 +300,8 @@ let metric name s =
   | "bytes" -> float_of_int s.s_bytes
   | "read_faults" -> float_of_int s.s_read_faults
   | "write_faults" -> float_of_int s.s_write_faults
+  | "dropped" -> float_of_int s.s_dropped
+  | "rpc_retries" -> float_of_int s.s_rpc_retries
   | "fault_p50_us" -> s.s_fault_p50_us
   | "fault_p90_us" -> s.s_fault_p90_us
   | "fault_p99_us" -> s.s_fault_p99_us
@@ -314,6 +321,8 @@ let sample_to_json s =
       ("bytes", Json.Int s.s_bytes);
       ("read_faults", Json.Int s.s_read_faults);
       ("write_faults", Json.Int s.s_write_faults);
+      ("dropped", Json.Int s.s_dropped);
+      ("rpc_retries", Json.Int s.s_rpc_retries);
       ("fault_p50_us", Json.Float s.s_fault_p50_us);
       ("fault_p90_us", Json.Float s.s_fault_p90_us);
       ("fault_p99_us", Json.Float s.s_fault_p99_us);
@@ -355,6 +364,10 @@ let sample_of_json j =
   let* s_bytes = int "bytes" in
   let* s_read_faults = int "read_faults" in
   let* s_write_faults = int "write_faults" in
+  (* Fault counters joined the schema after the first baselines were
+     committed; absent means a fault-free run, so default to zero. *)
+  let s_dropped = Option.value (int "dropped") ~default:0 in
+  let s_rpc_retries = Option.value (int "rpc_retries") ~default:0 in
   let* s_fault_p50_us = flt "fault_p50_us" in
   let* s_fault_p90_us = flt "fault_p90_us" in
   let* s_fault_p99_us = flt "fault_p99_us" in
@@ -366,6 +379,8 @@ let sample_of_json j =
       s_bytes;
       s_read_faults;
       s_write_faults;
+      s_dropped;
+      s_rpc_retries;
       s_fault_p50_us;
       s_fault_p90_us;
       s_fault_p99_us;

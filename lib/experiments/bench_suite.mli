@@ -50,6 +50,8 @@ type sample = {
   s_bytes : int;
   s_read_faults : int;
   s_write_faults : int;
+  s_dropped : int;  (** messages lost to fault injection (0 without a plan) *)
+  s_rpc_retries : int;  (** RPC retransmissions after deadline expiry *)
   s_fault_p50_us : float;
   s_fault_p90_us : float;
   s_fault_p99_us : float;
@@ -81,8 +83,10 @@ val run :
 
 val metric_names : string list
 (** Every per-sample metric, in schema order: [time_us], [messages],
-    [bytes], [read_faults], [write_faults], [fault_p50_us], [fault_p90_us],
-    [fault_p99_us]. *)
+    [bytes], [read_faults], [write_faults], [dropped], [rpc_retries],
+    [fault_p50_us], [fault_p90_us], [fault_p99_us].  [dropped] and
+    [rpc_retries] joined after the first baselines; snapshots without them
+    parse as zero. *)
 
 val metric : string -> sample -> float
 (** A sample's value for a {!metric_names} member (counts as floats). *)

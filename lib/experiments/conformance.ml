@@ -1,5 +1,6 @@
 open Dsmpm2_sim
 open Dsmpm2_net
+open Dsmpm2_pm2
 open Dsmpm2_core
 open Dsmpm2_protocols
 
@@ -25,7 +26,7 @@ let workload_by_name n =
 let all_protocols =
   [
     "li_hudak"; "migrate_thread"; "erc_sw"; "hbrc_mw"; "java_ic"; "java_pf";
-    "li_hudak_fixed"; "hybrid_rw"; "entry_ec"; "write_update";
+    "li_hudak_fixed"; "hybrid_rw"; "entry_ec"; "write_update"; "sc_abd";
   ]
 let nodes = 3
 
@@ -45,7 +46,10 @@ let final_written hist addr =
 
 (* A correct protocol must leave the final value on at least one node that
    still has rights to the page — the owner, or the home after the closing
-   flush.  Catches a broken flush path that no later read happens to expose. *)
+   flush.  Catches a broken flush path that no later read happens to expose.
+   The per-access quorum family is the exception: it revokes rights after
+   every access, so at rest {e no} node holds rights — there the equivalent
+   durability invariant is the final value at a majority of frames. *)
 let some_replica_holds dsm addr value =
   let n = Dsm.nodes dsm in
   let rec find node =
@@ -54,7 +58,22 @@ let some_replica_holds dsm addr value =
          && Dsm.unsafe_peek dsm ~node addr = value)
        || find (node + 1))
   in
-  find 0
+  let any_rights =
+    let rec some node =
+      node < n
+      && (Dsm.unsafe_rights dsm ~node ~addr <> Dsmpm2_mem.Access.No_access
+         || some (node + 1))
+    in
+    some 0
+  in
+  if any_rights then find 0
+  else begin
+    let holders = ref 0 in
+    for node = 0 to n - 1 do
+      if Dsm.unsafe_peek dsm ~node addr = value then incr holders
+    done;
+    !holders >= (n / 2) + 1
+  end
 
 let check_var dsm hist ~what addr ~expected =
   let got = Option.value ~default:0 (final_written hist addr) in
@@ -327,3 +346,219 @@ let to_json verdicts =
        verdicts)
 
 let failed verdicts = List.exists (fun v -> v.v_failures > 0) verdicts
+
+(* --- fault sweeps: the same grid under seeded crash/loss schedules --- *)
+
+type fault_spec = {
+  f_crashes : int;
+  f_loss_pct : float;
+  f_down_us : float;
+  f_horizon_us : float;
+  f_protect : int list;
+}
+
+(* Nodes 0 and 1 are protected because the workloads' lock managers live on
+   [id mod nodes] (lock_ladder's two locks -> nodes 0 and 1) and the barrier
+   manager on node 0: no protocol, quorum or not, survives losing the
+   centralized manager of a lock it needs.  Node 2 is the crash victim —
+   exactly the minority a 3-node quorum tolerates. *)
+let default_fault_spec =
+  {
+    f_crashes = 2;
+    f_loss_pct = 1.0;
+    f_down_us = 300.;
+    f_horizon_us = 4000.;
+    f_protect = [ 0; 1 ];
+  }
+
+let plan_of_spec spec ~seed =
+  Fault_plan.seeded ~nodes ~seed ~crashes:spec.f_crashes
+    ~loss_pct:spec.f_loss_pct ~protect:spec.f_protect ~down_us:spec.f_down_us
+    ~horizon_us:spec.f_horizon_us ()
+
+type fault_outcome = {
+  fo_seed : int;
+  fo_workload : string;
+  fo_plan : string;
+  fo_crashed : string option;
+  fo_stalled : bool;
+  fo_violations : History.violation list;
+  fo_wrong_result : string option;
+  fo_alert_kinds : string list;
+  fo_dropped : int;
+  fo_retransmissions : int;
+  fo_fingerprint : int;
+}
+
+let fault_outcome_failed o =
+  o.fo_crashed <> None || o.fo_stalled || o.fo_violations <> []
+  || o.fo_wrong_result <> None
+
+(* Generous: total RPC patience under the default retry policy is ~4.5 ms
+   per call and crash windows live inside a 4 ms horizon, so a run that has
+   not drained by 100 ms of simulated time is genuinely stuck. *)
+let fault_run_limit = Time.of_us 100_000.
+
+let run_one_faulted ?(spec = default_fault_spec) ~protocol ~driver ~workload
+    ~seed () =
+  let jitter = Network.seeded_jitter ~seed () in
+  let dsm = Dsm.create ~tie_seed:seed ~jitter ~nodes ~driver () in
+  ignore (Builtin.register_all dsm);
+  ignore (Builtin.register_extras dsm);
+  Monitor.enable dsm true;
+  let watchdog = Watchdog.attach dsm in
+  let proto_id =
+    match Dsm.protocol_by_name dsm protocol with
+    | Some id -> id
+    | None -> invalid_arg (Printf.sprintf "Conformance: unknown protocol %s" protocol)
+  in
+  let plan = plan_of_spec spec ~seed in
+  Dsm.inject_faults dsm plan;
+  let hist = Dsm.enable_history dsm in
+  let check_result = build dsm ~protocol:proto_id workload ~seed in
+  let crashed, engine_stalled =
+    match Dsm.run ~limit:fault_run_limit dsm with
+    | () -> (None, false)
+    | exception Engine.Stalled _ -> (None, true)
+    | exception exn -> (Some (Printexc.to_string exn), false)
+  in
+  let marcel = Runtime.marcel dsm in
+  let live =
+    List.concat
+      (List.init nodes (fun node -> Marcel.live_threads marcel ~node))
+  in
+  let stalled = engine_stalled || (crashed = None && live <> []) in
+  let complete = crashed = None && not stalled in
+  let model = (Runtime.proto dsm proto_id).Protocol.model in
+  let net = Pm2.network (Dsm.pm2 dsm) in
+  {
+    fo_seed = seed;
+    fo_workload = workload_name workload;
+    fo_plan = Fault_plan.to_string plan;
+    fo_crashed = crashed;
+    fo_stalled = stalled;
+    (* History and result checks only mean something for a run that drained:
+       an aborted or stalled run already failed louder. *)
+    fo_violations = (if complete then History.check ~model hist else []);
+    fo_wrong_result = (if complete then check_result hist else None);
+    fo_alert_kinds =
+      List.sort_uniq String.compare
+        (List.map (fun a -> a.Watchdog.al_kind) (Watchdog.alerts watchdog));
+    fo_dropped = Network.messages_dropped net;
+    fo_retransmissions = Rpc.retransmissions (Runtime.rpc dsm);
+    fo_fingerprint = History.fingerprint hist;
+  }
+
+type fault_verdict = {
+  fv_protocol : string;
+  fv_model : Protocol.model;
+  fv_runs : int;
+  fv_failures : int;
+  fv_stalls : int;
+  fv_crashes : int;
+  fv_alert_kinds : string list;
+  fv_first_failure : fault_outcome option;
+}
+
+let fault_sweep ?(protocols = all_protocols) ?(drivers = [ Driver.bip_myrinet ])
+    ?(workload_list = workloads) ?(spec = default_fault_spec)
+    ?(progress = fun _ -> ()) ~seeds () =
+  List.map
+    (fun protocol ->
+      let runs = ref 0 and failures = ref 0 in
+      let stalls = ref 0 and crashes = ref 0 in
+      let kinds = ref [] in
+      let first = ref None in
+      List.iter
+        (fun driver ->
+          List.iter
+            (fun workload ->
+              for seed = 0 to seeds - 1 do
+                incr runs;
+                let o =
+                  run_one_faulted ~spec ~protocol ~driver ~workload ~seed ()
+                in
+                kinds := List.rev_append o.fo_alert_kinds !kinds;
+                if o.fo_stalled then incr stalls;
+                if o.fo_crashed <> None then incr crashes;
+                if fault_outcome_failed o then begin
+                  incr failures;
+                  if !first = None then first := Some o
+                end
+              done;
+              progress (Printf.sprintf "%s/%s/%s" protocol driver.Driver.name
+                          (workload_name workload)))
+            workload_list)
+        drivers;
+      {
+        fv_protocol = protocol;
+        fv_model = model_of_protocol protocol;
+        fv_runs = !runs;
+        fv_failures = !failures;
+        fv_stalls = !stalls;
+        fv_crashes = !crashes;
+        fv_alert_kinds = List.sort_uniq String.compare !kinds;
+        fv_first_failure = !first;
+      })
+    protocols
+
+let print_fault_outcome ppf o =
+  Format.fprintf ppf "    seed %d, %s@." o.fo_seed o.fo_workload;
+  Format.fprintf ppf "    plan: %s@." o.fo_plan;
+  (match o.fo_crashed with
+  | Some msg -> Format.fprintf ppf "    crashed: %s@." msg
+  | None -> ());
+  if o.fo_stalled then
+    Format.fprintf ppf "    stalled: threads still blocked at the run limit@.";
+  (match o.fo_wrong_result with
+  | Some msg -> Format.fprintf ppf "    wrong result: %s@." msg
+  | None -> ());
+  List.iteri
+    (fun i v ->
+      if i < 3 then Format.fprintf ppf "    %s@." (History.violation_to_string v))
+    o.fo_violations;
+  Format.fprintf ppf "    alerts: [%s]; %d messages dropped, %d retransmissions@."
+    (String.concat ", " o.fo_alert_kinds)
+    o.fo_dropped o.fo_retransmissions
+
+let print_faults ppf verdicts =
+  Format.fprintf ppf
+    "Fault sweep: seeded crash windows + message loss vs declared models@.";
+  Format.fprintf ppf "%-16s %-11s %5s %9s %7s %8s  %s@." "Protocol" "Model"
+    "Runs" "Failures" "Stalls" "Crashes" "Verdict";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-16s %-11s %5d %9d %7d %8d  %s  [%s]@." v.fv_protocol
+        (Protocol.model_to_string v.fv_model)
+        v.fv_runs v.fv_failures v.fv_stalls v.fv_crashes
+        (if v.fv_failures = 0 then "PASS" else "FAIL")
+        (String.concat ", " v.fv_alert_kinds);
+      match v.fv_first_failure with
+      | Some o when v.fv_failures > 0 ->
+          Format.fprintf ppf "  first failing seed:@.";
+          print_fault_outcome ppf o
+      | _ -> ())
+    verdicts
+
+let faults_to_json verdicts =
+  Json.List
+    (List.map
+       (fun v ->
+         Json.Obj
+           [
+             ("protocol", Json.String v.fv_protocol);
+             ("model", Json.String (Protocol.model_to_string v.fv_model));
+             ("runs", Json.Int v.fv_runs);
+             ("failures", Json.Int v.fv_failures);
+             ("stalls", Json.Int v.fv_stalls);
+             ("crashes", Json.Int v.fv_crashes);
+             ( "alert_kinds",
+               Json.List (List.map (fun k -> Json.String k) v.fv_alert_kinds) );
+             ( "first_failing_seed",
+               match v.fv_first_failure with
+               | Some o -> Json.Int o.fo_seed
+               | None -> Json.Null );
+           ])
+       verdicts)
+
+let faults_failed verdicts = List.exists (fun v -> v.fv_failures > 0) verdicts

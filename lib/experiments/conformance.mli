@@ -91,3 +91,86 @@ val sweep :
 val print : Format.formatter -> verdict list -> unit
 val to_json : verdict list -> Dsmpm2_sim.Json.t
 val failed : verdict list -> bool
+
+(** {1 Fault sweeps}
+
+    The same grid re-run under seeded fault schedules
+    ({!Dsmpm2_sim.Fault_plan.seeded} + {!Dsm.inject_faults}): crash/restart
+    windows, message loss, RPC retry with timeouts, and the watchdog's typed
+    fault alerts.  A fault-tolerant protocol ([sc_abd]) must drain cleanly
+    and still satisfy its declared model; the ownership-chain family is
+    {e expected} to stall or crash here — that contrast (visible failure
+    with a typed alert, never silent corruption) is what the sweep
+    demonstrates. *)
+
+type fault_spec = {
+  f_crashes : int;  (** crash windows per schedule *)
+  f_loss_pct : float;  (** seeded cross-node message loss percentage *)
+  f_down_us : float;  (** length of each crash window *)
+  f_horizon_us : float;  (** windows are placed within [0, horizon) *)
+  f_protect : int list;  (** nodes never crashed (lock/barrier managers) *)
+}
+
+val default_fault_spec : fault_spec
+(** 2 windows of 300 us in a 4 ms horizon, 1% loss, nodes 0 and 1 protected
+    (the workloads' lock and barrier managers live there; node 2 is the
+    victim — exactly the minority a 3-node quorum tolerates). *)
+
+type fault_outcome = {
+  fo_seed : int;
+  fo_workload : string;
+  fo_plan : string;  (** human-readable fault schedule *)
+  fo_crashed : string option;  (** exception that aborted the run *)
+  fo_stalled : bool;  (** threads still blocked at the run limit *)
+  fo_violations : History.violation list;
+  fo_wrong_result : string option;
+  fo_alert_kinds : string list;  (** distinct watchdog alert kinds, sorted *)
+  fo_dropped : int;  (** messages the fault plan dropped *)
+  fo_retransmissions : int;  (** RPC retransmissions sent *)
+  fo_fingerprint : int;
+      (** order-sensitive history hash, as in {!outcome}; with a zero-fault
+          spec it equals the {!run_one} fingerprint for the same arguments —
+          the bit-for-bit neutrality guarantee of a disabled fault layer *)
+}
+
+val fault_outcome_failed : fault_outcome -> bool
+
+val run_one_faulted :
+  ?spec:fault_spec ->
+  protocol:string ->
+  driver:Driver.t ->
+  workload:workload ->
+  seed:int ->
+  unit ->
+  fault_outcome
+(** One workload under one seeded fault schedule (monitor and watchdog
+    always on — the alerts are part of the verdict).  Deterministic: seed
+    drives tie-breaking, jitter, loss draws and window placement. *)
+
+type fault_verdict = {
+  fv_protocol : string;
+  fv_model : Protocol.model;
+  fv_runs : int;
+  fv_failures : int;
+  fv_stalls : int;
+  fv_crashes : int;
+  fv_alert_kinds : string list;  (** distinct alert kinds across all runs *)
+  fv_first_failure : fault_outcome option;
+}
+
+val fault_sweep :
+  ?protocols:string list ->
+  ?drivers:Driver.t list ->
+  ?workload_list:workload list ->
+  ?spec:fault_spec ->
+  ?progress:(string -> unit) ->
+  seeds:int ->
+  unit ->
+  fault_verdict list
+(** Like {!sweep} under fault schedules.  Defaults to a single driver
+    (bip_myrinet): fault tolerance is a protocol property, not a
+    driver-latency property, and faulted runs are slower. *)
+
+val print_faults : Format.formatter -> fault_verdict list -> unit
+val faults_to_json : fault_verdict list -> Dsmpm2_sim.Json.t
+val faults_failed : fault_verdict list -> bool

@@ -44,15 +44,41 @@ val nodes : t -> int
 val send : t -> src:int -> dst:int -> cost:Driver.cost -> (unit -> unit) -> unit
 (** [send t ~src ~dst ~cost k] delivers the message after the modelled delay
     and then runs [k] (in event context, not in a fiber).  Loopback
-    ([src = dst]) is free and still asynchronous.  Node ids must be in
-    range. *)
+    ([src = dst]) is free and still asynchronous: it pays no wire delay, is
+    counted in {!loopback_sent} rather than {!messages_sent}, and follows
+    its own per-node monotonic-arrival clamp so two same-time self-sends
+    deliver in send order under every tie seed (the same FIFO promise as a
+    real link).  Node ids must be in range.  When a fault plan is installed
+    ({!set_fault_plan}), cross-node messages may be dropped: blackholed if
+    the source is inside a crash window at send time or the destination at
+    arrival time, or lost by the plan's seeded per-message loss draw —
+    dropped messages still count as sent (they hit the wire) and are
+    tallied in {!messages_dropped}. *)
 
 val messages_sent : t -> int
+(** Cross-node messages only; self-sends never touch the wire and are
+    counted in {!loopback_sent} instead. *)
+
 val bytes_sent : t -> int
-(** Wire bytes of every message: {!Driver.header_bytes} per message plus
-    the payload of [Bulk] and [Migration] kinds.  Control traffic therefore
-    shows up in byte columns too, making them comparable across message
-    kinds. *)
+(** Wire bytes of every cross-node message: {!Driver.header_bytes} per
+    message plus the payload of [Bulk] and [Migration] kinds.  Control
+    traffic therefore shows up in byte columns too, making them comparable
+    across message kinds. *)
+
+val loopback_sent : t -> int
+(** Self-sends ([src = dst]); also the "net.loopback" counter in
+    {!stats}. *)
+
+val messages_dropped : t -> int
+(** Messages dropped by the installed fault plan (loss draws plus crash
+    blackholes); also the "net.dropped" counter in {!stats}. *)
+
+val set_fault_plan : t -> Fault_plan.t -> unit
+(** Installs a fault schedule.  The default is {!Fault_plan.none};
+    installing a plan with no windows and zero loss changes nothing — no
+    drops, no RNG draws, bit-for-bit identical schedules. *)
+
+val fault_plan : t -> Fault_plan.t
 
 val stats : t -> Stats.t
 (** Per-kind message counters ("msg.request", "msg.bulk", ...) plus

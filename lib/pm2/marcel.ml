@@ -45,6 +45,9 @@ let self t =
   | Some th -> th
   | None -> failwith "Marcel.self: not running inside a Marcel thread"
 
+let node_of_fiber t fid =
+  Option.map (fun th -> th.node) (Hashtbl.find_opt t.by_fiber fid)
+
 let tid th = th.tid
 let node th = th.node
 let is_migratable th = th.migratable

@@ -42,6 +42,14 @@ val self : t -> thread
 (** The calling thread.  Raises [Failure] outside of a Marcel thread. *)
 
 val self_opt : t -> thread option
+
+val node_of_fiber : t -> int -> int option
+(** The hosting node of the Marcel thread running on engine fiber [fid], or
+    [None] for fibers that are not Marcel threads.  This is the fault
+    injector's fiber -> node map ({!Dsmpm2_sim.Engine.set_gate}): the gate is
+    consulted at event execution time, by which point [spawn] has registered
+    the mapping. *)
+
 val tid : thread -> int
 val node : thread -> int
 val stack_bytes : thread -> int

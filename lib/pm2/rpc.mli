@@ -24,9 +24,52 @@ type handler = src:int -> payload -> payload * Driver.cost
 
 type service
 
+type retry_policy = {
+  timeout_us : float;  (** first attempt's reply deadline *)
+  retries : int;  (** maximum retransmissions after the first attempt *)
+  backoff : float;  (** deadline multiplier per attempt (>= 1) *)
+  jitter_us : float;  (** seeded uniform extra per deadline, in [0, jitter_us) *)
+}
+
+val default_retry : retry_policy
+(** 600 us deadline, 3 retransmissions, exponential backoff x2, 40 us
+    jitter: with the drivers' sub-10 us latencies, a healthy reply always
+    beats the first deadline, while total patience (~ 4.5 ms) stays well
+    under typical crash windows so a call into a dead node fails fast. *)
+
+exception Timeout of { service : string; dst : int; attempts : int }
+(** Raised in the calling thread when every attempt's deadline expired. *)
+
 val create : Marcel.t -> Network.t -> t
 val marcel : t -> Marcel.t
 val network : t -> Network.t
+
+val set_retry : t -> ?seed:int -> retry_policy option -> unit
+(** Arms (or with [None] disarms) reply deadlines and retransmission for
+    every subsequent {!call}.  Without a policy, [call] suspends forever if
+    the reply is lost — the historical behaviour, kept as the default
+    because deadline timers add events and RNG draws that would perturb
+    existing seeded schedules.  With a policy, each call sends the request
+    with a fresh request id, arms a deadline of
+    [timeout_us * backoff^(attempt-1) + jitter] (jitter drawn from a stream
+    salted from [seed], in call order), retransmits while attempts remain
+    and raises {!Timeout} in the calling thread once they run out.  The
+    server suppresses duplicate executions by request id ({e at-least-once
+    delivery, at-most-once execution}): a retransmission of a request whose
+    handler already ran gets the cached reply resent, one still running is
+    answered by the original's reply.  Lock, barrier and page services are
+    therefore safe under retransmission without their own idempotence
+    logic. *)
+
+val retry : t -> retry_policy option
+
+val retransmissions : t -> int
+(** Retransmissions sent so far — the watchdog's retry-storm feed.  The
+    per-call waiting times are recorded in the "rpc.retry.delay" histogram
+    on {!Network.stats}. *)
+
+val duplicates_served : t -> int
+(** Duplicate requests answered from the server-side request-id cache. *)
 
 val register : t -> name:string -> handler -> service
 val service_name : t -> service -> string

@@ -53,6 +53,7 @@ type extra_ids = {
   hybrid_rw : int;
   entry_ec : int;
   write_update : int;
+  sc_abd : int;
 }
 
 let register_extras dsm =
@@ -61,4 +62,5 @@ let register_extras dsm =
     hybrid_rw = Dsm.create_protocol dsm Hybrid_rw.protocol;
     entry_ec = Dsm.create_protocol dsm Entry_ec.protocol;
     write_update = Dsm.create_protocol dsm Write_update.protocol;
+    sc_abd = Sc_abd.register dsm;
   }

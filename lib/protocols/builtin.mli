@@ -30,6 +30,7 @@ type extra_ids = {
   hybrid_rw : int;  (** read-replicate / write-migrate hybrid (section 2.3) *)
   entry_ec : int;  (** Midway-style entry consistency *)
   write_update : int;  (** write-update protocol (processor consistency) *)
+  sc_abd : int;  (** majority-quorum (ABD) sequential consistency, crash-tolerant *)
 }
 
 val register_extras : Dsm.t -> extra_ids

@@ -201,4 +201,6 @@ let protocol =
     lock_acquire;
     lock_release;
     on_local_write = None;
+    on_local_read = None;
+    on_page_init = None;
   }

@@ -147,4 +147,6 @@ let make ~name ~detection =
     lock_acquire = lock_acquire ~name;
     lock_release = lock_release ~name;
     on_local_write = Some on_local_write;
+    on_local_read = None;
+    on_page_init = None;
   }

@@ -58,4 +58,6 @@ let protocol =
     lock_acquire = Protocol.no_action;
     lock_release = Protocol.no_action;
     on_local_write = None;
+    on_local_read = None;
+    on_page_init = None;
   }

@@ -1,0 +1,35 @@
+(** sc_abd: sequentially consistent pages by majority quorum (ABD).
+
+    The Attiya–Bar-Noy–Dolev atomic-register emulation applied per page:
+    every replica stores the page plus a [(ts, origin)] tag; a read collects
+    tags from a majority, writes the winner back to a majority and returns
+    it; a write collects, bumps the winning timestamp and installs the new
+    value at a majority.  Majorities intersect, so the protocol remains
+    sequentially consistent while any {e minority} of nodes is crashed or
+    partitioned ({!Dsm.inject_faults}) — unlike the ownership-chain
+    protocols, which stall as soon as an owner or manager dies.
+
+    Costs: a quorum round per shared access (rights are revoked after every
+    read and write), each round being one parallel RPC fan-out awaiting
+    [n/2 + 1] replies counting the local replica.  Helper threads absorb
+    {!Rpc.Timeout}; when too many replicas are unreachable the access raises
+    {!Quorum_unreachable} instead of hanging. *)
+
+open Dsmpm2_core
+
+exception
+  Quorum_unreachable of { page : int; node : int; got : int; need : int }
+(** An access could not reach a majority ([got] < [need] replicas, counting
+    the local one).  Only possible under an installed fault plan with more
+    than a minority unreachable — the run's workload is then considered
+    crashed by the conformance harness, not inconsistent. *)
+
+val protocol : Runtime.t Protocol.t
+(** The bare record ({!Protocol.model} = [Sequential]).  Do not register it
+    directly: the quorum RPC services must be registered alongside — use
+    {!register}. *)
+
+val register : Dsm.t -> int
+(** Registers the protocol and its two quorum services ("abd.get",
+    "abd.put") with the runtime; returns the protocol id.  Call once per
+    {!Dsm.t} (the conformance harness and CLI do this for every run). *)

@@ -12,6 +12,10 @@ type t = {
       (* schedule perturbation: when set, same-time events are ordered by a
          seed-driven tie key instead of insertion order *)
   tie_seed : int option;
+  mutable gate : (int -> Time.t -> Time.t option) option;
+      (* fault injection: consulted at execution time before each fiber
+         slice; [Some until] parks the slice until that instant *)
+  mutable parked : int;
 }
 
 exception Stalled of int
@@ -36,6 +40,8 @@ let create ?tie_seed () =
     current = None;
     tie_rng = Option.map (fun seed -> Rng.create ~seed) tie_seed;
     tie_seed;
+    gate = None;
+    parked = 0;
   }
 
 let now t = t.clock
@@ -57,6 +63,33 @@ let at t time action =
   Heap.add t.queue { time; seq; tie; action }
 
 let after t dt action = at t Time.(t.clock + dt) action
+
+(* --- fault gate --- *)
+
+let set_gate t g = t.gate <- Some g
+let clear_gate t = t.gate <- None
+let parked_count t = t.parked
+
+(* Wraps a fiber slice (body start or resumed continuation) so the gate is
+   consulted at *execution* time, when the fiber's host node is known to
+   whoever installed the gate.  On [None] the slice runs untouched — the
+   no-fault path costs one option match and draws nothing, so an installed
+   but empty plan is bit-for-bit schedule-neutral.  On [Some until] the
+   slice is re-scheduled at [until] (and re-checked there, in case windows
+   chain), which is exactly "fibers on a crashed node are parked and
+   respawned on restart". *)
+let rec gated t fid action () =
+  match t.gate with
+  | None -> action ()
+  | Some g -> (
+      match g fid t.clock with
+      | None -> action ()
+      | Some until ->
+          t.parked <- t.parked + 1;
+          let until =
+            if until <= t.clock then Time.(t.clock + Time.of_ns 1) else until
+          in
+          at t until (gated t fid action))
 
 (* Observer events: scheduled with the maximal tie key and without drawing
    from the perturbation RNG, so they run after every same-time workload
@@ -111,7 +144,9 @@ let start_fiber t fid f =
                   let resume () =
                     if !resumed then invalid_arg "Engine: fiber resumed twice";
                     resumed := true;
-                    at t t.clock (fun () -> in_fiber t fid (fun () -> continue k ()))
+                    at t t.clock
+                      (gated t fid (fun () ->
+                           in_fiber t fid (fun () -> continue k ())))
                   in
                   register resume)
           | _ -> None);
@@ -123,7 +158,7 @@ let spawn t f =
   let fid = t.next_fiber in
   t.next_fiber <- fid + 1;
   t.live <- t.live + 1;
-  after t Time.zero (fun () -> start_fiber t fid f);
+  after t Time.zero (gated t fid (fun () -> start_fiber t fid f));
   fid
 
 let suspend _t register = Effect.perform (Suspend register)

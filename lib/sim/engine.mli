@@ -48,6 +48,23 @@ val periodic : t -> interval:Time.t -> (unit -> bool) -> unit
     to a seeded run leaves the workload's schedule bit-for-bit identical.
     Raises [Invalid_argument] on a non-positive interval. *)
 
+val set_gate : t -> (int -> Time.t -> Time.t option) -> unit
+(** Installs the fault-injection gate.  Before each fiber slice (a fiber's
+    first body event or any resumed continuation) runs, the gate receives
+    the fiber id and the current virtual time; returning [Some until] parks
+    the slice and re-schedules it (and re-consults the gate) at [until] —
+    this is how a crashed node's fibers freeze until its restart.  A gate
+    returning [None] adds no events and draws nothing from the tie-key
+    stream, so an installed but quiescent gate leaves seeded schedules
+    bit-for-bit intact.  The gate is consulted at execution time, never at
+    scheduling time, so it may depend on mappings (fiber -> node) that are
+    only registered after [spawn] returns. *)
+
+val clear_gate : t -> unit
+
+val parked_count : t -> int
+(** Number of times the gate parked a fiber slice so far. *)
+
 val pending_events : t -> int
 (** Events currently queued.  Inside a [periodic] tick this counts everyone
     {e else}: the tick's own event has been popped and the re-arm is only

@@ -1,0 +1,80 @@
+(** Seeded fault schedules: crash/restart windows and message loss.
+
+    A fault plan is the failure-injection counterpart of
+    [Network.seeded_jitter]: a deterministic schedule of node crash windows
+    plus a per-message loss probability whose draws come from a private
+    salted {!Rng} stream in send order.  The same seed always replays the
+    identical failure schedule, so the conformance checker can sweep failure
+    schedules exactly the way it sweeps engine tie seeds.
+
+    Crash semantics are freeze-and-resume with blackholed traffic: while a
+    node is inside one of its down windows, the engine parks every fiber
+    hosted there (they resume at the window's end) and the network drops
+    every message sent from or delivered to it.  A plan with no windows and
+    zero loss never draws from its RNG and never perturbs a schedule. *)
+
+type window = { w_node : int; w_down : Time.t; w_up : Time.t }
+(** [w_node] is unreachable in the half-open interval [\[w_down, w_up)]. *)
+
+type t
+
+val none : t
+(** The empty plan: no crashes, no loss.  [has_faults none = false]. *)
+
+val create : ?windows:window list -> ?loss_pct:float -> ?seed:int -> unit -> t
+(** An explicit plan.  [loss_pct] (default 0) is the percentage of
+    cross-node messages dropped, drawn in send order from a stream salted
+    from [seed] (default 0).  Raises [Invalid_argument] on a loss
+    percentage outside [0, 100] or an empty window. *)
+
+val seeded :
+  nodes:int ->
+  seed:int ->
+  ?crashes:int ->
+  ?loss_pct:float ->
+  ?protect:int list ->
+  ?down_us:float ->
+  ?horizon_us:float ->
+  unit ->
+  t
+(** [seeded ~nodes ~seed ()] generates a schedule of [crashes] (default 2)
+    crash windows of [down_us] (default 300) microseconds each, placed at
+    seeded positions within [\[0, horizon_us)] (default 4000) so that no two
+    windows overlap in time — at most one node is down at any instant,
+    which keeps every generated schedule within the minority-crash budget a
+    majority-quorum protocol tolerates (for [nodes >= 3]).  Nodes listed in
+    [protect] (default none) are never crashed — use it to shield lock and
+    barrier managers whose loss no protocol survives. *)
+
+val seed : t -> int
+val windows : t -> window list
+(** Sorted by start time. *)
+
+val loss_pct : t -> float
+
+val has_faults : t -> bool
+(** Whether the plan can ever drop a message or crash a node. *)
+
+val is_down : t -> node:int -> Time.t -> bool
+(** Whether [node] is inside a down window at the given instant. *)
+
+val up_at : t -> node:int -> now:Time.t -> Time.t
+(** The end of the down window containing [now] for [node], or [now] itself
+    if the node is up — the instant a parked fiber should re-check. *)
+
+val loses_message : t -> bool
+(** Draws the next loss decision (one draw per call, in call order).  Never
+    draws when [loss_pct] is zero, so a lossless plan stays schedule-neutral
+    in the RNG stream sense. *)
+
+val note_loss : t -> unit
+val note_blackhole : t -> unit
+(** Called by the network when it drops a message because of loss
+    (respectively a crash window), so post-run reports can attribute
+    drops. *)
+
+val messages_lost : t -> int
+val messages_blackholed : t -> int
+
+val window_to_string : window -> string
+val to_string : t -> string

@@ -232,6 +232,84 @@ let test_conformance_perturbation_varies_schedule () =
   Alcotest.(check bool) "some seed diverges" true
     (List.exists (fun s -> fp s <> base) [ 1; 2; 3; 4; 5 ])
 
+(* --- end to end: fault tolerance --- *)
+
+module C = Dsmpm2_experiments.Conformance
+
+let test_sc_abd_survives_faults () =
+  (* The quorum protocol must drain cleanly and keep sequential consistency
+     under crash windows and message loss, across several fault seeds. *)
+  List.iter
+    (fun seed ->
+      let o =
+        C.run_one_faulted ~protocol:"sc_abd" ~driver:Driver.bip_myrinet
+          ~workload:C.Lock_ladder ~seed ()
+      in
+      let label what = Printf.sprintf "%s (seed %d)" what seed in
+      Alcotest.(check (option string)) (label "no crash") None o.C.fo_crashed;
+      Alcotest.(check bool) (label "no stall") false o.C.fo_stalled;
+      Alcotest.(check int) (label "no violations") 0
+        (List.length o.C.fo_violations);
+      Alcotest.(check (option string)) (label "right result") None
+        o.C.fo_wrong_result;
+      Alcotest.(check bool) (label "sweep verdict") false
+        (C.fault_outcome_failed o))
+    [ 0; 1; 2; 3 ]
+
+let test_legacy_protocol_fails_visibly_under_faults () =
+  (* The ownership-chain family has no redundancy: under the same schedules
+     it must fail loudly — stall or typed crash, never silent corruption —
+     and the watchdog must name the dead node. *)
+  let outcomes =
+    List.map
+      (fun seed ->
+        C.run_one_faulted ~protocol:"li_hudak" ~driver:Driver.bip_myrinet
+          ~workload:C.Lock_ladder ~seed ())
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "some schedule defeats li_hudak" true
+    (List.exists C.fault_outcome_failed outcomes);
+  List.iter
+    (fun o ->
+      if C.fault_outcome_failed o then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "failure is loud (seed %d)" o.C.fo_seed)
+          true
+          (o.C.fo_stalled || o.C.fo_crashed <> None);
+        Alcotest.(check bool)
+          (Printf.sprintf "typed node.dead alert (seed %d)" o.C.fo_seed)
+          true
+          (List.mem "node.dead" o.C.fo_alert_kinds)
+      end)
+    outcomes
+
+let test_zero_fault_spec_is_schedule_neutral () =
+  (* A fault layer that is installed but empty (no windows, no loss) must
+     replay the exact histories the plain checker records. *)
+  let spec =
+    { C.default_fault_spec with C.f_crashes = 0; f_loss_pct = 0. }
+  in
+  List.iter
+    (fun (protocol, seed) ->
+      let plain =
+        C.run_one ~protocol ~driver:Driver.bip_myrinet ~workload:C.Lock_ladder
+          ~seed
+      in
+      let faultless =
+        C.run_one_faulted ~spec ~protocol ~driver:Driver.bip_myrinet
+          ~workload:C.Lock_ladder ~seed ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s seed %d: identical history" protocol seed)
+        plain.C.o_fingerprint faultless.C.fo_fingerprint;
+      Alcotest.(check int)
+        (Printf.sprintf "%s seed %d: nothing dropped" protocol seed)
+        0 faultless.C.fo_dropped;
+      Alcotest.(check int)
+        (Printf.sprintf "%s seed %d: nothing retransmitted" protocol seed)
+        0 faultless.C.fo_retransmissions)
+    [ ("li_hudak", 4); ("erc_sw", 7); ("sc_abd", 4) ]
+
 let () =
   Alcotest.run "checker"
     [
@@ -274,5 +352,14 @@ let () =
             test_conformance_replay_deterministic;
           Alcotest.test_case "perturbation varies schedule" `Quick
             test_conformance_perturbation_varies_schedule;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "sc_abd survives faults" `Quick
+            test_sc_abd_survives_faults;
+          Alcotest.test_case "legacy fails visibly" `Quick
+            test_legacy_protocol_fails_visibly_under_faults;
+          Alcotest.test_case "zero-fault spec neutral" `Quick
+            test_zero_fault_spec_is_schedule_neutral;
         ] );
     ]

@@ -119,15 +119,96 @@ let test_bulk_zero_is_base_cost () =
         (Time.to_us (Driver.delay d (Driver.Bulk 0)) = d.Driver.page_base_us))
     Driver.all
 
-let test_network_self_send_counted () =
+(* Self-sends never touch the wire: they must not inflate the traffic
+   counters the experiments compare against the paper's tables.  They are
+   tallied separately in [loopback_sent] / "net.loopback". *)
+let test_network_self_send_not_counted () =
   let eng = Engine.create () in
   let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+  Network.send net ~src:0 ~dst:1 ~cost:Driver.Request ignore;
   Network.send net ~src:1 ~dst:1 ~cost:(Driver.Bulk 64) ignore;
   Engine.run eng;
-  Alcotest.(check int) "loopback still counted" 1 (Network.messages_sent net);
-  Alcotest.(check int)
-    "loopback bytes counted" (64 + Driver.header_bytes)
-    (Network.bytes_sent net)
+  Alcotest.(check int) "wire messages unchanged by self-send" 1
+    (Network.messages_sent net);
+  Alcotest.(check int) "wire bytes unchanged by self-send" Driver.header_bytes
+    (Network.bytes_sent net);
+  Alcotest.(check int) "no per-kind counter for loopback" 0
+    (Stats.count (Network.stats net) "msg.bulk");
+  Alcotest.(check int) "loopback counter bumps" 1 (Network.loopback_sent net);
+  Alcotest.(check int) "net.loopback stat" 1
+    (Stats.count (Network.stats net) "net.loopback")
+
+(* Two same-time self-sends must deliver in send order under every tie seed:
+   the loopback path has its own monotonic-arrival clamp, so the engine's
+   seeded tie-breaking can never invert them. *)
+let test_network_loopback_fifo_under_tie_seeds () =
+  for seed = 0 to 49 do
+    let eng = Engine.create ~tie_seed:seed () in
+    let net = Network.create eng ~driver:Driver.bip_myrinet ~nodes:2 in
+    let log = ref [] in
+    for i = 1 to 6 do
+      Network.send net ~src:1 ~dst:1 ~cost:Driver.Request (fun () ->
+          log := i :: !log)
+    done;
+    Engine.run eng;
+    Alcotest.(check (list int))
+      (Printf.sprintf "loopback FIFO, tie seed %d" seed)
+      [ 1; 2; 3; 4; 5; 6 ] (List.rev !log)
+  done
+
+let test_fault_plan_deterministic () =
+  let plan seed =
+    Fault_plan.seeded ~nodes:4 ~seed ~crashes:3 ~loss_pct:2. ~protect:[ 0 ] ()
+  in
+  let a = plan 7 and b = plan 7 and c = plan 8 in
+  Alcotest.(check string)
+    "same seed, same schedule"
+    (Fault_plan.to_string a) (Fault_plan.to_string b);
+  Alcotest.(check bool) "same windows" true
+    (Fault_plan.windows a = Fault_plan.windows b);
+  Alcotest.(check bool) "different seed perturbs the schedule" true
+    (Fault_plan.windows a <> Fault_plan.windows c);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "protected node never crashes" true
+        (w.Fault_plan.w_node <> 0);
+      Alcotest.(check bool) "window is non-empty" true
+        (w.Fault_plan.w_up > w.Fault_plan.w_down))
+    (Fault_plan.windows a);
+  (* Windows never overlap in time: at most one node down at any instant. *)
+  let sorted = Fault_plan.windows a in
+  ignore
+    (List.fold_left
+       (fun prev_up w ->
+         Alcotest.(check bool) "windows do not overlap" true
+           (w.Fault_plan.w_down >= prev_up);
+         w.Fault_plan.w_up)
+       Time.zero sorted);
+  Alcotest.(check bool) "seeded plan has faults" true (Fault_plan.has_faults a);
+  Alcotest.(check bool) "empty plan has none" false
+    (Fault_plan.has_faults Fault_plan.none)
+
+(* Installing the empty fault plan must be invisible: no drops, no RNG
+   draws, bit-for-bit the same delivery schedule as no plan at all. *)
+let test_fault_plan_none_schedule_neutral () =
+  let deliveries with_plan =
+    let eng = Engine.create ~tie_seed:3 () in
+    let jitter = Network.seeded_jitter ~extra_us:25. ~seed:11 () in
+    let net = Network.create ~jitter eng ~driver:Driver.tcp_myrinet ~nodes:3 in
+    if with_plan then Network.set_fault_plan net Fault_plan.none;
+    let log = ref [] in
+    for i = 1 to 15 do
+      let src = i mod 3 and dst = (i + 1) mod 3 in
+      Network.send net ~src ~dst ~cost:(Driver.Bulk (i * 10)) (fun () ->
+          log := (i, Engine.now eng) :: !log)
+    done;
+    Engine.run eng;
+    (List.rev !log, Network.messages_sent net, Network.messages_dropped net)
+  in
+  let plain = deliveries false and neutral = deliveries true in
+  Alcotest.(check bool) "bit-for-bit identical schedule" true (plain = neutral);
+  let _, _, dropped = neutral in
+  Alcotest.(check int) "empty plan drops nothing" 0 dropped
 
 let test_driver_wire_bytes () =
   Alcotest.(check int) "request is header-only" Driver.header_bytes
@@ -240,6 +321,16 @@ let () =
             test_seeded_jitter_deterministic_and_bounded;
           Alcotest.test_case "seeded jitter spikes" `Quick test_seeded_jitter_spikes;
           Alcotest.test_case "zero-byte bulk" `Quick test_bulk_zero_is_base_cost;
-          Alcotest.test_case "self send counted" `Quick test_network_self_send_counted;
+          Alcotest.test_case "self send not counted" `Quick
+            test_network_self_send_not_counted;
+          Alcotest.test_case "loopback FIFO under tie seeds" `Quick
+            test_network_loopback_fifo_under_tie_seeds;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fault plan deterministic" `Quick
+            test_fault_plan_deterministic;
+          Alcotest.test_case "empty plan schedule neutral" `Quick
+            test_fault_plan_none_schedule_neutral;
         ] );
     ]

@@ -238,6 +238,135 @@ let test_rpc_service_name () =
   let s = Rpc.register rpc ~name:"a.service" (fun ~src:_ _ -> (Rpc.Unit, Driver.Request)) in
   Alcotest.(check string) "name kept" "a.service" (Rpc.service_name rpc s)
 
+(* --- RPC retry under faults --- *)
+
+(* A jitter-free policy so the retry timings below are exact. *)
+let crisp_retry ~timeout_us ~retries =
+  { Rpc.timeout_us; retries; backoff = 1.; jitter_us = 0. }
+
+let down ~node ~from_us ~to_us =
+  { Fault_plan.w_node = node; w_down = Time.of_us from_us; w_up = Time.of_us to_us }
+
+let test_rpc_retry_recovers_lost_request () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  (* Node 1 is down when the first request would arrive (23us): the request
+     is blackholed, the deadline fires, the retransmission gets through. *)
+  Network.set_fault_plan (Pm2.network pm2)
+    (Fault_plan.create ~windows:[ down ~node:1 ~from_us:0. ~to_us:100. ] ());
+  Rpc.set_retry rpc (Some (crisp_retry ~timeout_us:200. ~retries:3));
+  let executions = ref 0 in
+  let service =
+    Rpc.register rpc ~name:"double" (fun ~src:_ payload ->
+        incr executions;
+        match payload with
+        | Number n -> (Number (2 * n), Driver.Request)
+        | _ -> (Rpc.Unit, Driver.Request))
+  in
+  let result = ref 0 and finished_at = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         (match Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request (Number 21) with
+         | Number n -> result := n
+         | _ -> ());
+         finished_at := Pm2.now_us pm2));
+  Pm2.run pm2;
+  Alcotest.(check int) "reply still correct" 42 !result;
+  Alcotest.(check int) "handler ran once" 1 !executions;
+  Alcotest.(check int) "one retransmission" 1 (Rpc.retransmissions rpc);
+  Alcotest.(check int) "the blackholed request was tallied" 1
+    (Network.messages_dropped (Pm2.network pm2));
+  (* deadline at 200us, retransmitted request 23us, reply 23us *)
+  Alcotest.check us "retry latency" 246. !finished_at
+
+let test_rpc_timeout_raised () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  (* Node 1 never comes back: every attempt is blackholed and the caller
+     must get a typed Timeout instead of suspending forever. *)
+  Network.set_fault_plan (Pm2.network pm2)
+    (Fault_plan.create ~windows:[ down ~node:1 ~from_us:0. ~to_us:1_000_000. ] ());
+  Rpc.set_retry rpc (Some (crisp_retry ~timeout_us:100. ~retries:2));
+  let service =
+    Rpc.register rpc ~name:"void" (fun ~src:_ _ -> (Rpc.Unit, Driver.Request))
+  in
+  let caught = ref None and finished_at = ref 0. in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         (try ignore (Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request Rpc.Unit)
+          with Rpc.Timeout { service; dst; attempts } ->
+            caught := Some (service, dst, attempts));
+         finished_at := Pm2.now_us pm2));
+  Pm2.run pm2;
+  (match !caught with
+  | Some (name, dst, attempts) ->
+      Alcotest.(check string) "service named" "void" name;
+      Alcotest.(check int) "destination named" 1 dst;
+      Alcotest.(check int) "initial try + 2 retries" 3 attempts
+  | None -> Alcotest.fail "expected Rpc.Timeout");
+  Alcotest.(check int) "all attempts blackholed" 3
+    (Network.messages_dropped (Pm2.network pm2));
+  (* three deadlines of 100us each *)
+  Alcotest.check us "fails fast" 300. !finished_at
+
+let test_rpc_duplicate_suppressed () =
+  let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+  let rpc = Pm2.rpc pm2 in
+  (* The request gets through but node 0 is down when the reply lands
+     (46us): the retransmission must be answered from the server's
+     request-id cache without re-running the handler. *)
+  Network.set_fault_plan (Pm2.network pm2)
+    (Fault_plan.create ~windows:[ down ~node:0 ~from_us:40. ~to_us:60. ] ());
+  Rpc.set_retry rpc (Some (crisp_retry ~timeout_us:200. ~retries:3));
+  let executions = ref 0 in
+  let service =
+    Rpc.register rpc ~name:"bump" (fun ~src:_ payload ->
+        incr executions;
+        match payload with
+        | Number n -> (Number (n + 1), Driver.Request)
+        | _ -> (Rpc.Unit, Driver.Request))
+  in
+  let result = ref 0 in
+  ignore
+    (Pm2.spawn pm2 ~node:0 (fun () ->
+         match Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request (Number 9) with
+         | Number n -> result := n
+         | _ -> ()));
+  Pm2.run pm2;
+  Alcotest.(check int) "reply correct" 10 !result;
+  Alcotest.(check int) "at-most-once execution" 1 !executions;
+  Alcotest.(check int) "duplicate served from cache" 1
+    (Rpc.duplicates_served rpc);
+  Alcotest.(check int) "one retransmission" 1 (Rpc.retransmissions rpc)
+
+let test_rpc_retry_deterministic_and_validated () =
+  let finish seed =
+    let pm2 = Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet () in
+    let rpc = Pm2.rpc pm2 in
+    Network.set_fault_plan (Pm2.network pm2)
+      (Fault_plan.create ~windows:[ down ~node:1 ~from_us:0. ~to_us:100. ] ());
+    Rpc.set_retry rpc ~seed (Some Rpc.default_retry);
+    let service =
+      Rpc.register rpc ~name:"echo" (fun ~src:_ p -> (p, Driver.Request))
+    in
+    let finished_at = ref 0. in
+    ignore
+      (Pm2.spawn pm2 ~node:0 (fun () ->
+           ignore (Rpc.call rpc ~dst:1 ~service ~cost:Driver.Request Rpc.Unit);
+           finished_at := Pm2.now_us pm2));
+    Pm2.run pm2;
+    !finished_at
+  in
+  Alcotest.check us "same seed, same deadline jitter" (finish 5) (finish 5);
+  let rpc = Pm2.rpc (Pm2.create ~nodes:2 ~driver:Driver.bip_myrinet ()) in
+  Alcotest.check_raises "zero timeout rejected"
+    (Invalid_argument "Rpc.set_retry: timeout_us <= 0") (fun () ->
+      Rpc.set_retry rpc (Some (crisp_retry ~timeout_us:0. ~retries:1)));
+  Alcotest.check_raises "backoff below 1 rejected"
+    (Invalid_argument "Rpc.set_retry: backoff < 1") (fun () ->
+      Rpc.set_retry rpc
+        (Some { Rpc.timeout_us = 100.; retries = 1; backoff = 0.5; jitter_us = 0. }))
+
 (* --- migration --- *)
 
 let test_migrate_cost_and_node () =
@@ -398,6 +527,13 @@ let () =
           Alcotest.test_case "blocking handler" `Quick test_rpc_handler_can_block;
           Alcotest.test_case "oneway" `Quick test_rpc_oneway;
           Alcotest.test_case "service name" `Quick test_rpc_service_name;
+          Alcotest.test_case "retry recovers lost request" `Quick
+            test_rpc_retry_recovers_lost_request;
+          Alcotest.test_case "timeout raised" `Quick test_rpc_timeout_raised;
+          Alcotest.test_case "duplicate suppressed" `Quick
+            test_rpc_duplicate_suppressed;
+          Alcotest.test_case "retry deterministic + validated" `Quick
+            test_rpc_retry_deterministic_and_validated;
         ] );
       ( "migration",
         [

@@ -17,6 +17,8 @@ let sample ~seed ~time ?(messages = 100) () =
     s_bytes = 4096;
     s_read_faults = 10;
     s_write_faults = 5;
+    s_dropped = 0;
+    s_rpc_retries = 0;
     s_fault_p50_us = 50.;
     s_fault_p90_us = 90.;
     s_fault_p99_us = 99.;

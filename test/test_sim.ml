@@ -250,6 +250,73 @@ let test_engine_fiber_spawns_fiber () =
   Engine.run eng;
   Alcotest.(check bool) "nested spawn runs" true !inner_ran
 
+(* --- fault-injection gate --- *)
+
+let test_engine_gate_parks_and_resumes () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let victim = ref (-1) in
+  (* Park the victim fiber's slices until t=50us; everyone else runs free. *)
+  Engine.set_gate eng (fun fid now ->
+      if fid = !victim && now < Time.of_us 50. then Some (Time.of_us 50.)
+      else None);
+  victim :=
+    Engine.spawn eng (fun () -> log := ("victim", Engine.now eng) :: !log);
+  ignore (Engine.spawn eng (fun () -> log := ("free", Engine.now eng) :: !log));
+  Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "victim frozen until the window ends"
+    [ ("free", Time.zero); ("victim", Time.of_us 50.) ]
+    (List.rev !log);
+  Alcotest.(check bool) "parks were counted" true (Engine.parked_count eng >= 1)
+
+let test_engine_gate_covers_resumed_slices () =
+  (* The gate must intercept continuations, not just fiber bodies: a fiber
+     that suspends before the window and is resumed inside it may only run
+     its next slice once the window ends. *)
+  let eng = Engine.create () in
+  let woke_at = ref Time.zero in
+  let victim = ref (-1) in
+  Engine.set_gate eng (fun fid now ->
+      if
+        fid = !victim
+        && now >= Time.of_us 10.
+        && now < Time.of_us 80.
+      then Some (Time.of_us 80.)
+      else None);
+  victim :=
+    Engine.spawn eng (fun () ->
+        Engine.sleep eng (Time.of_us 20.);
+        (* resumed at 20us, inside the window *)
+        woke_at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "continuation held until restart" (Time.of_us 80.)
+    !woke_at
+
+let test_engine_gate_clear_and_neutral () =
+  (* A gate that always answers None must leave a seeded schedule untouched,
+     and clear_gate must restore the un-gated behavior. *)
+  let order gate =
+    let eng = Engine.create ~tie_seed:9 () in
+    (match gate with
+    | `None -> ()
+    | `Quiescent -> Engine.set_gate eng (fun _ _ -> None)
+    | `Cleared ->
+        Engine.set_gate eng (fun _ _ -> Some (Time.of_us 1_000.));
+        Engine.clear_gate eng);
+    let log = ref [] in
+    for i = 1 to 8 do
+      ignore (Engine.spawn eng (fun () -> log := i :: !log))
+    done;
+    Engine.run eng;
+    (List.rev !log, Engine.parked_count eng)
+  in
+  let plain = order `None in
+  Alcotest.(check (pair (list int) int))
+    "quiescent gate is schedule-neutral" plain (order `Quiescent);
+  Alcotest.(check (pair (list int) int))
+    "cleared gate is schedule-neutral" plain (order `Cleared)
+
 let test_cpu_fifo_order () =
   let eng = Engine.create () in
   let cpu = Cpu.create ~quantum:(Time.of_us 1_000.) ~name:"c" () in
@@ -517,6 +584,12 @@ let () =
           Alcotest.test_case "no seed keeps FIFO" `Quick test_engine_no_seed_is_fifo;
           Alcotest.test_case "live fibers" `Quick test_engine_live_fibers;
           Alcotest.test_case "fiber spawns fiber" `Quick test_engine_fiber_spawns_fiber;
+          Alcotest.test_case "gate parks and resumes" `Quick
+            test_engine_gate_parks_and_resumes;
+          Alcotest.test_case "gate covers resumed slices" `Quick
+            test_engine_gate_covers_resumed_slices;
+          Alcotest.test_case "gate neutral when quiescent" `Quick
+            test_engine_gate_clear_and_neutral;
         ] );
       ( "cpu",
         [
