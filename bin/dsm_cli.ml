@@ -62,6 +62,8 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Rand
 type obs = {
   trace_out : string option;
   trace_jsonl : string option;
+  trace_cap : int option;
+  trace_dump : string option;
   metrics_out : string option;
   metrics_prom : string option;
   report : bool;
@@ -82,6 +84,25 @@ let obs_term =
       & opt (some string) None
       & info [ "trace-jsonl" ] ~docv:"FILE"
           ~doc:"Write the event trace as JSON Lines (one event per line) to $(docv).")
+  in
+  let trace_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder mode: keep only the newest $(docv) trace events \
+             in a bounded ring (evictions are counted, the schedule is \
+             unchanged).")
+  in
+  let trace_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dump" ] ~docv:"FILE"
+          ~doc:
+            "Auto-dump the trace ring as JSONL to $(docv) the first time a \
+             critical alert is recorded (a .gz suffix gzip-compresses).")
   in
   let metrics_out =
     Arg.(
@@ -111,12 +132,25 @@ let obs_term =
              detection) and print its health summary after the run.")
   in
   Term.(
-    const (fun trace_out trace_jsonl metrics_out metrics_prom report health ->
-        { trace_out; trace_jsonl; metrics_out; metrics_prom; report; health })
-    $ trace_out $ trace_jsonl $ metrics_out $ metrics_prom $ report $ health)
+    const
+      (fun trace_out trace_jsonl trace_cap trace_dump metrics_out metrics_prom
+           report health ->
+        {
+          trace_out;
+          trace_jsonl;
+          trace_cap;
+          trace_dump;
+          metrics_out;
+          metrics_prom;
+          report;
+          health;
+        })
+    $ trace_out $ trace_jsonl $ trace_cap $ trace_dump $ metrics_out
+    $ metrics_prom $ report $ health)
 
 let obs_wants_monitor o =
-  o.trace_out <> None || o.trace_jsonl <> None || o.report || o.health
+  o.trace_out <> None || o.trace_jsonl <> None || o.trace_cap <> None
+  || o.trace_dump <> None || o.report || o.health
 
 let to_formatter file f =
   let oc = open_out file in
@@ -135,6 +169,9 @@ let app_observe obs =
   let observe dsm =
     captured := Some dsm;
     if obs_wants_monitor obs then Monitor.enable dsm true;
+    let tr = Monitor.trace dsm in
+    Option.iter (Trace.set_capacity tr) obs.trace_cap;
+    Option.iter (Trace.set_autodump tr) obs.trace_dump;
     if obs.health then watchdog := Some (Watchdog.attach dsm)
   in
   let export ~name ?protocol () =
@@ -151,11 +188,14 @@ let app_observe obs =
             Json.to_file file (Monitor.to_json ~experiment:name ~meta dsm))
           obs.metrics_out;
         Option.iter
-          (fun file ->
-            to_formatter file (fun fmt -> Metrics.to_prometheus fmt (Monitor.metrics dsm)))
+          (fun file -> to_formatter file (fun fmt -> Monitor.to_prometheus fmt dsm))
           obs.metrics_prom;
         if obs.report then Monitor.report ppf dsm;
-        Option.iter (fun w -> Format.fprintf ppf "%a@." Watchdog.pp_summary w) !watchdog
+        Option.iter (fun w -> Format.fprintf ppf "%a@." Watchdog.pp_summary w) !watchdog;
+        if Trace.autodump_fired tr then
+          Format.fprintf ppf
+            "flight recorder: critical alert — dumped trace ring to %s@."
+            (Option.value ~default:"?" (Trace.autodump_path tr))
   in
   (observe, export)
 
@@ -163,12 +203,13 @@ let app_observe obs =
    no single trace to export; --metrics-out and --report operate on the
    result table instead. *)
 let experiment_obs obs ~name json =
-  if obs.trace_out <> None || obs.trace_jsonl <> None || obs.metrics_prom <> None
-     || obs.health
+  if obs.trace_out <> None || obs.trace_jsonl <> None || obs.trace_cap <> None
+     || obs.trace_dump <> None || obs.metrics_prom <> None || obs.health
   then
     Format.fprintf ppf
-      "%s: --trace-out/--trace-jsonl/--metrics-prom/--health only apply to \
-       application subcommands (tsp, jacobi, coloring); ignoring@."
+      "%s: --trace-out/--trace-jsonl/--trace-cap/--trace-dump/--metrics-prom/\
+       --health only apply to application subcommands (tsp, jacobi, coloring); \
+       ignoring@."
       name;
   Option.iter (fun file -> Json.to_file file json) obs.metrics_out;
   if obs.report then Format.fprintf ppf "%a@." Json.pp json
@@ -447,7 +488,7 @@ let analyze_cmd =
       $ seed_arg $ top $ out $ folded_file)
 
 let check_cmd =
-  let run seeds protocols workload replay verbose faults loss crashes
+  let run seeds protocols workload replay verbose faults loss crashes explain
       expect_vulnerable obs =
     let protocols =
       match protocols with [] -> Conformance.all_protocols | ps -> ps
@@ -482,13 +523,51 @@ let check_cmd =
         if verbose then fun cell -> Format.fprintf ppf "  done %s@." cell
         else fun _ -> ()
       in
+      (* With --explain every failing outcome's violations are run through
+         the blame engine; explanations land next to the run as
+         explain_<proto>_<workload>_seed<N>.json/.dot artifacts.  An
+         explanation whose causal chain is empty means the forensics lost
+         the thread back to the injected fault — that is itself a failure. *)
+      let empty_chains = ref [] in
+      let on_failure protocol (o : Conformance.fault_outcome) =
+        match o.Conformance.fo_explanations with
+        | [] -> ()
+        | xs ->
+            let base =
+              Printf.sprintf "explain_%s_%s_seed%d" protocol
+                o.Conformance.fo_workload o.Conformance.fo_seed
+            in
+            Json.to_file (base ^ ".json")
+              (Json.List (List.map Explain.to_json xs));
+            to_formatter (base ^ ".dot") (fun fmt ->
+                Explain.to_dot fmt (List.hd xs));
+            List.iter
+              (fun x ->
+                if verbose then Format.fprintf ppf "%a@." Explain.to_text x;
+                if Explain.causes x = [] then
+                  empty_chains :=
+                    (protocol, o.Conformance.fo_seed) :: !empty_chains)
+              xs;
+            Format.fprintf ppf "explain: wrote %s.json and %s.dot (%d explanation(s))@."
+              base base (List.length xs)
+      in
       let verdicts =
         Conformance.fault_sweep ~protocols ~workload_list ~spec ~progress
-          ~seeds ()
+          ~explain ~on_failure ~seeds ()
       in
       Conformance.print_faults ppf verdicts;
       experiment_obs obs ~name:"check-faults"
         (Conformance.faults_to_json verdicts);
+      if explain && !empty_chains <> [] then begin
+        List.iter
+          (fun (p, s) ->
+            Format.fprintf ppf
+              "explain: %s seed %d: violation with an empty causal chain — \
+               the blame engine reached no injected fault@."
+              p s)
+          (List.rev !empty_chains);
+        exit 1
+      end;
       if expect_vulnerable then begin
         let fault_kinds =
           [ "node.dead"; "node.restart"; "node.partitioned"; "rpc.retry_storm" ]
@@ -628,6 +707,16 @@ let check_cmd =
       & info [ "crashes" ] ~docv:"N"
           ~doc:"Crash windows per fault schedule for $(b,--faults).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With $(b,--faults): run the causal blame engine over every \
+             checker violation, print each cause, and write \
+             explain_*.json/.dot artifacts.  Fails (exit 1) if any \
+             explanation has an empty causal chain.")
+  in
   let expect_vulnerable =
     Arg.(
       value & flag
@@ -644,7 +733,7 @@ let check_cmd =
           model under perturbed schedules, optionally with fault injection.")
     Term.(
       const run $ seeds $ protocols $ workload $ replay $ verbose $ faults
-      $ loss $ crashes $ expect_vulnerable $ obs_term)
+      $ loss $ crashes $ explain $ expect_vulnerable $ obs_term)
 
 (* --- dsm watch: live health dashboard over a running application --- *)
 
@@ -925,6 +1014,66 @@ let diff_cmd =
           incomparable inputs.")
     Term.(const run $ baseline $ fresh $ threshold $ force $ format $ out)
 
+(* --- dsm explain: causal forensics over a trace dump --- *)
+
+let explain_cmd =
+  let run file json_out dot_out =
+    match Trace.load_jsonl file with
+    | Error msg ->
+        Format.fprintf ppf "explain: %s@." msg;
+        exit 2
+    | Ok trace ->
+        let xs = Explain.explain_trace trace in
+        (match xs with
+        | [] ->
+            Format.fprintf ppf
+              "explain: no critical alert in %s — nothing to explain@." file
+        | xs ->
+            List.iter (fun x -> Format.fprintf ppf "%a@." Explain.to_text x) xs);
+        Option.iter
+          (fun f -> Json.to_file f (Json.List (List.map Explain.to_json xs)))
+          json_out;
+        Option.iter
+          (fun f ->
+            match xs with
+            | [] ->
+                Format.fprintf ppf "explain: no explanation to render as DOT@."
+            | x :: _ -> to_formatter f (fun fmt -> Explain.to_dot fmt x))
+          dot_out
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "A JSONL trace dump (gzip-transparent), e.g. a --trace-jsonl \
+             export or a flight-recorder auto-dump.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the explanations as stable JSON to $(docv).")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the first explanation's causal graph as Graphviz DOT to \
+             $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Causal forensics: slice a trace dump backward from each critical \
+          alert to the injected faults (dropped/blackholed messages, crash \
+          windows, retry storms) that explain it.")
+    Term.(const run $ file $ json_out $ dot_out)
+
 let () =
   let info =
     Cmd.info "dsm-cli" ~version:"1.0.0"
@@ -935,4 +1084,4 @@ let () =
        (Cmd.group info
           (experiments
           @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd;
-              watch_cmd; bench_cmd; diff_cmd ])))
+              explain_cmd; watch_cmd; bench_cmd; diff_cmd ])))

@@ -321,7 +321,28 @@ let inject_faults (rt : t) ?(retry = Rpc.default_retry) plan =
             if Fault_plan.is_down plan ~node now then
               Some (Fault_plan.up_at plan ~node ~now)
             else None);
-    Rpc.set_retry (Runtime.rpc rt) ~seed:(Fault_plan.seed plan) (Some retry)
+    Rpc.set_retry (Runtime.rpc rt) ~seed:(Fault_plan.seed plan) (Some retry);
+    (* Make the crash windows first-class in the trace: a Crash event when
+       each window opens (carrying its scheduled end) and a Restart when it
+       closes.  Scheduled as observer events — no tie-key draws — so the
+       seeded schedule is bit-for-bit identical with or without them, and
+       only when tracing is already on so unmonitored runs gain no events
+       at all (their end times must not move). *)
+    let eng = Runtime.engine rt in
+    let tr = Pm2.trace rt.Runtime.pm2 in
+    if Trace.enabled tr then
+      List.iter
+        (fun w ->
+          let node = w.Fault_plan.w_node in
+          if w.Fault_plan.w_down >= Engine.now eng then
+            Engine.at_observer eng w.Fault_plan.w_down (fun () ->
+                if Trace.enabled tr then
+                  Trace.emit tr eng
+                    (Trace.Crash { node; up = w.Fault_plan.w_up }));
+          if w.Fault_plan.w_up >= Engine.now eng then
+            Engine.at_observer eng w.Fault_plan.w_up (fun () ->
+                if Trace.enabled tr then Trace.emit tr eng (Trace.Restart { node })))
+        (Fault_plan.windows plan)
   end
   else begin
     (* An empty plan must leave every schedule bit-for-bit intact: no gate

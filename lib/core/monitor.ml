@@ -129,9 +129,49 @@ let to_json ?experiment ?meta rt =
                [
                  ("messages", Json.Int (Network.messages_sent net));
                  ("bytes", Json.Int (Network.bytes_sent net));
+                 ("loopback", Json.Int (Network.loopback_sent net));
+                 ("dropped", Json.Int (Network.messages_dropped net));
+                 ( "dropped_by_kind",
+                   Json.Obj
+                     (List.map
+                        (fun (kind, n) -> (kind, Json.Int n))
+                        (Network.dropped_by_kind net)) );
                  ("stats", Stats.to_json (Network.stats net));
                  ("metrics", Metrics.to_json (Network.metrics net));
                ] );
            ("trace_events", Json.Int (Trace.length tr));
+           ( "trace",
+             Json.Obj
+               [
+                 ("events", Json.Int (Trace.length tr));
+                 ("recorded", Json.Int (Trace.recorded tr));
+                 ("evicted", Json.Int (Trace.evicted tr));
+                 ( "capacity",
+                   match Trace.capacity tr with
+                   | Some c -> Json.Int c
+                   | None -> Json.Null );
+               ] );
          ];
        ])
+
+(* --- Prometheus text exposition ---
+
+   One scrape surface for the whole runtime: the per-node/per-protocol DSM
+   registry, the network's per-source registry, and a synthesized run-wide
+   registry for the scalar counters that live outside any Metrics group —
+   loopback traffic, fault-plan drops (total and per message kind) and the
+   flight recorder's eviction count. *)
+
+let to_prometheus ppf rt =
+  let net = Pm2.network rt.Runtime.pm2 in
+  let tr = trace rt in
+  Metrics.to_prometheus ppf (metrics rt);
+  Metrics.to_prometheus ppf (Network.metrics net);
+  let extra = Metrics.create () in
+  Metrics.add extra "net.loopback" (Network.loopback_sent net);
+  Metrics.add extra "net.dropped" (Network.messages_dropped net);
+  List.iter
+    (fun (kind, n) -> Metrics.add extra (kind ^ ".dropped") n)
+    (Network.dropped_by_kind net);
+  Metrics.add extra "trace.evicted" (Trace.evicted tr);
+  Metrics.to_prometheus ppf extra

@@ -73,4 +73,14 @@ val to_json : ?experiment:string -> ?meta:Run_meta.t -> Runtime.t -> Json.t
 (** Stable machine-readable snapshot: run metadata (under ["meta"]; defaults
     to {!run_meta} with [case] = [experiment]), simulated time, migrations,
     the instrumentation counters and span summaries (with percentiles), the
-    labeled metrics registry, and the network-layer series. *)
+    labeled metrics registry, and the network-layer series — including
+    loopback traffic, fault-plan drops (total and per message kind) and the
+    flight recorder's ["trace"] accounting (stored/recorded/evicted/
+    capacity). *)
+
+val to_prometheus : Format.formatter -> Runtime.t -> unit
+(** Prometheus text exposition of the whole runtime: the DSM metrics
+    registry ({!metrics}), the network's per-source registry, and a
+    synthesized run-wide registry carrying [dsm_net_loopback_total],
+    [dsm_net_dropped_total], per-kind [dsm_msg_<kind>_dropped_total] and
+    [dsm_trace_evicted_total]. *)

@@ -281,11 +281,16 @@ let note_install w ~page ~node at =
     end
   end
 
+(* The cursor counts ever-recorded events (Trace.recorded), not stored
+   ones: with the flight recorder attached, [Trace.length] stops growing
+   once the ring is full, which would freeze a length-based cursor and
+   re-feed the same events every tick.  [Trace.recent] resolves the cursor
+   against the same counter, skipping anything already evicted. *)
 let scan_trace w =
   let tr = Monitor.trace w.rt in
-  if Trace.enabled tr || Trace.length tr > w.seen then begin
+  if Trace.enabled tr || Trace.recorded tr > w.seen then begin
     let fresh = Trace.recent tr ~since:w.seen in
-    w.seen <- Trace.length tr;
+    w.seen <- Trace.recorded tr;
     List.iter
       (fun ((e : Trace.entry), ev) ->
         match ev with

@@ -502,6 +502,40 @@ let alert_lines events =
       | _ -> None)
     events
 
+(* Injected-fault footprint: how much the fault layer interfered with the
+   run — the quick "was this run clean?" check before reaching for the
+   blame engine. *)
+type fault_summary = {
+  fs_drops : int;  (* seeded per-message losses *)
+  fs_blackholes : int;  (* messages swallowed by crash windows *)
+  fs_crash_windows : int;
+  fs_restarts : int;
+  fs_rpc_retries : int;
+}
+
+let fault_summary events =
+  List.fold_left
+    (fun acc (_, ev) ->
+      match ev with
+      | Trace.Drop _ -> { acc with fs_drops = acc.fs_drops + 1 }
+      | Trace.Blackhole _ -> { acc with fs_blackholes = acc.fs_blackholes + 1 }
+      | Trace.Crash _ -> { acc with fs_crash_windows = acc.fs_crash_windows + 1 }
+      | Trace.Restart _ -> { acc with fs_restarts = acc.fs_restarts + 1 }
+      | Trace.Rpc_retry _ -> { acc with fs_rpc_retries = acc.fs_rpc_retries + 1 }
+      | _ -> acc)
+    {
+      fs_drops = 0;
+      fs_blackholes = 0;
+      fs_crash_windows = 0;
+      fs_restarts = 0;
+      fs_rpc_retries = 0;
+    }
+    events
+
+let fault_summary_empty fs =
+  fs.fs_drops = 0 && fs.fs_blackholes = 0 && fs.fs_crash_windows = 0
+  && fs.fs_restarts = 0 && fs.fs_rpc_retries = 0
+
 (* --- the analysis --- *)
 
 type t = {
@@ -518,6 +552,7 @@ type t = {
   an_barriers : barrier_profile list;
   an_advice : advice list;
   an_alerts : alert_line list;  (* watchdog findings, chronological *)
+  an_faults : fault_summary;  (* injected-fault footprint *)
 }
 
 let analyze ?(top = 5) trace =
@@ -587,6 +622,7 @@ let analyze ?(top = 5) trace =
     an_barriers = barrier_profiles events;
     an_advice = advise pages;
     an_alerts = alert_lines events;
+    an_faults = fault_summary events;
   }
 
 let pages t = t.an_pages
@@ -595,6 +631,7 @@ let locks t = t.an_locks
 let barriers t = t.an_barriers
 let chains t = t.an_chains
 let alerts t = t.an_alerts
+let faults t = t.an_faults
 
 let page_profile t ~page = List.find_opt (fun p -> p.pg_page = page) t.an_pages
 
@@ -604,11 +641,21 @@ let nodes_str nodes =
   "[" ^ String.concat ";" (List.map string_of_int nodes) ^ "]"
 
 let report
-    ?(sections = [ `Alerts; `Critical; `Pages; `Locks; `Barriers; `Advice ]) ppf
+    ?(sections =
+      [ `Alerts; `Faults; `Critical; `Pages; `Locks; `Barriers; `Advice ]) ppf
     t =
   let want s = List.mem s sections in
   Format.fprintf ppf "Trace analysis: %d events, %d spans, %.1f us@." t.an_events
     t.an_spans t.an_duration_us;
+  if want `Faults && not (fault_summary_empty t.an_faults) then begin
+    let f = t.an_faults in
+    Format.fprintf ppf "@.== Injected faults ==@.";
+    Format.fprintf ppf
+      "  %d message(s) lost, %d blackholed; %d crash window(s), %d \
+       restart(s); %d rpc retransmission(s)@."
+      f.fs_drops f.fs_blackholes f.fs_crash_windows f.fs_restarts
+      f.fs_rpc_retries
+  end;
   if want `Alerts && t.an_alerts <> [] then begin
     Format.fprintf ppf "@.== Watchdog alerts ==@.";
     List.iter
@@ -818,6 +865,15 @@ let to_json ?meta t =
                    ("detail", Json.String a.at_detail);
                  ])
              t.an_alerts) );
+      ( "faults",
+        Json.Obj
+          [
+            ("drops", Json.Int t.an_faults.fs_drops);
+            ("blackholes", Json.Int t.an_faults.fs_blackholes);
+            ("crash_windows", Json.Int t.an_faults.fs_crash_windows);
+            ("restarts", Json.Int t.an_faults.fs_restarts);
+            ("rpc_retries", Json.Int t.an_faults.fs_rpc_retries);
+          ] );
     ]
 
 (* --- folded stacks (flamegraph.pl / speedscope input) --- *)

@@ -117,6 +117,18 @@ type barrier_profile = {
   br_imbalance : dist;  (** last minus first arrival, per round *)
 }
 
+(** {2 Injected faults} *)
+
+type fault_summary = {
+  fs_drops : int;  (** seeded message losses ({!Trace.Drop}) *)
+  fs_blackholes : int;  (** crash-window swallows ({!Trace.Blackhole}) *)
+  fs_crash_windows : int;  (** {!Trace.Crash} window starts *)
+  fs_restarts : int;  (** {!Trace.Restart} events *)
+  fs_rpc_retries : int;  (** {!Trace.Rpc_retry} retransmissions *)
+}
+(** Counts of the fault layer's typed trace events — zero everywhere for an
+    unfaulted run. *)
+
 (** {2 Watchdog alerts} *)
 
 type alert_line = {
@@ -153,8 +165,13 @@ val advice : t -> advice list
 val alerts : t -> alert_line list
 (** Watchdog findings recorded in the trace, chronological. *)
 
+val faults : t -> fault_summary
+(** Injected-fault event counts found in the trace. *)
+
 val report :
-  ?sections:[ `Alerts | `Critical | `Pages | `Locks | `Barriers | `Advice ] list ->
+  ?sections:
+    [ `Alerts | `Faults | `Critical | `Pages | `Locks | `Barriers | `Advice ]
+    list ->
   Format.formatter ->
   t ->
   unit

@@ -388,6 +388,7 @@ type fault_outcome = {
   fo_dropped : int;
   fo_retransmissions : int;
   fo_fingerprint : int;
+  fo_explanations : Explain.explanation list;
 }
 
 let fault_outcome_failed o =
@@ -399,13 +400,16 @@ let fault_outcome_failed o =
    not drained by 100 ms of simulated time is genuinely stuck. *)
 let fault_run_limit = Time.of_us 100_000.
 
-let run_one_faulted ?(spec = default_fault_spec) ~protocol ~driver ~workload
-    ~seed () =
+let run_one_faulted ?(spec = default_fault_spec) ?(explain = false)
+    ?trace_capacity ~protocol ~driver ~workload ~seed () =
   let jitter = Network.seeded_jitter ~seed () in
   let dsm = Dsm.create ~tie_seed:seed ~jitter ~nodes ~driver () in
   ignore (Builtin.register_all dsm);
   ignore (Builtin.register_extras dsm);
   Monitor.enable dsm true;
+  (match trace_capacity with
+  | Some cap -> Trace.set_capacity (Monitor.trace dsm) cap
+  | None -> ());
   let watchdog = Watchdog.attach dsm in
   let proto_id =
     match Dsm.protocol_by_name dsm protocol with
@@ -431,15 +435,43 @@ let run_one_faulted ?(spec = default_fault_spec) ~protocol ~driver ~workload
   let complete = crashed = None && not stalled in
   let model = (Runtime.proto dsm proto_id).Protocol.model in
   let net = Pm2.network (Dsm.pm2 dsm) in
+  (* History and result checks only mean something for a run that drained:
+     an aborted or stalled run already failed louder. *)
+  let violations = if complete then History.check ~model hist else [] in
+  let explanations =
+    if not explain then []
+    else
+      let tr = Monitor.trace dsm in
+      match violations with
+      | _ :: _ ->
+          List.map
+            (fun (v : History.violation) ->
+              let op = v.History.v_op in
+              let page =
+                match op.History.kind with
+                | History.Read { addr; _ } | History.Write { addr; _ } ->
+                    Dsmpm2_mem.Page.page_of_addr dsm.Runtime.geo addr
+                | _ -> -1
+              in
+              Explain.explain_violation ~trace:tr ~node:op.History.node ~page
+                ~at:op.History.finish
+                ~detail:(History.violation_to_string v))
+            violations
+      | [] when crashed <> None || stalled ->
+          (* No checker verdict to blame, but the run still failed loudly:
+             explain each critical watchdog alert instead (deadlock.stall,
+             node.dead, ...) — the same targets [dsm explain] uses on a raw
+             dump. *)
+          Explain.explain_trace tr
+      | [] -> []
+  in
   {
     fo_seed = seed;
     fo_workload = workload_name workload;
     fo_plan = Fault_plan.to_string plan;
     fo_crashed = crashed;
     fo_stalled = stalled;
-    (* History and result checks only mean something for a run that drained:
-       an aborted or stalled run already failed louder. *)
-    fo_violations = (if complete then History.check ~model hist else []);
+    fo_violations = violations;
     fo_wrong_result = (if complete then check_result hist else None);
     fo_alert_kinds =
       List.sort_uniq String.compare
@@ -447,6 +479,7 @@ let run_one_faulted ?(spec = default_fault_spec) ~protocol ~driver ~workload
     fo_dropped = Network.messages_dropped net;
     fo_retransmissions = Rpc.retransmissions (Runtime.rpc dsm);
     fo_fingerprint = History.fingerprint hist;
+    fo_explanations = explanations;
   }
 
 type fault_verdict = {
@@ -462,7 +495,8 @@ type fault_verdict = {
 
 let fault_sweep ?(protocols = all_protocols) ?(drivers = [ Driver.bip_myrinet ])
     ?(workload_list = workloads) ?(spec = default_fault_spec)
-    ?(progress = fun _ -> ()) ~seeds () =
+    ?(progress = fun _ -> ()) ?(explain = false) ?(on_failure = fun _ _ -> ())
+    ~seeds () =
   List.map
     (fun protocol ->
       let runs = ref 0 and failures = ref 0 in
@@ -476,14 +510,16 @@ let fault_sweep ?(protocols = all_protocols) ?(drivers = [ Driver.bip_myrinet ])
               for seed = 0 to seeds - 1 do
                 incr runs;
                 let o =
-                  run_one_faulted ~spec ~protocol ~driver ~workload ~seed ()
+                  run_one_faulted ~spec ~explain ~protocol ~driver ~workload
+                    ~seed ()
                 in
                 kinds := List.rev_append o.fo_alert_kinds !kinds;
                 if o.fo_stalled then incr stalls;
                 if o.fo_crashed <> None then incr crashes;
                 if fault_outcome_failed o then begin
                   incr failures;
-                  if !first = None then first := Some o
+                  if !first = None then first := Some o;
+                  on_failure protocol o
                 end
               done;
               progress (Printf.sprintf "%s/%s/%s" protocol driver.Driver.name
@@ -517,6 +553,14 @@ let print_fault_outcome ppf o =
     (fun i v ->
       if i < 3 then Format.fprintf ppf "    %s@." (History.violation_to_string v))
     o.fo_violations;
+  List.iteri
+    (fun i x ->
+      if i < 3 then
+        List.iter
+          (fun c ->
+            Format.fprintf ppf "      because: %s@." (Explain.cause_to_string c))
+          (Explain.causes x))
+    o.fo_explanations;
   Format.fprintf ppf "    alerts: [%s]; %d messages dropped, %d retransmissions@."
     (String.concat ", " o.fo_alert_kinds)
     o.fo_dropped o.fo_retransmissions

@@ -131,12 +131,19 @@ type fault_outcome = {
       (** order-sensitive history hash, as in {!outcome}; with a zero-fault
           spec it equals the {!run_one} fingerprint for the same arguments —
           the bit-for-bit neutrality guarantee of a disabled fault layer *)
+  fo_explanations : Explain.explanation list;
+      (** one blame-engine explanation per violation, in order; for a run
+          that stalled or crashed without a checker verdict, one per
+          critical watchdog alert instead.  [] unless the run was made with
+          [~explain:true] *)
 }
 
 val fault_outcome_failed : fault_outcome -> bool
 
 val run_one_faulted :
   ?spec:fault_spec ->
+  ?explain:bool ->
+  ?trace_capacity:int ->
   protocol:string ->
   driver:Driver.t ->
   workload:workload ->
@@ -145,7 +152,11 @@ val run_one_faulted :
   fault_outcome
 (** One workload under one seeded fault schedule (monitor and watchdog
     always on — the alerts are part of the verdict).  Deterministic: seed
-    drives tie-breaking, jitter, loss draws and window placement. *)
+    drives tie-breaking, jitter, loss draws and window placement.
+    [explain] (default false) runs the {!Explain} blame engine over each
+    violation and fills [fo_explanations].  [trace_capacity] bounds the
+    trace as a flight-recorder ring ({!Dsmpm2_sim.Trace.set_capacity});
+    attaching it never changes the schedule or the fingerprint. *)
 
 type fault_verdict = {
   fv_protocol : string;
@@ -164,12 +175,17 @@ val fault_sweep :
   ?workload_list:workload list ->
   ?spec:fault_spec ->
   ?progress:(string -> unit) ->
+  ?explain:bool ->
+  ?on_failure:(string -> fault_outcome -> unit) ->
   seeds:int ->
   unit ->
   fault_verdict list
 (** Like {!sweep} under fault schedules.  Defaults to a single driver
     (bip_myrinet): fault tolerance is a protocol property, not a
-    driver-latency property, and faulted runs are slower. *)
+    driver-latency property, and faulted runs are slower.  [explain] is
+    passed through to {!run_one_faulted}; [on_failure] is called with the
+    protocol name and every failing outcome (not just the first), so
+    callers can render or archive each explanation. *)
 
 val print_faults : Format.formatter -> fault_verdict list -> unit
 val faults_to_json : fault_verdict list -> Dsmpm2_sim.Json.t

@@ -3,7 +3,11 @@ open Dsmpm2_sim
 (* Interned per-kind instrumentation: one counter and one latency series per
    message kind, resolved once at [create] so the per-message cost is an
    array index and a cell bump, not a string hash. *)
-type kind_handles = { k_count : Stats.counter; k_delay : Stats.histogram }
+type kind_handles = {
+  k_count : Stats.counter;
+  k_delay : Stats.histogram;
+  k_dropped : Stats.counter; (* "<kind>.dropped": per-kind fault losses *)
+}
 
 type t = {
   eng : Engine.t;
@@ -15,6 +19,11 @@ type t = {
       (* per node: latest loopback delivery, for the same FIFO clamp *)
   jitter : (src:int -> dst:int -> Time.t -> Time.t) option;
   mutable plan : Fault_plan.t;
+  mutable net_trace : Trace.t option;
+      (* fault forensics: dropped messages become typed trace events *)
+  mutable span_source : unit -> int;
+      (* the active span of whoever is sending, resolved at drop time; wired
+         by the PM2 layer which knows the fiber -> thread -> span chain *)
   mutable sent : int;
   mutable bytes : int;
   mutable loopback : int;
@@ -54,6 +63,8 @@ let create ?jitter eng ~driver ~nodes =
     loop_last = Array.make nodes (Time.of_ns (-1));
     jitter;
     plan = Fault_plan.none;
+    net_trace = None;
+    span_source = (fun () -> Trace.no_span);
     sent = 0;
     bytes = 0;
     loopback = 0;
@@ -66,6 +77,7 @@ let create ?jitter eng ~driver ~nodes =
           {
             k_count = Stats.counter net_stats name;
             k_delay = Stats.histogram net_stats (name ^ ".delay");
+            k_dropped = Stats.counter net_stats (name ^ ".dropped");
           })
         kind_names;
     h_delay = Stats.histogram net_stats "net.delay";
@@ -87,6 +99,16 @@ let stats t = t.net_stats
 let metrics t = t.net_metrics
 let set_fault_plan t plan = t.plan <- plan
 let fault_plan t = t.plan
+
+let set_trace t trace ~span =
+  t.net_trace <- Some trace;
+  t.span_source <- span
+
+let dropped_by_kind t =
+  Array.to_list
+    (Array.map
+       (fun name -> (name, Stats.count t.net_stats (name ^ ".dropped")))
+       kind_names)
 
 (* Seeded fault-injection jitter: every message pays a bounded random extra
    latency, and a small fraction take a much larger "spike" (a retransmission,
@@ -135,20 +157,30 @@ let send t ~src ~dst ~cost k =
     Stats.bump kh.k_count;
     Stats.bump t.node_sent.(src);
     Stats.bump_by t.node_bytes.(src) wire;
-    let drop () =
+    (* Every drop is first-class in the trace: the event carries the link,
+       the message kind and the sending operation's span, so the blame
+       engine can walk from a stale read back to the exact loss.  [ev] is
+       built lazily — the no-trace path allocates nothing. *)
+    let drop ev =
       t.dropped <- t.dropped + 1;
-      Stats.bump t.c_dropped
+      Stats.bump t.c_dropped;
+      Stats.bump kh.k_dropped;
+      match t.net_trace with
+      | Some tr when Trace.enabled tr ->
+          Trace.emit tr t.eng ~span:(t.span_source ()) (ev ())
+      | _ -> ()
     in
+    let kind_name = kind_names.(kind_index cost) in
     (* A crashed sender's traffic dies on the host; this is checked before
        the loss draw so blackholed messages never consume loss stream
        entropy a later run-with-different-windows would miss. *)
     if Fault_plan.is_down t.plan ~node:src (Engine.now t.eng) then begin
       Fault_plan.note_blackhole t.plan;
-      drop ()
+      drop (fun () -> Trace.Blackhole { src; dst; kind = kind_name; down = src })
     end
     else if Fault_plan.loses_message t.plan then begin
       Fault_plan.note_loss t.plan;
-      drop ()
+      drop (fun () -> Trace.Drop { src; dst; kind = kind_name })
     end
     else begin
       let delay = Driver.delay t.net_driver cost in
@@ -172,7 +204,7 @@ let send t ~src ~dst ~cost k =
         (* Delivered into a down window: the NIC is dead, the message is
            gone.  The link slot is not consumed by a vanished message. *)
         Fault_plan.note_blackhole t.plan;
-        drop ()
+        drop (fun () -> Trace.Blackhole { src; dst; kind = kind_name; down = dst })
       end
       else begin
         t.last_delivery.(link) <- arrival;

@@ -73,6 +73,21 @@ val messages_dropped : t -> int
 (** Messages dropped by the installed fault plan (loss draws plus crash
     blackholes); also the "net.dropped" counter in {!stats}. *)
 
+val set_trace : t -> Trace.t -> span:(unit -> int) -> unit
+(** Wires fault forensics: once installed (and while the trace is enabled),
+    every dropped cross-node message emits a typed [Trace.Drop] (seeded
+    loss) or [Trace.Blackhole] (crash-window swallow) event carrying the
+    link, the message-kind name and the span returned by [span] at drop
+    time.  The PM2 layer installs a [span] that resolves the sending
+    fiber's active operation span, so a lost invalidate lands in the same
+    span as the write that sent it.  With no trace installed (the default)
+    the drop paths allocate nothing. *)
+
+val dropped_by_kind : t -> (string * int) list
+(** Messages dropped by the fault plan per message kind, as
+    [("msg.request", n); ...] in {!stats} kind order — the per-kind
+    counters behind the "<kind>.dropped" series. *)
+
 val set_fault_plan : t -> Fault_plan.t -> unit
 (** Installs a fault schedule.  The default is {!Fault_plan.none};
     installing a plan with no windows and zero loss changes nothing — no

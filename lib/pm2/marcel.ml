@@ -48,6 +48,9 @@ let self t =
 let node_of_fiber t fid =
   Option.map (fun th -> th.node) (Hashtbl.find_opt t.by_fiber fid)
 
+let tid_of_fiber t fid =
+  Option.map (fun th -> th.tid) (Hashtbl.find_opt t.by_fiber fid)
+
 let tid th = th.tid
 let node th = th.node
 let is_migratable th = th.migratable

@@ -50,6 +50,12 @@ val node_of_fiber : t -> int -> int option
     consulted at event execution time, by which point [spawn] has registered
     the mapping. *)
 
+val tid_of_fiber : t -> int -> int option
+(** The tid of the Marcel thread running on engine fiber [fid], or [None]
+    for fibers that are not Marcel threads.  The PM2 layer composes this
+    with [Trace.thread_span] so the network can attribute a dropped message
+    to the operation of whoever is sending. *)
+
 val tid : thread -> int
 val node : thread -> int
 val stack_bytes : thread -> int

@@ -16,13 +16,26 @@ let create ?tie_seed ?jitter ?(page_size = 4096) ~nodes ~driver () =
   let marcel = Marcel.create eng ~nodes in
   let net = Network.create ?jitter eng ~driver ~nodes in
   let rpc = Rpc.create marcel net in
+  let pm2_trace = Trace.create () in
+  (* Fault forensics: the network and RPC layers emit Drop/Blackhole and
+     Rpc_retry events into the shared trace.  The span source walks
+     fiber -> Marcel thread -> active span, so a message dropped while an
+     operation's thread is sending lands in that operation's span. *)
+  Network.set_trace net pm2_trace ~span:(fun () ->
+      match Engine.current_fiber eng with
+      | None -> Trace.no_span
+      | Some fid -> (
+          match Marcel.tid_of_fiber marcel fid with
+          | None -> Trace.no_span
+          | Some tid -> Trace.thread_span pm2_trace ~tid));
+  Rpc.set_trace rpc pm2_trace;
   {
     eng;
     marcel;
     rpc;
     net;
     iso = Isoalloc.create ~page_size ();
-    pm2_trace = Trace.create ();
+    pm2_trace;
     migrations = 0;
   }
 

@@ -35,6 +35,8 @@ type t = {
   mutable retry : retry_policy option;
   mutable retry_rng : Rng.t;
   mutable retransmissions : int;
+  mutable rpc_trace : Trace.t option;
+      (* fault forensics: retransmissions become typed trace events *)
   mutable duplicates : int;
   mutable next_rid : int;
   seen : (int, seen) Hashtbl.t;
@@ -55,6 +57,7 @@ let create marcel net =
     retry = None;
     retry_rng = Rng.create ~seed:0;
     retransmissions = 0;
+    rpc_trace = None;
     duplicates = 0;
     next_rid = 0;
     seen = Hashtbl.create 64;
@@ -68,6 +71,7 @@ let calls_made t = t.calls
 let retransmissions t = t.retransmissions
 let duplicates_served t = t.duplicates
 let retry t = t.retry
+let set_trace t trace = t.rpc_trace <- Some trace
 
 let set_retry t ?(seed = 0) policy =
   (match policy with
@@ -159,6 +163,15 @@ let call t ~dst ~service ~cost payload =
       !result
   | Some pol ->
       let eng = Marcel.engine t.marcel in
+      (* The caller's operation span, captured now while still in fiber
+         context: the retransmission timer below fires in plain event
+         context, where the sending thread's span is unreachable. *)
+      let span =
+        match t.rpc_trace with
+        | Some tr when Trace.enabled tr ->
+            Trace.thread_span tr ~tid:(Marcel.tid th)
+        | _ -> Trace.no_span
+      in
       let rid = t.next_rid in
       t.next_rid <- rid + 1;
       let status = ref `Pending in
@@ -198,6 +211,17 @@ let call t ~dst ~service ~cost payload =
                          fault is costing us, fed to bench/analyze. *)
                       Stats.record t.h_retry_delay
                         Time.(Engine.now eng - started);
+                      (match t.rpc_trace with
+                      | Some tr when Trace.enabled tr ->
+                          Trace.emit tr eng ~span
+                            (Trace.Rpc_retry
+                               {
+                                 service = service_name t service;
+                                 src;
+                                 dst;
+                                 attempt = !attempts;
+                               })
+                      | _ -> ());
                       attempt ()
                     end
                 | _ -> ())

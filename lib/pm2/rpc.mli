@@ -63,6 +63,13 @@ val set_retry : t -> ?seed:int -> retry_policy option -> unit
 
 val retry : t -> retry_policy option
 
+val set_trace : t -> Dsmpm2_sim.Trace.t -> unit
+(** Wires fault forensics: once installed (and while the trace is enabled),
+    every retransmission emits a typed [Trace.Rpc_retry] event carrying the
+    service name, the link and the attempt count, stamped with the calling
+    thread's operation span (captured at call time, since the retry timer
+    fires outside fiber context). *)
+
 val retransmissions : t -> int
 (** Retransmissions sent so far — the watchdog's retry-storm feed.  The
     per-call waiting times are recorded in the "rpc.retry.delay" histogram

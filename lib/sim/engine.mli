@@ -39,6 +39,14 @@ val at : t -> Time.t -> (unit -> unit) -> unit
 val after : t -> Time.t -> (unit -> unit) -> unit
 (** [after t dt f] schedules [f] at [now t + dt]. *)
 
+val at_observer : t -> Time.t -> (unit -> unit) -> unit
+(** Like {!at}, but as an {e observer} event: it carries the maximal tie
+    key and never draws from the schedule-perturbation RNG, so it runs
+    after every same-time workload event and attaching it to a seeded run
+    leaves the workload's schedule bit-for-bit identical.  Used by the
+    fault injector to stamp crash-window Crash/Restart events into the
+    trace without perturbing the schedule under test. *)
+
 val periodic : t -> interval:Time.t -> (unit -> bool) -> unit
 (** [periodic t ~interval tick] runs [tick] every [interval] of virtual time
     for as long as it returns [true] — the heartbeat the online watchdog is

@@ -36,6 +36,11 @@ type event =
   | Barrier of { node : int; barrier : int }
   | Migration of { thread : int; src : int; dst : int }
   | Alert of { severity : string; kind : string; node : int; detail : string }
+  | Drop of { src : int; dst : int; kind : string }
+  | Blackhole of { src : int; dst : int; kind : string; down : int }
+  | Crash of { node : int; up : Time.t }
+  | Restart of { node : int }
+  | Rpc_retry of { service : string; src : int; dst : int; attempt : int }
   | Message of { category : string; message : string }
 
 let no_span = -1
@@ -54,6 +59,11 @@ let event_category = function
   | Barrier _ -> "barrier"
   | Migration _ -> "migrate"
   | Alert _ -> "alert"
+  | Drop _ -> "drop"
+  | Blackhole _ -> "blackhole"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+  | Rpc_retry _ -> "rpc.retry"
   | Message { category; _ } -> category
 
 let event_message = function
@@ -82,6 +92,16 @@ let event_message = function
       Printf.sprintf "ALERT[%s] %s%s: %s" severity kind
         (if node < 0 then "" else Printf.sprintf " (node %d)" node)
         detail
+  | Drop { src; dst; kind } ->
+      Printf.sprintf "link %d->%d: %s dropped (seeded loss)" src dst kind
+  | Blackhole { src; dst; kind; down } ->
+      Printf.sprintf "link %d->%d: %s blackholed (node %d down)" src dst kind down
+  | Crash { node; up } ->
+      Printf.sprintf "node %d: crashed (down until %.0fus)" node (Time.to_us up)
+  | Restart { node } -> Printf.sprintf "node %d: restarted" node
+  | Rpc_retry { service; src; dst; attempt } ->
+      Printf.sprintf "rpc %s: retransmission #%d on link %d->%d" service attempt
+        src dst
   | Message { message; _ } -> message
 
 (* The node a trace event belongs to, for the Chrome exporter's process
@@ -97,29 +117,124 @@ let event_node = function
   | Barrier { node; _ } -> node
   | Migration { src; _ } -> src
   | Alert { node; _ } -> node
+  | Drop { src; _ } -> src
+  | Blackhole { down; _ } -> down
+  | Crash { node; _ } -> node
+  | Restart { node } -> node
+  | Rpc_retry { src; _ } -> src
   | Message _ -> -1
 
 type entry = { at : Time.t; span : int; category : string; message : string }
 
+(* Storage is a growable circular buffer so the flight recorder
+   ([set_capacity]) can overwrite the oldest entry in O(1) while the
+   unbounded default keeps amortized O(1) appends.  [total] counts every
+   event ever recorded (monotonic, survives eviction): it is the cursor
+   space of [recent ~since] and the base of the [evicted] accounting. *)
 type t = {
   mutable on : bool;
-  mutable entries : (entry * event) list; (* newest first *)
-  mutable count : int; (* length of [entries], maintained on every mutation *)
+  mutable buf : (entry * event) array;
+  mutable start : int; (* index of the oldest stored entry *)
+  mutable len : int; (* number of stored entries *)
+  mutable total : int; (* events ever recorded, monotonic *)
+  mutable cap : int option; (* flight-recorder bound; [None] = unbounded *)
   mutable next_span : int;
   thread_spans : (int, int) Hashtbl.t; (* tid -> active span *)
+  mutable autodump : string option; (* dump target armed on critical alerts *)
+  mutable autodump_fired : bool;
 }
+
+let dummy_slot =
+  ( { at = Time.zero; span = no_span; category = ""; message = "" },
+    Message { category = ""; message = "" } )
 
 let create ?(enabled = false) () =
   {
     on = enabled;
-    entries = [];
-    count = 0;
+    buf = Array.make 16 dummy_slot;
+    start = 0;
+    len = 0;
+    total = 0;
+    cap = None;
     next_span = 0;
     thread_spans = Hashtbl.create 16;
+    autodump = None;
+    autodump_fired = false;
   }
 
 let enable t b = t.on <- b
 let enabled t = t.on
+
+(* --- flight recorder --- *)
+
+let capacity t = t.cap
+let recorded t = t.total
+let evicted t = t.total - t.len
+
+let set_capacity t n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  let keep = min t.len n in
+  let old_n = Array.length t.buf in
+  let nb = Array.make n dummy_slot in
+  (* Keep the newest [keep] entries: a shrinking recorder forgets the
+     oldest history first, exactly as steady-state eviction would. *)
+  for i = 0 to keep - 1 do
+    nb.(i) <- t.buf.((t.start + (t.len - keep) + i) mod old_n)
+  done;
+  t.buf <- nb;
+  t.start <- 0;
+  t.len <- keep;
+  t.cap <- Some n
+
+let set_autodump t path =
+  t.autodump <- Some path;
+  t.autodump_fired <- false
+
+let autodump_path t = t.autodump
+let autodump_fired t = t.autodump_fired
+
+(* Forward reference to [save_jsonl], which needs the exporters defined
+   below; resolved at module initialization.  Keeps the autodump trigger
+   inside [push] without reordering the whole file. *)
+let autodump_impl : (string -> t -> unit) ref = ref (fun _ _ -> ())
+
+let get t i = t.buf.((t.start + i) mod Array.length t.buf)
+
+let grow t =
+  let n = Array.length t.buf in
+  let n' = max 16 (2 * n) in
+  let n' = match t.cap with Some c -> min n' c | None -> n' in
+  if n' > n then begin
+    let nb = Array.make n' dummy_slot in
+    for i = 0 to t.len - 1 do
+      nb.(i) <- t.buf.((t.start + i) mod n)
+    done;
+    t.buf <- nb;
+    t.start <- 0
+  end
+
+let push t x =
+  (match t.cap with
+  | Some cap when t.len >= cap ->
+      (* Full ring: overwrite the oldest entry in place. *)
+      t.buf.(t.start) <- x;
+      t.start <- (t.start + 1) mod Array.length t.buf;
+      t.total <- t.total + 1
+  | _ ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.start + t.len) mod Array.length t.buf) <- x;
+      t.len <- t.len + 1;
+      t.total <- t.total + 1);
+  (* Flight-recorder dump: the first critical alert freezes the evidence
+     to disk while the ring still holds the events leading up to it. *)
+  match t.autodump with
+  | Some path when not t.autodump_fired -> (
+      match snd x with
+      | Alert { severity = "critical"; _ } ->
+          t.autodump_fired <- true;
+          !autodump_impl path t
+      | _ -> ())
+  | _ -> ()
 
 (* --- span context ---
 
@@ -151,58 +266,57 @@ let thread_span t ~tid =
 (* --- recording --- *)
 
 let emit t eng ?(span = no_span) ev =
-  if t.on then begin
-    let entry =
-      {
-        at = Engine.now eng;
-        span;
-        category = event_category ev;
-        message = event_message ev;
-      }
-    in
-    t.entries <- (entry, ev) :: t.entries;
-    t.count <- t.count + 1
-  end
+  if t.on then
+    push t
+      ( {
+          at = Engine.now eng;
+          span;
+          category = event_category ev;
+          message = event_message ev;
+        },
+        ev )
 
 let record t eng ~category message =
-  if t.on then begin
-    t.entries <-
+  if t.on then
+    push t
       ( { at = Engine.now eng; span = no_span; category; message },
         Message { category; message } )
-      :: t.entries;
-    t.count <- t.count + 1
-  end
 
 let recordf t eng ~category fmt =
   if t.on then
     Format.kasprintf
       (fun message ->
-        t.entries <-
+        push t
           ( { at = Engine.now eng; span = no_span; category; message },
-            Message { category; message } )
-          :: t.entries;
-        t.count <- t.count + 1)
+            Message { category; message } ))
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let entries t = List.rev_map fst t.entries
-let events t = List.rev_map (fun (e, ev) -> (e, ev)) t.entries
+let events t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (get t i :: acc) in
+  build (t.len - 1) []
+
+let entries t = List.map fst (events t)
 let by_category t c = List.filter (fun e -> String.equal e.category c) (entries t)
 let by_span t s = List.filter (fun (e, _) -> e.span = s) (events t)
-let length t = t.count
+let length t = t.len
 
-(* The events recorded after the first [since] ones, chronological: the
-   watchdog's incremental feed.  Cost is proportional to the increment, not
-   to the whole trace, because [entries] is newest-first. *)
+(* The events recorded after cursor [since], chronological: the watchdog's
+   incremental feed.  [since] counts ever-recorded events ({!recorded}), so
+   the cursor stays correct when the flight recorder evicts entries — a
+   caller that fell behind an eviction simply misses the overwritten events
+   (they are gone) and resumes at the oldest survivor.  Cost and allocation
+   are proportional to the increment; a call with nothing new returns []
+   without allocating. *)
 let recent t ~since =
-  let fresh = t.count - since in
+  let first_stored = t.total - t.len in
+  let from = if since < first_stored then first_stored else since in
+  let fresh = t.total - from in
   if fresh <= 0 then []
   else begin
-    let rec take acc n = function
-      | x :: rest when n > 0 -> take (x :: acc) (n - 1) rest
-      | _ -> acc
-    in
-    take [] fresh t.entries
+    let stop = t.len - fresh in
+    let rec build i acc = if i < stop then acc else build (i - 1) (get t i :: acc) in
+    build (t.len - 1) []
   end
 
 (* Every span's events grouped together (chronological inside each group),
@@ -213,11 +327,11 @@ let spans t =
   List.iter
     (fun ((e, _) as x) ->
       if e.span <> no_span then begin
-        (match Hashtbl.find_opt tbl e.span with
+        match Hashtbl.find_opt tbl e.span with
         | Some rev -> Hashtbl.replace tbl e.span (x :: rev)
         | None ->
             order := e.span :: !order;
-            Hashtbl.replace tbl e.span [ x ])
+            Hashtbl.replace tbl e.span [ x ]
       end)
     (events t);
   List.rev_map (fun s -> (s, List.rev (Hashtbl.find tbl s))) !order
@@ -228,20 +342,22 @@ let spans t =
 let of_events evs =
   let t = create ~enabled:false () in
   let max_span = ref (-1) in
-  t.entries <-
-    List.rev_map
-      (fun (at, span, ev) ->
-        if span > !max_span then max_span := span;
+  List.iter
+    (fun (at, span, ev) ->
+      if span > !max_span then max_span := span;
+      push t
         ({ at; span; category = event_category ev; message = event_message ev }, ev))
-      evs;
-  t.count <- List.length t.entries;
+    evs;
   t.next_span <- !max_span + 1;
   t
 
 let hash t =
-  List.fold_left
-    (fun acc (e, _) -> Hashtbl.hash (acc, e.at, e.category, e.message))
-    0 t.entries
+  let acc = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e, _ = get t i in
+    acc := Hashtbl.hash (!acc, e.at, e.category, e.message)
+  done;
+  !acc
 
 let pp ppf t =
   List.iter
@@ -249,9 +365,12 @@ let pp ppf t =
     (entries t)
 
 let clear t =
-  t.entries <- [];
-  t.count <- 0;
+  Array.fill t.buf 0 (Array.length t.buf) dummy_slot;
+  t.start <- 0;
+  t.len <- 0;
+  t.total <- 0;
   t.next_span <- 0;
+  t.autodump_fired <- false;
   Hashtbl.reset t.thread_spans
 
 (* --- JSON export --- *)
@@ -339,6 +458,37 @@ let event_fields = function
         ("kind", Json.String kind);
         ("node", Json.Int node);
         ("detail", Json.String detail);
+      ]
+  | Drop { src; dst; kind } ->
+      [
+        ("type", Json.String "drop");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("kind", Json.String kind);
+      ]
+  | Blackhole { src; dst; kind; down } ->
+      [
+        ("type", Json.String "blackhole");
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("kind", Json.String kind);
+        ("down", Json.Int down);
+      ]
+  | Crash { node; up } ->
+      [
+        ("type", Json.String "crash");
+        ("node", Json.Int node);
+        ("up_ns", Json.Int up);
+      ]
+  | Restart { node } ->
+      [ ("type", Json.String "restart"); ("node", Json.Int node) ]
+  | Rpc_retry { service; src; dst; attempt } ->
+      [
+        ("type", Json.String "rpc_retry");
+        ("service", Json.String service);
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("attempt", Json.Int attempt);
       ]
   | Message { category; message } ->
       [
@@ -434,6 +584,30 @@ let event_of_json j =
           let* node = geti "node" in
           let* detail = gets "detail" in
           Some (Alert { severity; kind; node; detail })
+    | "drop" ->
+        let* src = geti "src" in
+        let* dst = geti "dst" in
+        let* kind = gets "kind" in
+        Some (Drop { src; dst; kind })
+    | "blackhole" ->
+        let* src = geti "src" in
+        let* dst = geti "dst" in
+        let* kind = gets "kind" in
+        let* down = geti "down" in
+        Some (Blackhole { src; dst; kind; down })
+    | "crash" ->
+        let* node = geti "node" in
+        let* up = geti "up_ns" in
+        Some (Crash { node; up })
+    | "restart" ->
+        let* node = geti "node" in
+        Some (Restart { node })
+    | "rpc_retry" ->
+        let* service = gets "service" in
+        let* src = geti "src" in
+        let* dst = geti "dst" in
+        let* attempt = geti "attempt" in
+        Some (Rpc_retry { service; src; dst; attempt })
     | "message" ->
         let* category = gets "category" in
         let* message = gets "message" in
@@ -511,6 +685,8 @@ let save_jsonl path t =
   to_jsonl ppf t;
   Format.pp_print_flush ppf ();
   Gzip.write_file path (Buffer.contents buf)
+
+let () = autodump_impl := save_jsonl
 
 let load_jsonl path =
   match Gzip.read_file path with

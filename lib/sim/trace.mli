@@ -59,6 +59,22 @@ type event =
           "deadlock.cycle", "stall.lock", "thrash.page", ...); [node] is the
           node the finding concerns or [-1] for run-wide findings; [detail]
           carries the human-readable evidence. *)
+  | Drop of { src : int; dst : int; kind : string }
+      (** A message lost by the fault plan's seeded per-message loss draw
+          ([Network.send]).  [kind] is the message-kind name
+          ("msg.request", "msg.bulk", ...); the span is the operation the
+          message belonged to, so the blame engine can tie the loss to the
+          access it starved. *)
+  | Blackhole of { src : int; dst : int; kind : string; down : int }
+      (** A message swallowed by a crash window: [down] is the crashed node
+          ([src] at send time or [dst] at arrival time). *)
+  | Crash of { node : int; up : Time.t }
+      (** A fault-plan crash window opening on [node]; [up] is the window's
+          scheduled end, so a post-mortem trace carries the full bounds. *)
+  | Restart of { node : int }  (** The crash window on [node] closing. *)
+  | Rpc_retry of { service : string; src : int; dst : int; attempt : int }
+      (** A retransmission going out after a reply deadline expired
+          ([Rpc.call]); [attempt] counts the attempts already made. *)
   | Message of { category : string; message : string }
       (** Free-form compatibility events from [record]/[recordf]. *)
 
@@ -91,6 +107,39 @@ type t
 val create : ?enabled:bool -> unit -> t
 val enable : t -> bool -> unit
 val enabled : t -> bool
+
+(** {2 Flight recorder}
+
+    By default a trace grows without bound.  {!set_capacity} turns it into a
+    bounded ring: the newest [n] events are kept, older ones are evicted
+    (counted by {!evicted}), and memory stays constant for arbitrarily long
+    runs.  Attaching or resizing the recorder never touches the engine — a
+    seeded schedule is bit-for-bit identical with and without it. *)
+
+val set_capacity : t -> int -> unit
+(** Bounds the trace to the newest [n] events ([n > 0]; raises
+    [Invalid_argument] otherwise).  Shrinking below the current size drops
+    the oldest entries immediately. *)
+
+val capacity : t -> int option
+(** The configured bound, or [None] for an unbounded trace. *)
+
+val recorded : t -> int
+(** Events ever recorded, including evicted ones; monotonic.  This is the
+    cursor space of {!recent}. *)
+
+val evicted : t -> int
+(** Events overwritten by the ring ([recorded - length]); 0 while
+    unbounded. *)
+
+val set_autodump : t -> string -> unit
+(** Arms the flight-recorder dump: the first critical [Alert] recorded
+    after this call writes the whole trace to the given path with
+    {!save_jsonl} (gzip for [.gz] paths) and disarms.  Re-arming resets the
+    fired flag. *)
+
+val autodump_path : t -> string option
+val autodump_fired : t -> bool
 
 (** {2 Span context}
 
@@ -140,13 +189,17 @@ val spans : t -> (int * (entry * event) list) list
     first appearance — each group is one logical operation's full chain. *)
 
 val length : t -> int
-(** Number of recorded events; O(1). *)
+(** Number of events currently stored ([<= recorded] once the flight
+    recorder evicts); O(1). *)
 
 val recent : t -> since:int -> (entry * event) list
-(** [recent t ~since] returns the events recorded after the first [since]
-    ones, chronological — the watchdog's incremental feed.  Cost is
-    proportional to the number of fresh events, not the whole trace; call
-    with [since = length t] from the previous read. *)
+(** [recent t ~since] returns the events recorded after cursor [since],
+    chronological — the watchdog's incremental feed.  The cursor counts
+    ever-recorded events ({!recorded}), so it stays correct across ring
+    eviction: events already overwritten are silently skipped.  Cost and
+    allocation are proportional to the number of fresh events, not the
+    whole trace (a call with nothing new allocates nothing); call with
+    [since = recorded t] from the previous read. *)
 
 val hash : t -> int
 (** Order-sensitive digest of the whole trace. *)

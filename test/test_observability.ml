@@ -40,6 +40,11 @@ let sample_events =
         node = 1;
         detail = "thread 3 (node 1) waits for lock 0";
       };
+    Trace.Drop { src = 0; dst = 2; kind = "msg.request" };
+    Trace.Blackhole { src = 1; dst = 2; kind = "msg.bulk"; down = 2 };
+    Trace.Crash { node = 2; up = Time.of_us 368. };
+    Trace.Restart { node = 2 };
+    Trace.Rpc_retry { service = "dsm.page_fetch"; src = 0; dst = 2; attempt = 3 };
   ]
 
 let test_event_json_round_trip () =
@@ -160,6 +165,18 @@ let gen_event =
       (let* severity = oneofl Trace.alert_severities in
        let* kind = name and* node = int_bound 7 and* detail = text in
        return (Trace.Alert { severity; kind; node; detail }));
+      (let* src = int_bound 7 and* dst = int_bound 7 and* kind = name in
+       return (Trace.Drop { src; dst; kind }));
+      (let* src = int_bound 7 and* dst = int_bound 7 and* kind = name in
+       let* down = int_bound 7 in
+       return (Trace.Blackhole { src; dst; kind; down }));
+      (let* node = int_bound 7 and* up_us = int_bound 5000 in
+       return (Trace.Crash { node; up = Time.of_us (float_of_int up_us) }));
+      (let* node = int_bound 7 in
+       return (Trace.Restart { node }));
+      (let* service = name and* src = int_bound 7 and* dst = int_bound 7 in
+       let* attempt = int_range 1 9 in
+       return (Trace.Rpc_retry { service; src; dst; attempt }));
     ]
 
 let prop_jsonl_round_trip =
@@ -328,6 +345,171 @@ let test_summary_tie_order () =
     [ "busy"; "alpha"; "mid"; "zeta" ]
     order
 
+(* --- flight recorder: bounded ring, eviction accounting, autodump --- *)
+
+let test_ring_eviction_bounds () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:true () in
+  Trace.set_capacity tr 64;
+  Alcotest.(check (option int)) "capacity readable" (Some 64) (Trace.capacity tr);
+  for i = 0 to 199 do
+    Trace.emit tr eng (Trace.Barrier { node = 0; barrier = i })
+  done;
+  Alcotest.(check int) "ring holds exactly the capacity" 64 (Trace.length tr);
+  Alcotest.(check int) "every emit was recorded" 200 (Trace.recorded tr);
+  Alcotest.(check int) "the rest were evicted" 136 (Trace.evicted tr);
+  (* The survivors are the newest 64, still in chronological order. *)
+  let barriers =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with Trace.Barrier { barrier; _ } -> Some barrier | _ -> None)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "newest events kept, in order"
+    (List.init 64 (fun i -> 136 + i))
+    barriers
+
+let test_ring_shrink_drops_oldest () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:true () in
+  for i = 0 to 9 do
+    Trace.emit tr eng (Trace.Barrier { node = 0; barrier = i })
+  done;
+  Trace.set_capacity tr 3;
+  Alcotest.(check int) "shrunk to the new bound" 3 (Trace.length tr);
+  Alcotest.(check int) "evictions counted" 7 (Trace.evicted tr);
+  let barriers =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with Trace.Barrier { barrier; _ } -> Some barrier | _ -> None)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "newest three kept" [ 7; 8; 9 ] barriers
+
+let test_recent_cursor_across_eviction () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:true () in
+  Trace.set_capacity tr 4;
+  for i = 0 to 5 do
+    Trace.emit tr eng (Trace.Barrier { node = 0; barrier = i })
+  done;
+  (* Cursor 0 predates the eviction horizon: overwritten events are silently
+     skipped, not resurrected. *)
+  Alcotest.(check int) "clamped to what is stored" 4
+    (List.length (Trace.recent tr ~since:0));
+  Alcotest.(check int) "cursor counts recorded events" 2
+    (List.length (Trace.recent tr ~since:4));
+  Alcotest.(check int) "caught-up cursor sees nothing" 0
+    (List.length (Trace.recent tr ~since:6))
+
+let test_recent_no_fresh_allocates_nothing () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:true () in
+  Trace.set_capacity tr 128;
+  for i = 0 to 499 do
+    Trace.emit tr eng (Trace.Barrier { node = 0; barrier = i })
+  done;
+  let since = Trace.recorded tr in
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Trace.recent tr ~since)
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check bool) "caught-up polling is allocation-free" true
+    (after -. before < 256.)
+
+let test_autodump_on_critical_alert () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~enabled:true () in
+  Trace.set_capacity tr 16;
+  let path = Filename.temp_file "dsm_autodump" ".jsonl.gz" in
+  Trace.set_autodump tr path;
+  Alcotest.(check bool) "armed but not fired" false (Trace.autodump_fired tr);
+  for i = 0 to 39 do
+    Trace.emit tr eng (Trace.Barrier { node = 0; barrier = i })
+  done;
+  Trace.emit tr eng
+    (Trace.Alert
+       { severity = "warning"; kind = "thrash.page"; node = 0; detail = "w" });
+  Alcotest.(check bool) "warnings do not trip the recorder" false
+    (Trace.autodump_fired tr);
+  Trace.emit tr eng
+    (Trace.Alert
+       { severity = "critical"; kind = "deadlock.stall"; node = 1; detail = "c" });
+  Alcotest.(check bool) "critical alert dumps" true (Trace.autodump_fired tr);
+  (* The dump is the ring at the instant of the alert, re-loadable, ending
+     with the alert itself. *)
+  (match Trace.load_jsonl path with
+  | Error msg -> Alcotest.failf "autodump unreadable: %s" msg
+  | Ok dumped ->
+      Alcotest.(check int) "dump is the ring" 16 (Trace.length dumped);
+      let last =
+        match List.rev (Trace.events dumped) with
+        | (_, ev) :: _ -> ev
+        | [] -> Alcotest.fail "empty dump"
+      in
+      Alcotest.(check bool) "last event is the critical alert" true
+        (match last with
+        | Trace.Alert { severity = "critical"; kind = "deadlock.stall"; _ } ->
+            true
+        | _ -> false));
+  (* Second critical alert while fired: no re-dump (the file keeps the first
+     incident). *)
+  Sys.remove path;
+  Trace.emit tr eng
+    (Trace.Alert
+       { severity = "critical"; kind = "deadlock.stall"; node = 1; detail = "again" });
+  Alcotest.(check bool) "disarmed after firing" false (Sys.file_exists path)
+
+(* --- Monitor.to_prometheus: runtime + network + derived counters --- *)
+
+let test_monitor_prometheus_export () =
+  let dsm = cold_fault_dsm () in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Monitor.to_prometheus fmt dsm;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  (* The runtime registry is still there... *)
+  Alcotest.(check bool) "runtime counter present" true
+    (has {|dsm_fault_read_total{node="0",protocol="li_hudak"} 1|});
+  (* ...plus the derived network and trace gauges of Monitor.to_json. *)
+  Alcotest.(check bool) "loopback counter" true
+    (List.exists (fun l -> contains l "dsm_net_loopback_total") lines);
+  Alcotest.(check bool) "drop counter" true
+    (List.exists (fun l -> contains l "dsm_net_dropped_total") lines);
+  Alcotest.(check bool) "per-kind drop counter" true
+    (List.exists (fun l -> contains l "dsm_msg_request_dropped_total") lines);
+  Alcotest.(check bool) "trace eviction counter" true
+    (List.exists (fun l -> contains l "dsm_trace_evicted_total") lines);
+  Alcotest.(check bool) "no doubled dsm_ prefix" false (contains text "dsm_dsm_")
+
+let test_monitor_json_network_fields () =
+  let dsm = cold_fault_dsm () in
+  let json = Monitor.to_json ~experiment:"cold_fault" dsm in
+  let net =
+    match Json.member "network" json with
+    | Some n -> n
+    | None -> Alcotest.fail "no network object"
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("network has " ^ field) true
+        (Json.member field net <> None))
+    [ "loopback"; "dropped"; "dropped_by_kind" ];
+  let tr =
+    match Json.member "trace" json with
+    | Some t -> t
+    | None -> Alcotest.fail "no trace object"
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("trace has " ^ field) true
+        (Json.member field tr <> None))
+    [ "events"; "recorded"; "evicted"; "capacity" ]
+
 let test_disabled_monitor_no_events () =
   let dsm = Dsm.create ~nodes:2 ~driver:Driver.bip_myrinet () in
   let ids = Builtin.register_all dsm in
@@ -363,6 +545,22 @@ let () =
           Alcotest.test_case "chrome trace valid" `Quick test_chrome_export_valid;
           Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
           Alcotest.test_case "prometheus text format" `Quick test_prometheus_export;
+          Alcotest.test_case "monitor prometheus export" `Quick
+            test_monitor_prometheus_export;
+          Alcotest.test_case "monitor json network fields" `Quick
+            test_monitor_json_network_fields;
           Alcotest.test_case "summary tie order" `Quick test_summary_tie_order;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "ring eviction bounds" `Quick test_ring_eviction_bounds;
+          Alcotest.test_case "shrink drops oldest" `Quick
+            test_ring_shrink_drops_oldest;
+          Alcotest.test_case "recent cursor across eviction" `Quick
+            test_recent_cursor_across_eviction;
+          Alcotest.test_case "caught-up recent allocates nothing" `Quick
+            test_recent_no_fresh_allocates_nothing;
+          Alcotest.test_case "autodump on critical alert" `Quick
+            test_autodump_on_critical_alert;
         ] );
     ]

@@ -9,7 +9,7 @@ module B = Bench_suite
 
 (* --- synthetic snapshots (no simulation needed) --- *)
 
-let sample ~seed ~time ?(messages = 100) () =
+let sample ~seed ~time ?(messages = 100) ?(dropped = 0) ?(rpc_retries = 0) () =
   {
     B.s_seed = seed;
     s_time_us = time;
@@ -17,8 +17,8 @@ let sample ~seed ~time ?(messages = 100) () =
     s_bytes = 4096;
     s_read_faults = 10;
     s_write_faults = 5;
-    s_dropped = 0;
-    s_rpc_retries = 0;
+    s_dropped = dropped;
+    s_rpc_retries = rpc_retries;
     s_fault_p50_us = 50.;
     s_fault_p90_us = 90.;
     s_fault_p99_us = 99.;
@@ -161,6 +161,44 @@ let test_messages_delta_reported_not_gating () =
   Alcotest.(check bool) "but the gate is simulated time" false
     (Rundiff.significant_regression d)
 
+let test_fault_metrics_advisory () =
+  (* A fault-injection delta — more drops, more retransmissions — is
+     surfaced per metric but never gates the exit code: only simulated time
+     does. *)
+  let a = snapshot [ sample ~seed:0 ~time:1000. () ] in
+  let b =
+    snapshot [ sample ~seed:0 ~time:1000. ~dropped:7 ~rpc_retries:21 () ]
+  in
+  let d = diff_exn a b in
+  let metric name =
+    List.find
+      (fun m -> m.Rundiff.md_metric = name)
+      (List.hd d.Rundiff.rd_cases).Rundiff.cd_metrics
+  in
+  List.iter
+    (fun name ->
+      let m = metric name in
+      Alcotest.(check bool) (name ^ " delta significant") true
+        m.Rundiff.md_significant;
+      Alcotest.(check bool) (name ^ " direction worse") true
+        (m.Rundiff.md_direction = Rundiff.Worse))
+    [ "dropped"; "rpc_retries" ];
+  Alcotest.(check bool) "advisory only — no exit-1 regression" false
+    (Rundiff.significant_regression d);
+  (* ...and the deltas are visible in the rendered report. *)
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Rundiff.pp_text fmt d;
+  Format.pp_print_flush fmt ();
+  let text = Buffer.contents buf in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dropped in report" true (contains "dropped");
+  Alcotest.(check bool) "rpc_retries in report" true (contains "rpc_retries")
+
 (* --- metadata refusal --- *)
 
 let test_mismatch_refused () =
@@ -284,6 +322,8 @@ let () =
             test_noise_bound_suppresses;
           Alcotest.test_case "traffic deltas report, time gates" `Quick
             test_messages_delta_reported_not_gating;
+          Alcotest.test_case "fault metrics advisory" `Quick
+            test_fault_metrics_advisory;
         ] );
       ( "metadata",
         [
