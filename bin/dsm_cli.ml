@@ -64,6 +64,8 @@ type obs = {
   trace_jsonl : string option;
   trace_cap : int option;
   trace_dump : string option;
+  sample_pct : float option;
+  sample_seed : int;
   metrics_out : string option;
   metrics_prom : string option;
   report : bool;
@@ -104,6 +106,25 @@ let obs_term =
             "Auto-dump the trace ring as JSONL to $(docv) the first time a \
              critical alert is recorded (a .gz suffix gzip-compresses).")
   in
+  let sample_pct =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-pct" ] ~docv:"PCT"
+          ~doc:
+            "Deterministic head-based trace sampling: store roughly $(docv)% \
+             of fault spans (whole spans are kept or dropped together; \
+             alerts and injected-fault events are always kept; the schedule \
+             and the online telemetry are unchanged).")
+  in
+  let sample_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for $(b,--sample-pct) keep decisions (same seed, same \
+             spans kept).")
+  in
   let metrics_out =
     Arg.(
       value
@@ -133,24 +154,26 @@ let obs_term =
   in
   Term.(
     const
-      (fun trace_out trace_jsonl trace_cap trace_dump metrics_out metrics_prom
-           report health ->
+      (fun trace_out trace_jsonl trace_cap trace_dump sample_pct sample_seed
+           metrics_out metrics_prom report health ->
         {
           trace_out;
           trace_jsonl;
           trace_cap;
           trace_dump;
+          sample_pct;
+          sample_seed;
           metrics_out;
           metrics_prom;
           report;
           health;
         })
-    $ trace_out $ trace_jsonl $ trace_cap $ trace_dump $ metrics_out
-    $ metrics_prom $ report $ health)
+    $ trace_out $ trace_jsonl $ trace_cap $ trace_dump $ sample_pct
+    $ sample_seed $ metrics_out $ metrics_prom $ report $ health)
 
 let obs_wants_monitor o =
   o.trace_out <> None || o.trace_jsonl <> None || o.trace_cap <> None
-  || o.trace_dump <> None || o.report || o.health
+  || o.trace_dump <> None || o.sample_pct <> None || o.report || o.health
 
 let to_formatter file f =
   let oc = open_out file in
@@ -172,6 +195,9 @@ let app_observe obs =
     let tr = Monitor.trace dsm in
     Option.iter (Trace.set_capacity tr) obs.trace_cap;
     Option.iter (Trace.set_autodump tr) obs.trace_dump;
+    Option.iter
+      (fun pct -> Trace.set_sampling tr ~seed:obs.sample_seed ~keep_pct:pct)
+      obs.sample_pct;
     if obs.health then watchdog := Some (Watchdog.attach dsm)
   in
   let export ~name ?protocol () =
@@ -204,7 +230,8 @@ let app_observe obs =
    result table instead. *)
 let experiment_obs obs ~name json =
   if obs.trace_out <> None || obs.trace_jsonl <> None || obs.trace_cap <> None
-     || obs.trace_dump <> None || obs.metrics_prom <> None || obs.health
+     || obs.trace_dump <> None || obs.sample_pct <> None
+     || obs.metrics_prom <> None || obs.health
   then
     Format.fprintf ppf
       "%s: --trace-out/--trace-jsonl/--trace-cap/--trace-dump/--metrics-prom/\
@@ -860,6 +887,181 @@ let watch_cmd =
       const run $ workload $ protocol $ nodes_arg $ driver_arg $ seed_arg $ interval
       $ stall_us $ out $ quiet)
 
+(* --- dsm top: live hot-page telemetry over a running application ---
+
+   Where `dsm watch` shows health (rates, audits, alerts), `dsm top` shows
+   the memory: hierarchical rollups of the online telemetry engine —
+   cluster-wide fault-latency sketch percentiles, per-protocol and per-node
+   fault counts, and the hottest pages with their streaming sharing
+   classification and protocol advice.  Because telemetry reads the trace
+   observer stream, the dashboard stays exact under --trace-cap rings and
+   --sample-pct sampling. *)
+
+let top_cmd =
+  let run workload protocol nodes driver seed size iterations interval_us
+      sample_pct sample_seed trace_cap top out quiet =
+    let tty = Unix.isatty Unix.stdout in
+    let wd = ref None in
+    let observe dsm =
+      Monitor.enable dsm true;
+      let tr = Monitor.trace dsm in
+      Option.iter (Trace.set_capacity tr) trace_cap;
+      Option.iter
+        (fun pct -> Trace.set_sampling tr ~seed:sample_seed ~keep_pct:pct)
+        sample_pct;
+      let config =
+        Watchdog.{ default_config with interval = Time.of_us interval_us }
+      in
+      let w = Watchdog.attach ~config dsm in
+      wd := Some w;
+      if not quiet then
+        Watchdog.set_on_sample w (fun _ ->
+            (* Frames ride the watchdog's schedule-neutral sampling tick. *)
+            if tty then Format.fprintf ppf "\027[H\027[2J";
+            Format.fprintf ppf "%a@." (Telemetry.pp_top ~top)
+              (Watchdog.telemetry w))
+    in
+    let proto default = Option.value ~default protocol in
+    let run_app () =
+      match workload with
+      | "tsp" ->
+          ignore
+            (Dsmpm2_apps.Tsp.run
+               {
+                 Dsmpm2_apps.Tsp.default with
+                 protocol = proto "li_hudak";
+                 nodes;
+                 driver;
+                 seed;
+                 observe = Some observe;
+               })
+      | "jacobi" ->
+          ignore
+            (Dsmpm2_apps.Jacobi.run
+               {
+                 Dsmpm2_apps.Jacobi.default with
+                 protocol = proto "hbrc_mw";
+                 nodes;
+                 driver;
+                 size;
+                 iterations;
+                 tie_seed = Some seed;
+                 observe = Some observe;
+               })
+      | "coloring" ->
+          ignore
+            (Dsmpm2_apps.Map_coloring.run
+               {
+                 Dsmpm2_apps.Map_coloring.default with
+                 protocol = proto "java_pf";
+                 nodes;
+                 driver;
+                 observe = Some observe;
+               })
+      | w ->
+          Format.fprintf ppf "top: unknown workload %S (known: tsp, jacobi, coloring)@." w;
+          exit 2
+    in
+    (try run_app ()
+     with Engine.Stalled live ->
+       Format.fprintf ppf "top: run deadlocked with %d live fiber(s)@." live);
+    match !wd with
+    | None ->
+        Format.fprintf ppf "top: %s did not expose its runtime@." workload;
+        exit 2
+    | Some w ->
+        let tele = Watchdog.telemetry w in
+        if tty && not quiet then Format.fprintf ppf "\027[H\027[2J";
+        Format.fprintf ppf "%a@." (Telemetry.pp_top ~top) tele;
+        Format.fprintf ppf "%a@." Watchdog.pp_summary w;
+        Option.iter (fun file -> Json.to_file file (Telemetry.to_json tele)) out;
+        let _, _, critical = Watchdog.alert_counts w in
+        if critical > 0 then exit 1
+  in
+  let workload =
+    Arg.(
+      value & opt string "jacobi"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Application to profile: tsp, jacobi or coloring.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Consistency protocol (default: the workload's own default).")
+  in
+  let size =
+    Arg.(
+      value & opt int 32
+      & info [ "size" ] ~docv:"N" ~doc:"Jacobi grid side (jacobi only).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 4
+      & info [ "iterations" ] ~docv:"N" ~doc:"Jacobi sweeps (jacobi only).")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt float (Time.to_us Watchdog.default_config.Watchdog.interval)
+      & info [ "interval" ] ~docv:"US"
+          ~doc:"Refresh period in simulated microseconds.")
+  in
+  let sample_pct =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-pct" ] ~docv:"PCT"
+          ~doc:
+            "Store only ~$(docv)% of fault spans in the trace (deterministic \
+             head-based sampling; the telemetry dashboard still sees every \
+             event).")
+  in
+  let sample_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-seed" ] ~docv:"SEED"
+          ~doc:"Seed for $(b,--sample-pct) keep decisions.")
+  in
+  let trace_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:"Keep only the newest $(docv) trace events (flight recorder).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Hottest pages shown per frame.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the stable JSON telemetry snapshot to $(docv).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Skip the live frames; print only the final one.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run an application under the online telemetry engine and show live \
+          hierarchical rollups: cluster fault-latency sketch percentiles, \
+          per-protocol and per-node fault counts, and the hottest pages with \
+          streaming sharing classifications and protocol advice.  Exact even \
+          under $(b,--trace-cap) and $(b,--sample-pct).  Exits non-zero on \
+          critical alerts.")
+    Term.(
+      const run $ workload $ protocol $ nodes_arg $ driver_arg $ seed_arg
+      $ size $ iterations $ interval $ sample_pct $ sample_seed $ trace_cap
+      $ top $ out $ quiet)
+
 (* --- dsm bench: the seeded macro-benchmark observatory --- *)
 
 let bench_cmd =
@@ -1084,4 +1286,4 @@ let () =
        (Cmd.group info
           (experiments
           @ [ tsp_cmd; jacobi_cmd; coloring_cmd; analyze_cmd; check_cmd;
-              explain_cmd; watch_cmd; bench_cmd; diff_cmd ])))
+              explain_cmd; watch_cmd; top_cmd; bench_cmd; diff_cmd ])))

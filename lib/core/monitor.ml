@@ -150,6 +150,7 @@ let to_json ?experiment ?meta rt =
                    match Trace.capacity tr with
                    | Some c -> Json.Int c
                    | None -> Json.Null );
+                 ("sampled_out", Json.Int (Trace.sampled_out tr));
                ] );
          ];
        ])

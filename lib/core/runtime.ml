@@ -52,6 +52,11 @@ type services = {
   srv_barrier : Rpc.service;
 }
 
+(* Open slot for layers above the runtime (Telemetry) to park per-DSM
+   state without a dependency from [Runtime] on them: each layer extends
+   the variant with its own constructor and pattern-matches it back out. *)
+type attachment = ..
+
 type t = {
   pm2 : Pm2.t;
   geo : Page.geometry;
@@ -73,6 +78,7 @@ type t = {
   diffs_batch_handlers : (int, diffs_handler) Hashtbl.t;
   mutable history : History.t option;
   mutable watch : watch_hooks option;
+  mutable telemetry : attachment option;
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit
@@ -116,6 +122,7 @@ let create ?(costs = default_costs) pm2 =
     diffs_batch_handlers = Hashtbl.create 8;
     history = None;
     watch = None;
+    telemetry = None;
   }
 
 (* The notify helpers take unboxed labeled ints, so a call site costs one

@@ -62,6 +62,11 @@ type services = {
   srv_barrier : Rpc.service;
 }
 
+type attachment = ..
+(** Open slot for layers above the runtime to park per-DSM state without a
+    dependency from [Runtime] on them.  [Telemetry] extends this with its
+    engine and recovers it by pattern match ([Telemetry.find]). *)
+
 type t = {
   pm2 : Pm2.t;
   geo : Page.geometry;
@@ -93,6 +98,9 @@ type t = {
   mutable watch : watch_hooks option;
       (** when set, the sync client paths report blocking/waking threads to
           the live watchdog (see [Watchdog.attach]) *)
+  mutable telemetry : attachment option;
+      (** the online telemetry engine, when one is attached (see
+          [Telemetry.attach]); the runtime itself never reads it *)
 }
 
 and diff_handler = t -> node:int -> diff:Diff.t -> sender:int -> release:bool -> unit

@@ -1,0 +1,638 @@
+open Dsmpm2_sim
+open Dsmpm2_pm2
+
+(* --- sharing patterns (canonical; Analyze re-exports) --- *)
+
+type pattern =
+  | Private
+  | Read_mostly
+  | Single_writer
+  | Producer_consumer
+  | Migratory
+  | False_sharing
+  | Mixed
+
+let pattern_to_string = function
+  | Private -> "private"
+  | Read_mostly -> "read-mostly"
+  | Single_writer -> "single-writer"
+  | Producer_consumer -> "producer-consumer"
+  | Migratory -> "migratory"
+  | False_sharing -> "false-sharing"
+  | Mixed -> "mixed"
+
+(* Pattern -> built-in protocol, following the paper's Table 2 roles:
+   migratory data wants the accessing thread moved to it; false sharing
+   wants a multiple-writer diff protocol; read-mostly and producer-consumer
+   pages want updates pushed instead of replicas invalidated; a single
+   writer with a private working set fits eager release consistency. *)
+let recommended_protocol = function
+  | Migratory -> Some "migrate_thread"
+  | False_sharing -> Some "hbrc_mw"
+  | Read_mostly -> Some "write_update"
+  | Producer_consumer -> Some "write_update"
+  | Single_writer -> Some "erc_sw"
+  | Private | Mixed -> None
+
+type profile = {
+  pr_page : int;
+  pr_protocol : string;
+  pr_pattern : pattern;
+  pr_read_faults : int;
+  pr_write_faults : int;
+  pr_readers : int list;
+  pr_writers : int list;
+  pr_diff_senders : int list;
+  pr_transfers : int;
+  pr_bytes : int;
+  pr_invalidations : int;
+}
+
+(* --- the streaming classifier --- *)
+
+module Pages = struct
+  (* The accumulator keeps exactly the evidence the post-mortem heuristic
+     needs, in streaming form: reader/writer/differ node {e sets} instead
+     of occurrence lists, and the write sequence reduced to its last
+     writer plus a running handoff count — a transition [n <> last] in the
+     chronological write sequence is counted the moment it happens, which
+     is precisely what replaying the sequence afterwards would count. *)
+  type acc = {
+    mutable c_protocol : string;
+    mutable c_read_faults : int;
+    mutable c_write_faults : int;
+    c_readers : (int, unit) Hashtbl.t;
+    c_writers : (int, unit) Hashtbl.t;
+    c_differs : (int, unit) Hashtbl.t;
+    mutable c_diffs : int; (* diffs received (one per Diff per page) *)
+    mutable c_transfers : int;
+    mutable c_send_bytes : int;
+    mutable c_diff_bytes : int;
+    mutable c_invalidations : int;
+    mutable c_last_writer : int; (* -1 before the first write *)
+    mutable c_handoffs : int; (* writer changes in the chronological order *)
+  }
+
+  type t = { tbl : (int, acc) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+
+  let acc t page =
+    match Hashtbl.find_opt t.tbl page with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            c_protocol = "?";
+            c_read_faults = 0;
+            c_write_faults = 0;
+            c_readers = Hashtbl.create 4;
+            c_writers = Hashtbl.create 4;
+            c_differs = Hashtbl.create 4;
+            c_diffs = 0;
+            c_transfers = 0;
+            c_send_bytes = 0;
+            c_diff_bytes = 0;
+            c_invalidations = 0;
+            c_last_writer = -1;
+            c_handoffs = 0;
+          }
+        in
+        Hashtbl.add t.tbl page a;
+        a
+
+  let note_write a node =
+    Hashtbl.replace a.c_writers node ();
+    if a.c_last_writer >= 0 && node <> a.c_last_writer then
+      a.c_handoffs <- a.c_handoffs + 1;
+    a.c_last_writer <- node
+
+  let feed t ev =
+    match ev with
+    | Trace.Fault { node; page; protocol; mode } ->
+        let a = acc t page in
+        a.c_protocol <- protocol;
+        if mode = "write" then begin
+          a.c_write_faults <- a.c_write_faults + 1;
+          note_write a node
+        end
+        else begin
+          a.c_read_faults <- a.c_read_faults + 1;
+          Hashtbl.replace a.c_readers node ()
+        end
+    | Trace.Page_send { page; protocol; bytes; _ } ->
+        let a = acc t page in
+        a.c_protocol <- protocol;
+        a.c_transfers <- a.c_transfers + 1;
+        a.c_send_bytes <- a.c_send_bytes + bytes
+    | Trace.Page_install { page; protocol; _ } ->
+        (* No classification evidence, but the protocol name is fresher. *)
+        (acc t page).c_protocol <- protocol
+    | Trace.Invalidate { page; protocol; _ } ->
+        let a = acc t page in
+        a.c_protocol <- protocol;
+        a.c_invalidations <- a.c_invalidations + 1
+    | Trace.Diff { page_list; bytes; sender; protocol; _ } ->
+        let n = max 1 (List.length page_list) in
+        List.iter
+          (fun page ->
+            let a = acc t page in
+            a.c_protocol <- protocol;
+            Hashtbl.replace a.c_differs sender ();
+            a.c_diffs <- a.c_diffs + 1;
+            a.c_diff_bytes <- a.c_diff_bytes + (bytes / n);
+            note_write a sender)
+          page_list
+    | _ -> ()
+
+  (* The classification heuristic, identical to the post-mortem analyzer's
+     (in evidence-strength order):
+     - one accessing node: private;
+     - diffs from >= 2 nodes: tolerated false sharing;
+     - no writers: read-mostly replication;
+     - single writer with remote readers that repeatedly re-fetch:
+       producer-consumer; single writer otherwise;
+     - >= 2 writers: migratory when write access demonstrably hands off
+       between nodes at least twice, otherwise mixed. *)
+  let classify_acc a =
+    let accessors = Hashtbl.copy a.c_readers in
+    Hashtbl.iter (fun k () -> Hashtbl.replace accessors k ()) a.c_writers;
+    if Hashtbl.length accessors <= 1 then Private
+    else if Hashtbl.length a.c_differs >= 2 then False_sharing
+    else
+      match Hashtbl.length a.c_writers with
+      | 0 -> Read_mostly
+      | 1 ->
+          let w = Hashtbl.fold (fun k () _ -> k) a.c_writers (-1) in
+          let remote_readers =
+            Hashtbl.fold (fun r () any -> any || r <> w) a.c_readers false
+          in
+          let produces = a.c_write_faults + a.c_diffs in
+          if remote_readers && produces >= 2 && a.c_read_faults >= 2 then
+            Producer_consumer
+          else Single_writer
+      | _ -> if a.c_handoffs >= 2 then Migratory else Mixed
+
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+  let profile_acc page a =
+    {
+      pr_page = page;
+      pr_protocol = a.c_protocol;
+      pr_pattern = classify_acc a;
+      pr_read_faults = a.c_read_faults;
+      pr_write_faults = a.c_write_faults;
+      pr_readers = sorted_keys a.c_readers;
+      pr_writers = sorted_keys a.c_writers;
+      pr_diff_senders = sorted_keys a.c_differs;
+      pr_transfers = a.c_transfers;
+      pr_bytes = a.c_send_bytes + a.c_diff_bytes;
+      pr_invalidations = a.c_invalidations;
+    }
+
+  let classify t page = Option.map classify_acc (Hashtbl.find_opt t.tbl page)
+  let profile t page =
+    Option.map (profile_acc page) (Hashtbl.find_opt t.tbl page)
+
+  let profiles t =
+    Hashtbl.fold (fun page a acc -> profile_acc page a :: acc) t.tbl []
+    |> List.sort (fun a b ->
+           compare
+             (b.pr_read_faults + b.pr_write_faults, b.pr_bytes, a.pr_page)
+             (a.pr_read_faults + a.pr_write_faults, a.pr_bytes, b.pr_page))
+
+  let pages t = Hashtbl.fold (fun p _ acc -> p :: acc) t.tbl [] |> List.sort compare
+end
+
+(* --- the attached engine --- *)
+
+type config = {
+  thrash_window : int;
+  thrash_span : Time.t;
+  advice_min_faults : int;
+  open_horizon : Time.t;
+}
+
+let default_config =
+  {
+    thrash_window = 8;
+    thrash_span = Time.of_us 300.;
+    advice_min_faults = 4;
+    open_horizon = Time.of_us 50_000.;
+  }
+
+type thrash_report = {
+  th_page : int;
+  th_count : int;
+  th_nodes : int list;
+  th_span : Time.t;
+}
+
+type advice = {
+  av_page : int;
+  av_pattern : pattern;
+  av_current : string;
+  av_recommended : string;
+}
+
+type interval = {
+  iv_installs : (int * int) list;
+  iv_reclassified : int;
+  iv_thrash : thrash_report list;
+  iv_advice : advice list;
+}
+
+type proto_stats = { mutable pf_faults : int; pf_sketch : Sketch.t }
+
+type t = {
+  rt : Runtime.t;
+  cfg : config;
+  pgs : Pages.t;
+  mutable seen : int; (* events observed, pre-sampling *)
+  nd_faults : int array;
+  protos : (string, proto_stats) Hashtbl.t;
+  open_faults : (int, Time.t * string) Hashtbl.t; (* span -> (start, proto) *)
+  class_cache : (int, pattern) Hashtbl.t; (* last known pattern per page *)
+  mutable reclass_total : int;
+  windows : (int, (Time.t * int) list ref) Hashtbl.t;
+      (* page -> recent installs (at, node), newest first, <= thrash_window *)
+  thrash_last : (int, Time.t) Hashtbl.t; (* page -> last thrash report *)
+  mutable pending_thrash : thrash_report list; (* newest first *)
+  advised : (int, string) Hashtbl.t; (* page -> recommendation issued *)
+  interval_touched : (int, unit) Hashtbl.t;
+  interval_installs : (int, int) Hashtbl.t;
+  mutable interval_count : int;
+}
+
+(* Thrashing: the same windowed ping-pong detector the watchdog used to run
+   over stored trace events, now fed from the live stream — [thrash_window]
+   installs of one page within [thrash_span] across >= 2 nodes, re-reported
+   only after a quiet period longer than the span. *)
+let note_install t ~page ~node at =
+  Hashtbl.replace t.interval_installs page
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.interval_installs page));
+  let win =
+    match Hashtbl.find_opt t.windows page with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.windows page r;
+        r
+  in
+  let rec trim n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: trim (n - 1) rest
+  in
+  win := trim t.cfg.thrash_window ((at, node) :: !win);
+  let entries = !win in
+  if List.length entries >= t.cfg.thrash_window then begin
+    let newest = fst (List.hd entries) in
+    let oldest = fst (List.nth entries (List.length entries - 1)) in
+    let span = Time.(newest - oldest) in
+    let distinct = List.sort_uniq compare (List.map snd entries) in
+    let last =
+      Option.value ~default:Time.zero (Hashtbl.find_opt t.thrash_last page)
+    in
+    let quiet = Time.(newest - last) in
+    if
+      span <= t.cfg.thrash_span
+      && List.length distinct >= 2
+      && ((not (Hashtbl.mem t.thrash_last page)) || quiet > t.cfg.thrash_span)
+    then begin
+      Hashtbl.replace t.thrash_last page newest;
+      t.pending_thrash <-
+        {
+          th_page = page;
+          th_count = List.length entries;
+          th_nodes = distinct;
+          th_span = span;
+        }
+        :: t.pending_thrash
+    end
+  end
+
+let touch t page = Hashtbl.replace t.interval_touched page ()
+
+let proto_stats t name =
+  match Hashtbl.find_opt t.protos name with
+  | Some ps -> ps
+  | None ->
+      let ps = { pf_faults = 0; pf_sketch = Sketch.create () } in
+      Hashtbl.add t.protos name ps;
+      ps
+
+(* The observer callback: pure bookkeeping, O(1) amortized per event.  No
+   engine interaction, no shared RNG — attaching telemetry cannot perturb a
+   seeded schedule. *)
+let on_event t (entry : Trace.entry) ev =
+  t.seen <- t.seen + 1;
+  Pages.feed t.pgs ev;
+  match ev with
+  | Trace.Fault { node; page; protocol; _ } ->
+      touch t page;
+      if node >= 0 && node < Array.length t.nd_faults then
+        t.nd_faults.(node) <- t.nd_faults.(node) + 1;
+      let ps = proto_stats t protocol in
+      ps.pf_faults <- ps.pf_faults + 1;
+      if
+        entry.Trace.span <> Trace.no_span
+        && not (Hashtbl.mem t.open_faults entry.Trace.span)
+      then
+        Hashtbl.add t.open_faults entry.Trace.span (entry.Trace.at, protocol)
+  | Trace.Page_install { node; page; _ } ->
+      touch t page;
+      note_install t ~page ~node entry.Trace.at;
+      (match Hashtbl.find_opt t.open_faults entry.Trace.span with
+      | Some (start, proto) ->
+          Hashtbl.remove t.open_faults entry.Trace.span;
+          Sketch.add (proto_stats t proto).pf_sketch
+            (Time.to_us Time.(entry.Trace.at - start))
+      | None -> ())
+  | Trace.Migration _ -> (
+      match Hashtbl.find_opt t.open_faults entry.Trace.span with
+      | Some (start, proto) ->
+          Hashtbl.remove t.open_faults entry.Trace.span;
+          Sketch.add (proto_stats t proto).pf_sketch
+            (Time.to_us Time.(entry.Trace.at - start))
+      | None -> ())
+  | Trace.Page_send { page; _ } | Trace.Invalidate { page; _ } ->
+      touch t page
+  | Trace.Diff { page_list; _ } -> List.iter (touch t) page_list
+  | _ -> ()
+
+(* --- attachment --- *)
+
+type Runtime.attachment += Tele of t
+
+let attach ?(config = default_config) rt =
+  (match rt.Runtime.telemetry with
+  | Some _ -> invalid_arg "Telemetry.attach: telemetry is already attached"
+  | None -> ());
+  let t =
+    {
+      rt;
+      cfg = config;
+      pgs = Pages.create ();
+      seen = 0;
+      nd_faults = Array.make (Runtime.nodes rt) 0;
+      protos = Hashtbl.create 8;
+      open_faults = Hashtbl.create 64;
+      class_cache = Hashtbl.create 64;
+      reclass_total = 0;
+      windows = Hashtbl.create 64;
+      thrash_last = Hashtbl.create 16;
+      pending_thrash = [];
+      advised = Hashtbl.create 16;
+      interval_touched = Hashtbl.create 64;
+      interval_installs = Hashtbl.create 64;
+      interval_count = 0;
+    }
+  in
+  Trace.set_observer (Monitor.trace rt) (fun entry ev -> on_event t entry ev);
+  rt.Runtime.telemetry <- Some (Tele t);
+  t
+
+let find rt =
+  match rt.Runtime.telemetry with Some (Tele t) -> Some t | _ -> None
+
+let detach t =
+  Trace.clear_observer (Monitor.trace t.rt);
+  t.rt.Runtime.telemetry <- None
+
+let config t = t.cfg
+let events_seen t = t.seen
+let pages t = t.pgs
+let node_faults t = t.nd_faults
+let reclassifications t = t.reclass_total
+let intervals t = t.interval_count
+
+let classification t =
+  List.filter_map
+    (fun page ->
+      Option.map (fun p -> (page, p)) (Pages.classify t.pgs page))
+    (Pages.pages t.pgs)
+
+let protocols t =
+  Hashtbl.fold (fun name ps acc -> (name, ps.pf_faults, ps.pf_sketch) :: acc)
+    t.protos []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let fault_sketch t =
+  Hashtbl.fold
+    (fun _ ps acc ->
+      Sketch.merge_into acc ps.pf_sketch;
+      acc)
+    t.protos (Sketch.create ())
+
+let fault_percentile t p = Sketch.percentile (fault_sketch t) p
+
+(* --- interval drain --- *)
+
+let end_interval t =
+  t.interval_count <- t.interval_count + 1;
+  let now = Engine.now (Runtime.engine t.rt) in
+  (* Abandon fault spans that never resolved (crashed or starved
+     operations): without a horizon the open table would leak on faulted
+     runs, and a stale open could mis-attribute a reused span id. *)
+  let stale =
+    Hashtbl.fold
+      (fun span (start, _) acc ->
+        if Time.(now - start) > t.cfg.open_horizon then span :: acc else acc)
+      t.open_faults []
+  in
+  List.iter (Hashtbl.remove t.open_faults) stale;
+  (* Classification churn and fresh advice, over the pages touched this
+     interval only. *)
+  let reclass = ref 0 in
+  let fresh_advice = ref [] in
+  Hashtbl.iter
+    (fun page () ->
+      match Pages.profile t.pgs page with
+      | None -> ()
+      | Some pr ->
+          (match Hashtbl.find_opt t.class_cache page with
+          | Some old when old <> pr.pr_pattern ->
+              incr reclass;
+              Hashtbl.replace t.class_cache page pr.pr_pattern
+          | Some _ -> ()
+          | None -> Hashtbl.add t.class_cache page pr.pr_pattern);
+          if pr.pr_read_faults + pr.pr_write_faults >= t.cfg.advice_min_faults
+          then
+            match recommended_protocol pr.pr_pattern with
+            | Some r
+              when r <> pr.pr_protocol
+                   && Hashtbl.find_opt t.advised page <> Some r ->
+                Hashtbl.replace t.advised page r;
+                fresh_advice :=
+                  {
+                    av_page = page;
+                    av_pattern = pr.pr_pattern;
+                    av_current = pr.pr_protocol;
+                    av_recommended = r;
+                  }
+                  :: !fresh_advice
+            | _ -> ())
+    t.interval_touched;
+  t.reclass_total <- t.reclass_total + !reclass;
+  let installs =
+    Hashtbl.fold (fun p c acc -> (p, c) :: acc) t.interval_installs []
+    |> List.sort (fun (pa, ca) (pb, cb) ->
+           let c = compare cb ca in
+           if c <> 0 then c else compare pa pb)
+  in
+  let iv =
+    {
+      iv_installs = installs;
+      iv_reclassified = !reclass;
+      iv_thrash = List.rev t.pending_thrash;
+      iv_advice =
+        List.sort (fun a b -> compare a.av_page b.av_page) !fresh_advice;
+    }
+  in
+  t.pending_thrash <- [];
+  Hashtbl.reset t.interval_touched;
+  Hashtbl.reset t.interval_installs;
+  iv
+
+(* --- snapshots --- *)
+
+let advice_list t =
+  Hashtbl.fold
+    (fun page r acc ->
+      match Pages.profile t.pgs page with
+      | Some pr ->
+          {
+            av_page = page;
+            av_pattern = pr.pr_pattern;
+            av_current = pr.pr_protocol;
+            av_recommended = r;
+          }
+          :: acc
+      | None -> acc)
+    t.advised []
+  |> List.sort (fun a b -> compare a.av_page b.av_page)
+
+let profile_to_json p =
+  Json.Obj
+    [
+      ("page", Json.Int p.pr_page);
+      ("protocol", Json.String p.pr_protocol);
+      ("pattern", Json.String (pattern_to_string p.pr_pattern));
+      ("read_faults", Json.Int p.pr_read_faults);
+      ("write_faults", Json.Int p.pr_write_faults);
+      ("readers", Json.List (List.map (fun n -> Json.Int n) p.pr_readers));
+      ("writers", Json.List (List.map (fun n -> Json.Int n) p.pr_writers));
+      ( "diff_senders",
+        Json.List (List.map (fun n -> Json.Int n) p.pr_diff_senders) );
+      ("transfers", Json.Int p.pr_transfers);
+      ("bytes", Json.Int p.pr_bytes);
+      ("invalidations", Json.Int p.pr_invalidations);
+    ]
+
+let to_json ?meta t =
+  let rt = t.rt in
+  let tr = Monitor.trace rt in
+  let meta = match meta with Some m -> m | None -> Monitor.run_meta rt in
+  Json.Obj
+    [
+      ("meta", Run_meta.to_json meta);
+      ("sim_time_us", Json.Float (Pm2.now_us rt.Runtime.pm2));
+      ("events_seen", Json.Int t.seen);
+      ("intervals", Json.Int t.interval_count);
+      ("reclassifications", Json.Int t.reclass_total);
+      ( "node_faults",
+        Json.List (Array.to_list (Array.map (fun n -> Json.Int n) t.nd_faults))
+      );
+      ( "protocols",
+        Json.List
+          (List.map
+             (fun (name, faults, sk) ->
+               Json.Obj
+                 [
+                   ("protocol", Json.String name);
+                   ("faults", Json.Int faults);
+                   ("latency_us", Sketch.to_json sk);
+                 ])
+             (protocols t)) );
+      ("fault_latency_us", Sketch.to_json (fault_sketch t));
+      ("pages", Json.List (List.map profile_to_json (Pages.profiles t.pgs)));
+      ( "advice",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("page", Json.Int a.av_page);
+                   ("pattern", Json.String (pattern_to_string a.av_pattern));
+                   ("current", Json.String a.av_current);
+                   ("recommended", Json.String a.av_recommended);
+                 ])
+             (advice_list t)) );
+      ( "trace",
+        Json.Obj
+          [
+            ("recorded", Json.Int (Trace.recorded tr));
+            ("stored", Json.Int (Trace.length tr));
+            ("evicted", Json.Int (Trace.evicted tr));
+            ( "capacity",
+              match Trace.capacity tr with
+              | Some c -> Json.Int c
+              | None -> Json.Null );
+            ("sampled_out", Json.Int (Trace.sampled_out tr));
+          ] );
+    ]
+
+let pp_top ?(top = 10) ppf t =
+  let rt = t.rt in
+  let tr = Monitor.trace rt in
+  Format.fprintf ppf "t=%10.1f us  events=%-9d pages=%-5d reclass=%d@."
+    (Pm2.now_us rt.Runtime.pm2) t.seen
+    (List.length (Pages.pages t.pgs))
+    t.reclass_total;
+  let cluster = fault_sketch t in
+  if Sketch.count cluster > 0 then
+    Format.fprintf ppf
+      "cluster faults: %d done  p50 %8.1f  p90 %8.1f  p99 %8.1f  p999 %8.1f \
+       us@."
+      (Sketch.count cluster)
+      (Sketch.percentile cluster 50.)
+      (Sketch.percentile cluster 90.)
+      (Sketch.percentile cluster 99.)
+      (Sketch.percentile cluster 99.9);
+  List.iter
+    (fun (name, faults, sk) ->
+      if Sketch.count sk > 0 then
+        Format.fprintf ppf
+          "  %-16s faults=%-7d p50 %8.1f  p99 %8.1f  p999 %8.1f us@." name
+          faults
+          (Sketch.percentile sk 50.)
+          (Sketch.percentile sk 99.)
+          (Sketch.percentile sk 99.9)
+      else Format.fprintf ppf "  %-16s faults=%-7d@." name faults)
+    (protocols t);
+  Format.fprintf ppf "node faults:";
+  Array.iteri (fun nd f -> Format.fprintf ppf " %d:%d" nd f) t.nd_faults;
+  Format.fprintf ppf "@.";
+  let hot = Pages.profiles t.pgs in
+  if hot <> [] then begin
+    Format.fprintf ppf "hot pages:@.";
+    List.iteri
+      (fun i p ->
+        if i < top then
+          Format.fprintf ppf
+            "  page %-5d %-17s rf=%-6d wf=%-6d xfers=%-6d bytes=%-9d%s@."
+            p.pr_page
+            (pattern_to_string p.pr_pattern)
+            p.pr_read_faults p.pr_write_faults p.pr_transfers p.pr_bytes
+            (match recommended_protocol p.pr_pattern with
+            | Some r when r <> p.pr_protocol -> " -> " ^ r
+            | _ -> ""))
+      hot
+  end;
+  Format.fprintf ppf "trace: recorded=%d stored=%d evicted=%d sampled_out=%d%s@."
+    (Trace.recorded tr) (Trace.length tr) (Trace.evicted tr)
+    (Trace.sampled_out tr)
+    (match Trace.capacity tr with
+    | Some c -> Printf.sprintf " cap=%d" c
+    | None -> "")

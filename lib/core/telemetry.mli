@@ -1,0 +1,194 @@
+(** Online telemetry engine: streaming sharing classifiers and latency
+    sketches over the live event stream.
+
+    The post-mortem analyzer ({!Dsmpm2_experiments.Analyze}) answers "what
+    did this run do" after the fact by replaying the whole stored trace.
+    This module answers the same questions {e while the run executes}, in
+    O(1) incremental work per event and without requiring the trace to be
+    stored at all: it subscribes to the trace's observer slot
+    ({!Dsmpm2_sim.Trace.set_observer}), which sees every emission before
+    the sampler drops it and before the flight recorder evicts it.  A run
+    with an aggressive sampling rate and a tiny ring therefore still gets
+    exact per-page classifications and full-population latency sketches —
+    the basis of [dsm top].
+
+    The observer callback does pure bookkeeping: no engine events, no
+    shared RNG draws, no allocation visible to the schedule.  Attaching
+    telemetry never changes a seeded run's schedule fingerprint.
+
+    The classification logic itself lives in {!Pages}, a pure streaming
+    accumulator shared with the post-mortem analyzer — both views are the
+    same code, so on an unsampled run the final online classification is
+    identical to the post-mortem one by construction. *)
+
+open Dsmpm2_sim
+
+(** {2 Sharing patterns}
+
+    The canonical definition; [Analyze.pattern] re-exports this type. *)
+
+type pattern =
+  | Private  (** one accessing node *)
+  | Read_mostly  (** replicated, never written remotely *)
+  | Single_writer  (** one writer, occasional remote readers *)
+  | Producer_consumer  (** one writer, readers repeatedly re-fetch *)
+  | Migratory  (** write access hands off between nodes serially *)
+  | False_sharing  (** concurrent diffs from distinct nodes on one page *)
+  | Mixed  (** multiple writers without a clean handoff pattern *)
+
+val pattern_to_string : pattern -> string
+
+val recommended_protocol : pattern -> string option
+(** The advisor's mapping (see [Analyze.recommended_protocol]): migratory →
+    [migrate_thread], false sharing → [hbrc_mw], read-mostly and
+    producer-consumer → [write_update], single writer → [erc_sw]; [None]
+    for private/mixed. *)
+
+type profile = {
+  pr_page : int;
+  pr_protocol : string;
+  pr_pattern : pattern;
+  pr_read_faults : int;
+  pr_write_faults : int;
+  pr_readers : int list;  (** nodes that read-faulted, sorted *)
+  pr_writers : int list;  (** nodes that write-faulted or sent diffs, sorted *)
+  pr_diff_senders : int list;  (** distinct nodes whose diffs touched the page *)
+  pr_transfers : int;  (** whole-page sends *)
+  pr_bytes : int;  (** page-send bytes plus attributed diff bytes *)
+  pr_invalidations : int;
+}
+
+(** {2 The streaming classifier}
+
+    A pure per-page accumulator: feed it trace events in any order
+    consistent with the stream and ask for classifications at any point.
+    O(1) amortized per event (handoffs are counted against the last writer
+    instead of replaying a write sequence; reader/writer sets are hash
+    sets).  No engine, no clock, no randomness. *)
+module Pages : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Trace.event -> unit
+  (** Folds one event in.  Only [Fault], [Page_send], [Page_install],
+      [Invalidate] and [Diff] events carry classification evidence; every
+      other constructor is ignored. *)
+
+  val classify : t -> int -> pattern option
+  (** The page's current pattern, [None] when the page was never seen. *)
+
+  val profile : t -> int -> profile option
+
+  val profiles : t -> profile list
+  (** Every tracked page, ranked by total faults then bytes moved
+      descending (ties by page ascending) — the heatmap order. *)
+
+  val pages : t -> int list
+  (** Tracked page ids, sorted. *)
+end
+
+(** {2 The attached engine} *)
+
+type config = {
+  thrash_window : int;  (** installs per page examined for ping-pong *)
+  thrash_span : Time.t;  (** window duration qualifying as thrashing *)
+  advice_min_faults : int;
+      (** fault evidence required before advising a protocol change *)
+  open_horizon : Time.t;
+      (** fault spans still unresolved after this long are abandoned
+          (crashed or starved operations must not leak accounting) *)
+}
+
+val default_config : config
+(** Thrash parameters match [Watchdog.default_config] (8 installs within
+    300 us); [advice_min_faults = 4]; [open_horizon = 50 ms]. *)
+
+type thrash_report = {
+  th_page : int;
+  th_count : int;  (** installs inside the qualifying window *)
+  th_nodes : int list;  (** distinct installing nodes, sorted *)
+  th_span : Time.t;  (** observed window duration *)
+}
+
+type advice = {
+  av_page : int;
+  av_pattern : pattern;
+  av_current : string;  (** protocol the page runs *)
+  av_recommended : string;
+}
+
+type interval = {
+  iv_installs : (int * int) list;
+      (** page → installs this interval, most active first *)
+  iv_reclassified : int;  (** pages whose pattern changed this interval *)
+  iv_thrash : thrash_report list;  (** chronological *)
+  iv_advice : advice list;  (** newly issued, by page *)
+}
+(** What {!end_interval} drains: the watchdog turns these into alerts and
+    its per-tick hot-page sample. *)
+
+type t
+
+val attach : ?config:config -> Runtime.t -> t
+(** Attaches the telemetry engine: extends the runtime's attachment slot
+    and subscribes to the trace observer.  Events are only observed while
+    monitoring is enabled ([Monitor.enable]).  Raises [Invalid_argument]
+    if telemetry is already attached or the trace observer slot is taken. *)
+
+val find : Runtime.t -> t option
+(** The engine attached to this runtime, if any. *)
+
+val detach : t -> unit
+(** Releases the observer slot and the runtime attachment. *)
+
+val config : t -> config
+val events_seen : t -> int
+(** Events observed (the full emission stream, not just stored events). *)
+
+val pages : t -> Pages.t
+(** The live classifier (shared state — read, don't feed). *)
+
+val classification : t -> (int * pattern) list
+(** Every tracked page's current pattern, sorted by page — what the
+    agreement test compares against [Analyze]. *)
+
+val node_faults : t -> int array
+(** Faults observed per node, indexed by node id. *)
+
+val protocols : t -> (string * int * Sketch.t) list
+(** Per-protocol [(name, faults, latency sketch)] sorted by name.  The
+    sketch holds completed fault latencies in microseconds (fault event to
+    the span's page install or migration). *)
+
+val fault_sketch : t -> Sketch.t
+(** A fresh merge of every protocol's latency sketch — the cluster-wide
+    fault-latency distribution. *)
+
+val fault_percentile : t -> float -> float
+(** [fault_percentile t p] in microseconds from {!fault_sketch}
+    ([p] in [0..100]); 0 when no fault completed yet. *)
+
+val reclassifications : t -> int
+(** Total classification churn: pattern changes after a page's first
+    classification. *)
+
+val intervals : t -> int
+(** {!end_interval} calls so far. *)
+
+val end_interval : t -> interval
+(** Drains and resets the per-interval state (installs, touched pages,
+    thrash findings, fresh advice); also expires fault spans older than
+    [open_horizon].  Called by the watchdog once per tick. *)
+
+val to_json : ?meta:Run_meta.t -> t -> Json.t
+(** Stable snapshot ([dsm top --out]): meta, totals, per-protocol sketch
+    percentiles, the page heatmap with classifications, classification
+    churn, trace accounting (recorded/stored/evicted/capacity/sampled_out)
+    and issued advice. *)
+
+val pp_top : ?top:int -> Format.formatter -> t -> unit
+(** The [dsm top] frame: cluster rollup (fault count and sketch
+    percentiles), per-protocol lines, per-node fault counts, the [top]
+    (default 10) hottest pages with patterns and recommendations, and
+    trace-pressure accounting. *)

@@ -59,14 +59,12 @@ let default_config =
 type t = {
   rt : Runtime.t;
   cfg : config;
-  mutable seen : int;  (* trace events already consumed by the thrash scan *)
+  tele : Telemetry.t;
+      (* the online telemetry engine: thrash detection, per-page
+         classification and hot-page accounting all come from it *)
   waiters : (int, int * Time.t * int) Hashtbl.t;
       (* blocked tid -> (target, since, node); target as in Runtime.watch_hooks *)
   thread_node : (int, int) Hashtbl.t;  (* last known node of a tid *)
-  windows : (int, (Time.t * int) list ref) Hashtbl.t;
-      (* page -> recent installs (at, node), newest first, <= thrash_window *)
-  thrash_last : (int, Time.t) Hashtbl.t;  (* page -> last thrash alert *)
-  interval_installs : (int, int) Hashtbl.t;  (* page -> installs this interval *)
   reported : (string, unit) Hashtbl.t;  (* alert dedup keys *)
   mutable alerts_rev : alert list;  (* newest first *)
   mutable alert_count : int;
@@ -136,6 +134,7 @@ let once w key f =
   end
 
 let alerts w = List.rev w.alerts_rev
+let telemetry w = w.tele
 let alert_counts w = (w.info_count, w.warn_count, w.crit_count)
 let samples_taken w = w.samples_taken
 let pages_audited w = w.pages_audited
@@ -240,65 +239,35 @@ let check_stalls w now =
                  tid node (target_name target) (Time.to_us waited))))
     w.waiters
 
-(* --- thrashing --- *)
+(* --- telemetry drain ---
 
-let note_install w ~page ~node at =
-  let win =
-    match Hashtbl.find_opt w.windows page with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.add w.windows page r;
-        r
-  in
-  let rec trim n = function
-    | [] -> []
-    | x :: rest -> if n <= 0 then [] else x :: trim (n - 1) rest
-  in
-  win := trim w.cfg.thrash_window ((at, node) :: !win);
-  Hashtbl.replace w.interval_installs page
-    (1 + Option.value ~default:0 (Hashtbl.find_opt w.interval_installs page));
-  let entries = !win in
-  if List.length entries >= w.cfg.thrash_window then begin
-    let newest = fst (List.hd entries) in
-    let oldest = fst (List.nth entries (List.length entries - 1)) in
-    let span = Time.(newest - oldest) in
-    let distinct = List.sort_uniq compare (List.map snd entries) in
-    let last = Option.value ~default:Time.zero (Hashtbl.find_opt w.thrash_last page) in
-    let quiet = Time.(newest - last) in
-    if
-      span <= w.cfg.thrash_span
-      && List.length distinct >= 2
-      && (Hashtbl.mem w.thrash_last page = false || quiet > w.cfg.thrash_span)
-    then begin
-      Hashtbl.replace w.thrash_last page newest;
+   Thrash detection and hot-page accounting come from the telemetry
+   engine, which observes every trace emission at the source (before
+   sampling and ring eviction) instead of rescanning stored events: the
+   findings stay exact on runs where the flight recorder or the sampler
+   would have starved a trace-scanning loop.  The watchdog's job is
+   reduced to turning interval findings into alerts. *)
+
+let drain_telemetry w =
+  let iv = Telemetry.end_interval w.tele in
+  List.iter
+    (fun (r : Telemetry.thrash_report) ->
       raise_alert w ~severity:Warning ~kind:"thrash.page"
         (Printf.sprintf
-           "page %d ping-ponged %d times across nodes [%s] within %.0f us" page
-           (List.length entries)
-           (String.concat "," (List.map string_of_int distinct))
-           (Time.to_us span))
-    end
-  end
-
-(* The cursor counts ever-recorded events (Trace.recorded), not stored
-   ones: with the flight recorder attached, [Trace.length] stops growing
-   once the ring is full, which would freeze a length-based cursor and
-   re-feed the same events every tick.  [Trace.recent] resolves the cursor
-   against the same counter, skipping anything already evicted. *)
-let scan_trace w =
-  let tr = Monitor.trace w.rt in
-  if Trace.enabled tr || Trace.recorded tr > w.seen then begin
-    let fresh = Trace.recent tr ~since:w.seen in
-    w.seen <- Trace.recorded tr;
-    List.iter
-      (fun ((e : Trace.entry), ev) ->
-        match ev with
-        | Trace.Page_install { node; page; _ } ->
-            note_install w ~page ~node e.Trace.at
-        | _ -> ())
-      fresh
-  end
+           "page %d ping-ponged %d times across nodes [%s] within %.0f us"
+           r.Telemetry.th_page r.Telemetry.th_count
+           (String.concat "," (List.map string_of_int r.Telemetry.th_nodes))
+           (Time.to_us r.Telemetry.th_span)))
+    iv.Telemetry.iv_thrash;
+  List.iter
+    (fun (a : Telemetry.advice) ->
+      raise_alert w ~severity:Info ~kind:"advice.page"
+        (Printf.sprintf "page %d looks %s under %s: allocate with ~protocol:%s"
+           a.Telemetry.av_page
+           (Telemetry.pattern_to_string a.Telemetry.av_pattern)
+           a.Telemetry.av_current a.Telemetry.av_recommended))
+    iv.Telemetry.iv_advice;
+  iv
 
 (* --- page-table invariant audits --- *)
 
@@ -482,7 +451,7 @@ let check_faults w now =
 
 (* --- interval rates --- *)
 
-let snapshot w now =
+let snapshot w now ~installs =
   let rt = w.rt in
   let nodes = Runtime.nodes rt in
   let dt_s = Time.to_us Time.(now - w.prev_at) /. 1e6 in
@@ -543,14 +512,9 @@ let snapshot w now =
   Array.blit node_msgs 0 w.prev_node_msgs 0 nodes;
   Array.blit node_bytes 0 w.prev_node_bytes 0 nodes;
   Hashtbl.iter (Hashtbl.replace w.prev_proto_faults) proto_faults;
-  let hot =
-    Hashtbl.fold (fun p c acc -> (p, c) :: acc) w.interval_installs []
-    |> List.sort (fun (pa, ca) (pb, cb) ->
-           let c = compare cb ca in
-           if c <> 0 then c else compare pa pb)
-    |> List.filteri (fun i _ -> i < 5)
-  in
-  Hashtbl.reset w.interval_installs;
+  (* [installs] arrives sorted (most active first) from the telemetry
+     interval. *)
+  let hot = List.filteri (fun i _ -> i < 5) installs in
   w.prev_at <- now;
   let eng = Runtime.engine rt in
   let s =
@@ -574,12 +538,12 @@ let tick w =
   let eng = Runtime.engine rt in
   let now = Engine.now eng in
   w.samples_taken <- w.samples_taken + 1;
-  scan_trace w;
+  let iv = drain_telemetry w in
   check_stalls w now;
   detect_cycles w;
   check_faults w now;
   if w.cfg.audits then audit w;
-  let s = snapshot w now in
+  let s = snapshot w now ~installs:iv.Telemetry.iv_installs in
   push_ring w s;
   (match w.on_sample with Some f -> f s | None -> ());
   let live = Engine.live_fibers eng in
@@ -635,16 +599,30 @@ let attach ?(config = default_config) rt =
   if config.ring_capacity <= 0 then
     invalid_arg "Watchdog.attach: ring_capacity must be positive";
   let nodes = Runtime.nodes rt in
+  (* The watchdog consumes an attached telemetry engine rather than
+     scanning the trace itself; reuse one if present (keeping whatever
+     config it was given), otherwise attach one carrying our thrash
+     parameters. *)
+  let tele =
+    match Telemetry.find rt with
+    | Some t -> t
+    | None ->
+        Telemetry.attach
+          ~config:
+            {
+              Telemetry.default_config with
+              Telemetry.thrash_window = config.thrash_window;
+              thrash_span = config.thrash_span;
+            }
+          rt
+  in
   let w =
     {
       rt;
       cfg = config;
-      seen = 0;
+      tele;
       waiters = Hashtbl.create 32;
       thread_node = Hashtbl.create 32;
-      windows = Hashtbl.create 64;
-      thrash_last = Hashtbl.create 16;
-      interval_installs = Hashtbl.create 64;
       reported = Hashtbl.create 32;
       alerts_rev = [];
       alert_count = 0;

@@ -15,8 +15,10 @@
     - maintains a lock/barrier wait-for graph from the {!Dsm_sync} client
       hooks and reports cycles (deadlock) and threads blocked beyond a
       simulated-time threshold (stalls);
-    - detects page thrashing from per-page sliding windows over transfer
-      events;
+    - drains the online telemetry engine ({!Telemetry}, attached on demand)
+      for page-thrash findings, hot-page accounting and protocol advice —
+      telemetry observes every trace emission at the source, so these stay
+      exact under trace sampling and flight-recorder eviction;
     - snapshots interval rates (faults/s, messages/s, bytes/s per node,
       faults per protocol) into a bounded ring of time-series points.
 
@@ -38,7 +40,10 @@ type alert = {
       (** dotted taxonomy: "invariant.owner" / "invariant.copyset" /
           "invariant.home" / "invariant.protocol" (critical),
           "deadlock.cycle" / "deadlock.stall" (critical),
-          "stall.lock" / "stall.barrier" / "thrash.page" (warning); with a
+          "stall.lock" / "stall.barrier" / "thrash.page" (warning),
+          "advice.page" (info, a page's observed sharing pattern suggests a
+          different protocol — detail names the page, the pattern and the
+          recommended [~protocol] attribute); with a
           fault plan installed ({!Dsm.inject_faults}) also "node.dead"
           (warning, a node entered a crash window), "node.restart" (info),
           "node.partitioned" (info, the plan started dropping traffic) and
@@ -91,7 +96,12 @@ val attach : ?config:config -> Runtime.t -> t
     and arms the periodic sampler.  Call before [Dsm.run]; the timer stops
     itself when a run drains (or deadlocks) and re-arms on the next
     [Dsm.run].  At most one watchdog per runtime
-    (raises [Invalid_argument] on a second attach). *)
+    (raises [Invalid_argument] on a second attach).  Reuses an already
+    attached {!Telemetry} engine, otherwise attaches one carrying this
+    config's thrash parameters. *)
+
+val telemetry : t -> Telemetry.t
+(** The telemetry engine the watchdog drains each tick. *)
 
 val set_on_sample : t -> (sample -> unit) -> unit
 (** Called after every sample — the live dashboard hook. *)

@@ -140,9 +140,16 @@ let chain_of_span (span, evs) =
           ch_events = evs;
         }
 
-(* --- per-page sharing patterns --- *)
+(* --- per-page sharing patterns ---
 
-type pattern =
+   The classification logic itself lives in [Telemetry.Pages], the
+   streaming accumulator shared with the online engine behind [dsm top]:
+   one implementation backs both views, so the post-mortem heatmap and the
+   live classification agree by construction. *)
+
+module Tele = Dsmpm2_core.Telemetry
+
+type pattern = Tele.pattern =
   | Private
   | Read_mostly
   | Single_writer
@@ -151,14 +158,7 @@ type pattern =
   | False_sharing
   | Mixed
 
-let pattern_to_string = function
-  | Private -> "private"
-  | Read_mostly -> "read-mostly"
-  | Single_writer -> "single-writer"
-  | Producer_consumer -> "producer-consumer"
-  | Migratory -> "migratory"
-  | False_sharing -> "false-sharing"
-  | Mixed -> "mixed"
+let pattern_to_string = Tele.pattern_to_string
 
 type page_profile = {
   pg_page : int;
@@ -174,150 +174,29 @@ type page_profile = {
   pg_invalidations : int;
 }
 
-type page_acc = {
-  mutable a_protocol : string;
-  mutable a_read_faults : int;
-  mutable a_write_faults : int;
-  mutable a_readers : int list;
-  mutable a_writers : int list;
-  mutable a_diff_senders : int list;  (* one entry per diff received *)
-  mutable a_transfers : int;
-  mutable a_send_bytes : int;
-  mutable a_diff_bytes : int;
-  mutable a_invalidations : int;
-  mutable a_write_seq : int list;  (* reverse-chronological writer nodes *)
-}
-
 let page_stats events =
-  let tbl : (int, page_acc) Hashtbl.t = Hashtbl.create 64 in
-  let acc page =
-    match Hashtbl.find_opt tbl page with
-    | Some a -> a
-    | None ->
-        let a =
-          {
-            a_protocol = "?";
-            a_read_faults = 0;
-            a_write_faults = 0;
-            a_readers = [];
-            a_writers = [];
-            a_diff_senders = [];
-            a_transfers = 0;
-            a_send_bytes = 0;
-            a_diff_bytes = 0;
-            a_invalidations = 0;
-            a_write_seq = [];
-          }
-        in
-        Hashtbl.add tbl page a;
-        a
-  in
-  List.iter
-    (fun (_, ev) ->
-      match ev with
-      | Trace.Fault { node; page; protocol; mode } ->
-          let a = acc page in
-          a.a_protocol <- protocol;
-          if mode = "write" then begin
-            a.a_write_faults <- a.a_write_faults + 1;
-            a.a_writers <- node :: a.a_writers;
-            a.a_write_seq <- node :: a.a_write_seq
-          end
-          else begin
-            a.a_read_faults <- a.a_read_faults + 1;
-            a.a_readers <- node :: a.a_readers
-          end
-      | Trace.Page_send { page; protocol; bytes; _ } ->
-          let a = acc page in
-          a.a_protocol <- protocol;
-          a.a_transfers <- a.a_transfers + 1;
-          a.a_send_bytes <- a.a_send_bytes + bytes
-      | Trace.Invalidate { page; protocol; _ } ->
-          let a = acc page in
-          a.a_protocol <- protocol;
-          a.a_invalidations <- a.a_invalidations + 1
-      | Trace.Diff { page_list; bytes; sender; protocol; _ } ->
-          let n = max 1 (List.length page_list) in
-          List.iter
-            (fun page ->
-              let a = acc page in
-              a.a_protocol <- protocol;
-              a.a_diff_senders <- sender :: a.a_diff_senders;
-              a.a_diff_bytes <- a.a_diff_bytes + (bytes / n);
-              a.a_writers <- sender :: a.a_writers;
-              a.a_write_seq <- sender :: a.a_write_seq)
-            page_list
-      | _ -> ())
-    events;
-  tbl
+  let ps = Tele.Pages.create () in
+  List.iter (fun (_, ev) -> Tele.Pages.feed ps ev) events;
+  ps
 
-(* The classification heuristic, in evidence-strength order:
-   - one accessing node: private;
-   - diffs from >= 2 nodes: concurrent multiple writers of one page, i.e.
-     (the protocol tolerates) false sharing — the diffs carry the disjoint
-     word sets each writer changed;
-   - no writers: read-mostly replication;
-   - >= 2 (serial) writers: migratory when write access demonstrably hands
-     off between nodes at least twice, otherwise mixed;
-   - single writer with remote readers that repeatedly re-fetch: producer-
-     consumer; single writer otherwise. *)
-let classify a =
-  let readers = List.sort_uniq compare a.a_readers in
-  let writers = List.sort_uniq compare a.a_writers in
-  let differs = List.sort_uniq compare a.a_diff_senders in
-  let accessors = List.sort_uniq compare (readers @ writers) in
-  if List.length accessors <= 1 then Private
-  else if List.length differs >= 2 then False_sharing
-  else
-    match writers with
-    | [] -> Read_mostly
-    | [ w ] ->
-        let remote_readers = List.filter (fun r -> r <> w) readers in
-        let produces = a.a_write_faults + List.length a.a_diff_senders in
-        if remote_readers <> [] && produces >= 2 && a.a_read_faults >= 2 then
-          Producer_consumer
-        else Single_writer
-    | _ ->
-        let handoffs =
-          let seq = List.rev a.a_write_seq in
-          let rec count prev = function
-            | [] -> 0
-            | n :: rest -> (if n <> prev then 1 else 0) + count n rest
-          in
-          match seq with [] -> 0 | n :: rest -> count n rest
-        in
-        if handoffs >= 2 then Migratory else Mixed
-
-let profile_of_page page a =
+let profile_of (p : Tele.profile) =
   {
-    pg_page = page;
-    pg_protocol = a.a_protocol;
-    pg_pattern = classify a;
-    pg_read_faults = a.a_read_faults;
-    pg_write_faults = a.a_write_faults;
-    pg_readers = List.sort_uniq compare a.a_readers;
-    pg_writers = List.sort_uniq compare a.a_writers;
-    pg_diff_senders = List.sort_uniq compare a.a_diff_senders;
-    pg_transfers = a.a_transfers;
-    pg_bytes = a.a_send_bytes + a.a_diff_bytes;
-    pg_invalidations = a.a_invalidations;
+    pg_page = p.Tele.pr_page;
+    pg_protocol = p.Tele.pr_protocol;
+    pg_pattern = p.Tele.pr_pattern;
+    pg_read_faults = p.Tele.pr_read_faults;
+    pg_write_faults = p.Tele.pr_write_faults;
+    pg_readers = p.Tele.pr_readers;
+    pg_writers = p.Tele.pr_writers;
+    pg_diff_senders = p.Tele.pr_diff_senders;
+    pg_transfers = p.Tele.pr_transfers;
+    pg_bytes = p.Tele.pr_bytes;
+    pg_invalidations = p.Tele.pr_invalidations;
   }
 
 (* --- protocol advisor --- *)
 
-(* Pattern -> built-in protocol, following the paper's Table 2 roles (and
-   DRust's observation that the sharing pattern picks the policy):
-   migratory data wants the accessing thread moved to it; false sharing
-   wants a multiple-writer diff protocol; read-mostly and producer-consumer
-   pages want updates pushed instead of replicas invalidated; a single
-   writer with a private working set fits eager release consistency. *)
-let recommended_protocol = function
-  | Migratory -> Some "migrate_thread"
-  | False_sharing -> Some "hbrc_mw"
-  | Read_mostly -> Some "write_update"
-  | Producer_consumer -> Some "write_update"
-  | Single_writer -> Some "erc_sw"
-  | Private | Mixed -> None
+let recommended_protocol = Tele.recommended_protocol
 
 type advice = {
   ad_page : int;
@@ -599,13 +478,9 @@ let analyze ?(top = 5) trace =
     in
     take top sorted
   in
-  let pages =
-    Hashtbl.fold (fun page a acc -> profile_of_page page a :: acc) (page_stats events) []
-    |> List.sort (fun a b ->
-           compare
-             (b.pg_read_faults + b.pg_write_faults, b.pg_bytes, a.pg_page)
-             (a.pg_read_faults + a.pg_write_faults, a.pg_bytes, b.pg_page))
-  in
+  (* [Tele.Pages.profiles] already ranks by (faults, bytes) descending,
+     the heatmap order. *)
+  let pages = List.map profile_of (Tele.Pages.profiles (page_stats events)) in
   let duration =
     List.fold_left (fun acc ((e : Trace.entry), _) -> Time.max acc e.Trace.at) Time.zero events
   in

@@ -61,7 +61,7 @@ type chain = {
 
 (** {2 Per-page sharing patterns} *)
 
-type pattern =
+type pattern = Dsmpm2_core.Telemetry.pattern =
   | Private  (** one accessing node *)
   | Read_mostly  (** replicated, never written remotely *)
   | Single_writer  (** one writer, occasional remote readers *)
@@ -69,6 +69,9 @@ type pattern =
   | Migratory  (** write access hands off between nodes serially *)
   | False_sharing  (** concurrent diffs from distinct nodes on one page *)
   | Mixed  (** multiple writers without a clean handoff pattern *)
+(** Re-export of the canonical type: the classifier is
+    {!Dsmpm2_core.Telemetry.Pages}, shared between this post-mortem view
+    and the online engine, so the two always agree. *)
 
 val pattern_to_string : pattern -> string
 

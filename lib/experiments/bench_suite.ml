@@ -42,6 +42,9 @@ type sample = {
   s_fault_p50_us : float;
   s_fault_p90_us : float;
   s_fault_p99_us : float;
+  s_fault_p999_us : float;
+      (* extreme tail, from the online telemetry sketch (the Stats
+         histogram's resolution is too coarse at p99.9) *)
 }
 
 type case_result = {
@@ -133,7 +136,18 @@ let driver_of case =
 let run_app case ~seed =
   let driver = driver_of case in
   let captured = ref None in
-  let observe = Some (fun dsm -> captured := Some dsm) in
+  (* Attach the online telemetry engine for the p99.9 sketch.  The ring is
+     kept tiny on purpose: the sketch reads the observer stream, which sees
+     every emission regardless of storage, and a small ring bounds the
+     suite's memory without costing accuracy. *)
+  let observe =
+    Some
+      (fun dsm ->
+        Monitor.enable dsm true;
+        Trace.set_capacity (Monitor.trace dsm) 1024;
+        ignore (Telemetry.attach dsm);
+        captured := Some dsm)
+  in
   let tie_seed = Some seed in
   let nodes = case.c_nodes in
   let protocol = case.c_protocol in
@@ -232,6 +246,10 @@ let measure case ~seed =
     s_fault_p50_us = pct 50.;
     s_fault_p90_us = pct 90.;
     s_fault_p99_us = pct 99.;
+    s_fault_p999_us =
+      (match Telemetry.find dsm with
+      | Some tele -> Telemetry.fault_percentile tele 99.9
+      | None -> 0.);
   }
 
 let case_meta case =
@@ -290,7 +308,7 @@ let metric_names =
   [
     "time_us"; "messages"; "bytes"; "read_faults"; "write_faults";
     "dropped"; "rpc_retries";
-    "fault_p50_us"; "fault_p90_us"; "fault_p99_us";
+    "fault_p50_us"; "fault_p90_us"; "fault_p99_us"; "fault_p999_us";
   ]
 
 let metric name s =
@@ -305,6 +323,7 @@ let metric name s =
   | "fault_p50_us" -> s.s_fault_p50_us
   | "fault_p90_us" -> s.s_fault_p90_us
   | "fault_p99_us" -> s.s_fault_p99_us
+  | "fault_p999_us" -> s.s_fault_p999_us
   | _ -> invalid_arg (Printf.sprintf "Bench_suite.metric: unknown metric %S" name)
 
 let metric_mean cr name = mean (List.map (metric name) cr.cr_samples)
@@ -326,6 +345,7 @@ let sample_to_json s =
       ("fault_p50_us", Json.Float s.s_fault_p50_us);
       ("fault_p90_us", Json.Float s.s_fault_p90_us);
       ("fault_p99_us", Json.Float s.s_fault_p99_us);
+      ("fault_p999_us", Json.Float s.s_fault_p999_us);
     ]
 
 let case_result_to_json cr =
@@ -371,6 +391,8 @@ let sample_of_json j =
   let* s_fault_p50_us = flt "fault_p50_us" in
   let* s_fault_p90_us = flt "fault_p90_us" in
   let* s_fault_p99_us = flt "fault_p99_us" in
+  (* p99.9 joined with the telemetry sketches; absent in older baselines. *)
+  let s_fault_p999_us = Option.value (flt "fault_p999_us") ~default:0. in
   Some
     {
       s_seed;
@@ -384,6 +406,7 @@ let sample_of_json j =
       s_fault_p50_us;
       s_fault_p90_us;
       s_fault_p99_us;
+      s_fault_p999_us;
     }
 
 let case_result_of_json j =

@@ -55,6 +55,11 @@ type sample = {
   s_fault_p50_us : float;
   s_fault_p90_us : float;
   s_fault_p99_us : float;
+  s_fault_p999_us : float;
+      (** extreme fault-latency tail from the online telemetry sketch
+          ({!Dsmpm2_core.Telemetry.fault_percentile}) — the Stats
+          histogram's fixed buckets are too coarse at p99.9.  0 in
+          snapshots written before the sketch joined the schema. *)
 }
 
 type case_result = {
@@ -84,9 +89,9 @@ val run :
 val metric_names : string list
 (** Every per-sample metric, in schema order: [time_us], [messages],
     [bytes], [read_faults], [write_faults], [dropped], [rpc_retries],
-    [fault_p50_us], [fault_p90_us], [fault_p99_us].  [dropped] and
-    [rpc_retries] joined after the first baselines; snapshots without them
-    parse as zero. *)
+    [fault_p50_us], [fault_p90_us], [fault_p99_us], [fault_p999_us].
+    [dropped], [rpc_retries] and [fault_p999_us] joined after the first
+    baselines; snapshots without them parse as zero. *)
 
 val metric : string -> sample -> float
 (** A sample's value for a {!metric_names} member (counts as floats). *)

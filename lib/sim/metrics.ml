@@ -63,10 +63,19 @@ let to_json t =
          Json.Obj [ ("labels", labels_to_json l); ("stats", Stats.to_json s) ])
        (all t))
 
+(* Cluster rollup: every group's series merged into one Stats snapshot
+   (exact — the fixed histogram buckets add bucket-wise), the basis of the
+   cluster line in `dsm top`. *)
+let rollup t =
+  Hashtbl.fold (fun _ s acc -> Stats.merge acc s) t.groups (Stats.create ())
+
 (* --- Prometheus text exposition ---
 
-   Counters become [dsm_<name>_total]; duration series become summaries in
-   microseconds with p50/p90/p99 quantiles plus [_sum]/[_count].  The node
+   Counters become [dsm_<name>_total] (counter type); duration series
+   become true histograms in microseconds — cumulative [_bucket{le=...}]
+   lines straight off the fixed Stats buckets plus [_sum]/[_count] — so
+   scrapes aggregate across nodes and over time with histogram_quantile
+   instead of the unmergeable summary quantiles we used to emit.  The node
    and protocol labels map straight onto Prometheus labels, so the same
    questions the JSON snapshot answers ("p99 fault latency of hbrc_mw on
    node 3") are one PromQL selector away. *)
@@ -82,7 +91,7 @@ let prom_name name =
   let s = Bytes.to_string b in
   if String.length s >= 4 && String.sub s 0 4 = "dsm_" then s else "dsm_" ^ s
 
-let prom_labels ?quantile l =
+let prom_labels ?le l =
   let parts =
     List.concat
       [
@@ -92,8 +101,8 @@ let prom_labels ?quantile l =
         (match l.lbl_protocol with
         | Some p -> [ Printf.sprintf "protocol=\"%s\"" p ]
         | None -> []);
-        (match quantile with
-        | Some q -> [ Printf.sprintf "quantile=\"%s\"" q ]
+        (match le with
+        | Some b -> [ Printf.sprintf "le=\"%s\"" b ]
         | None -> []);
       ]
   in
@@ -128,21 +137,24 @@ let to_prometheus ppf t =
       let metric = prom_name name ^ "_us" in
       Format.fprintf ppf "# HELP %s Duration of %S in microseconds.@." metric
         name;
-      Format.fprintf ppf "# TYPE %s summary@." metric;
+      Format.fprintf ppf "# TYPE %s histogram@." metric;
       List.iter
         (fun (l, s) ->
           let sm = Stats.span_summary s name in
           if sm.Stats.sm_samples > 0 then begin
-            List.iter
-              (fun (q, v) ->
-                Format.fprintf ppf "%s%s %g@." metric
-                  (prom_labels ~quantile:q l)
-                  (Time.to_us v))
-              [
-                ("0.5", sm.Stats.sm_p50);
-                ("0.9", sm.Stats.sm_p90);
-                ("0.99", sm.Stats.sm_p99);
-              ];
+            let hist = Stats.span_histogram s name in
+            let cum = ref 0 in
+            Array.iteri
+              (fun i (bound, c) ->
+                cum := !cum + c;
+                let le =
+                  if i < Array.length Stats.bucket_bounds then
+                    Printf.sprintf "%g" (Time.to_us bound)
+                  else "+Inf"
+                in
+                Format.fprintf ppf "%s_bucket%s %d@." metric
+                  (prom_labels ~le l) !cum)
+              hist;
             Format.fprintf ppf "%s_sum%s %g@." metric (prom_labels l)
               (Time.to_us sm.Stats.sm_total);
             Format.fprintf ppf "%s_count%s %d@." metric (prom_labels l)

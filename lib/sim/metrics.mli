@@ -42,16 +42,24 @@ val all : t -> (labels * Stats.t) list
 val reset : t -> unit
 (** Zeroes every shard in place; group handles stay valid. *)
 
+val rollup : t -> Stats.t
+(** A fresh {!Stats.t} merging every label group ({!Stats.merge} pairwise):
+    the cluster-wide view behind the summary line of [dsm top].  Exact for
+    counters and histogram buckets; the registry is not modified. *)
+
 val labels_to_json : labels -> Json.t
 val to_json : t -> Json.t
 (** [[{"labels": {...}, "stats": {...}}, ...]] in {!all} order. *)
 
 val to_prometheus : Format.formatter -> t -> unit
 (** Prometheus text exposition of the whole registry.  Each counter [name]
-    becomes [dsm_<sanitized name>_total] with [node]/[protocol] labels (one
-    sample per label group holding the counter); each duration series
-    becomes a summary [dsm_<sanitized name>_us] in microseconds with
-    [quantile="0.5"|"0.9"|"0.99"] samples plus [_sum] and [_count].
+    becomes [dsm_<sanitized name>_total] (with [# HELP] / [# TYPE counter]
+    headers and [node]/[protocol] labels, one sample per label group
+    holding the counter); each duration series becomes a true histogram
+    [dsm_<sanitized name>_us] in microseconds — cumulative
+    [_bucket{le="..."}] samples straight off the fixed {!Stats} buckets
+    (overflow as [le="+Inf"]) plus [_sum] and [_count] — so scrapes
+    aggregate across nodes and over time with [histogram_quantile].
     Metric families and label groups appear in deterministic order (names
     sorted, groups in {!all} order). *)
 

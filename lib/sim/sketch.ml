@@ -1,0 +1,138 @@
+(* DDSketch-style log-bucketed quantile summary.  A positive value v maps
+   to bucket ceil(ln v / ln gamma); every value in bucket i lies in
+   (gamma^(i-1), gamma^i], and the bucket midpoint estimate
+   2*gamma^i/(gamma+1) is within relative error (gamma-1)/(gamma+1) = alpha
+   of any of them.  Counts live in a sparse table, so memory tracks the
+   data's dynamic range, not the sample count, and merging is bucket-wise
+   addition — exactly the stream-concatenation semantics the property tests
+   pin. *)
+
+(* Values at or below this threshold are counted exactly in a dedicated
+   zero bucket: the log mapping cannot represent 0, and latencies this far
+   below one nanosecond are noise. *)
+let zero_threshold = 1e-9
+
+type t = {
+  a_alpha : float;
+  gamma : float;
+  inv_log_gamma : float;
+  mutable n : int;
+  mutable zeros : int; (* samples in [0, zero_threshold] *)
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+  counts : (int, int ref) Hashtbl.t; (* log-bucket index -> samples *)
+}
+
+let create ?(alpha = 0.01) () =
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Sketch.create: alpha must be in (0, 1)";
+  let gamma = (1. +. alpha) /. (1. -. alpha) in
+  {
+    a_alpha = alpha;
+    gamma;
+    inv_log_gamma = 1. /. log gamma;
+    n = 0;
+    zeros = 0;
+    total = 0.;
+    lo = infinity;
+    hi = neg_infinity;
+    counts = Hashtbl.create 64;
+  }
+
+let alpha t = t.a_alpha
+
+let bucket_of t v = int_of_float (Float.ceil (log v *. t.inv_log_gamma))
+
+let add t v =
+  let v = Float.max 0. v in
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v < t.lo then t.lo <- v;
+  if v > t.hi then t.hi <- v;
+  if v <= zero_threshold then t.zeros <- t.zeros + 1
+  else
+    let i = bucket_of t v in
+    match Hashtbl.find_opt t.counts i with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.counts i (ref 1)
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+let min_value t = if t.n = 0 then 0. else t.lo
+let max_value t = if t.n = 0 then 0. else t.hi
+let buckets t = Hashtbl.length t.counts + if t.zeros > 0 then 1 else 0
+
+(* The value estimate for bucket i: the point whose relative distance to
+   both bucket edges is alpha. *)
+let estimate t i =
+  2. *. exp (float_of_int i *. log t.gamma) /. (t.gamma +. 1.)
+
+let quantile t q =
+  if t.n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    (* Lower nearest-rank: the exact answer is the rank-th smallest sample
+       (0-based); the zero bucket sorts below every log bucket. *)
+    let rank = int_of_float (Float.floor (q *. float_of_int (t.n - 1))) in
+    if rank < t.zeros then t.lo
+    else begin
+      let idx =
+        Hashtbl.fold (fun i _ acc -> i :: acc) t.counts []
+        |> List.sort compare
+      in
+      let rec walk seen = function
+        | [] -> t.hi
+        | i :: rest ->
+            let seen = seen + !(Hashtbl.find t.counts i) in
+            if seen > rank - t.zeros then estimate t i else walk seen rest
+      in
+      let v = walk 0 idx in
+      (* Clamping to the observed range only ever moves the estimate toward
+         the exact sample, so the alpha bound survives. *)
+      Float.max t.lo (Float.min t.hi v)
+    end
+  end
+
+let percentile t p = quantile t (p /. 100.)
+
+let merge_into dst src =
+  if dst.a_alpha <> src.a_alpha then
+    invalid_arg "Sketch.merge: accuracy targets differ";
+  dst.n <- dst.n + src.n;
+  dst.zeros <- dst.zeros + src.zeros;
+  dst.total <- dst.total +. src.total;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi;
+  Hashtbl.iter
+    (fun i r ->
+      match Hashtbl.find_opt dst.counts i with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.add dst.counts i (ref !r))
+    src.counts
+
+let merge a b =
+  let t = create ~alpha:a.a_alpha () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("sum", Json.Float t.total);
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("p50", Json.Float (percentile t 50.));
+      ("p90", Json.Float (percentile t 90.));
+      ("p99", Json.Float (percentile t 99.));
+      ("p999", Json.Float (percentile t 99.9));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d samples in %d buckets: p50 %.3f p90 %.3f p99 %.3f p999 %.3f max %.3f"
+    t.n (buckets t) (percentile t 50.) (percentile t 90.) (percentile t 99.)
+    (percentile t 99.9) (max_value t)

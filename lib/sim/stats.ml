@@ -190,6 +190,33 @@ let reset t =
       Array.fill s.sp_buckets 0 (Array.length s.sp_buckets) 0)
     t.durations
 
+(* Bucket-wise merge is exact because every [t] shares the same fixed
+   [bucket_bounds]: no re-bucketing, no alignment error.  The result is a
+   fresh snapshot — neither input is modified, and interned handles of the
+   inputs keep feeding the inputs. *)
+let merge a b =
+  let t = create () in
+  let add_counts src =
+    Hashtbl.iter (fun name r -> add t name !r) src.counts
+  in
+  add_counts a;
+  add_counts b;
+  let add_spans src =
+    Hashtbl.iter
+      (fun name (s : span) ->
+        let d = span t name in
+        d.sp_total <- Time.(d.sp_total + s.sp_total);
+        d.sp_samples <- d.sp_samples + s.sp_samples;
+        if s.sp_max > d.sp_max then d.sp_max <- s.sp_max;
+        for i = 0 to nbuckets - 1 do
+          d.sp_buckets.(i) <- d.sp_buckets.(i) + s.sp_buckets.(i)
+        done)
+      src.durations
+  in
+  add_spans a;
+  add_spans b;
+  t
+
 let summary_to_json s =
   Json.Obj
     [

@@ -94,6 +94,14 @@ val reset : t -> unit
     {!counter}/{!histogram} handles survive a reset and keep feeding the
     (now zeroed) series. *)
 
+val merge : t -> t -> t
+(** A fresh [t] holding both inputs' series: counters are summed, span
+    totals and sample counts are summed, maxima take the larger input, and
+    the fixed-bucket histograms are added bucket-wise (exact — every [t]
+    shares {!bucket_bounds}, so there is no re-bucketing).  Neither input
+    is modified; merging with a fresh [create ()] is the identity.  This is
+    how per-node registries roll up into the cluster view of [dsm top]. *)
+
 val summary_to_json : span_summary -> Json.t
 val to_json : t -> Json.t
 (** [{"counters": {...}, "spans": [{name, samples, total_us, mean_us,

@@ -142,6 +142,10 @@ type t = {
   thread_spans : (int, int) Hashtbl.t; (* tid -> active span *)
   mutable autodump : string option; (* dump target armed on critical alerts *)
   mutable autodump_fired : bool;
+  mutable observer : (entry -> event -> unit) option;
+      (* sees every emission, before sampling and before ring eviction *)
+  mutable sampling : (int * float) option; (* (seed, keep percentage) *)
+  mutable sampled_out : int; (* events dropped by the sampler, monotonic *)
 }
 
 let dummy_slot =
@@ -160,6 +164,9 @@ let create ?(enabled = false) () =
     thread_spans = Hashtbl.create 16;
     autodump = None;
     autodump_fired = false;
+    observer = None;
+    sampling = None;
+    sampled_out = 0;
   }
 
 let enable t b = t.on <- b
@@ -192,6 +199,52 @@ let set_autodump t path =
 
 let autodump_path t = t.autodump
 let autodump_fired t = t.autodump_fired
+
+(* --- observer & head-based sampling ---
+
+   The single observer slot sees every emission at emit time, before the
+   sampler's keep/drop decision and before the flight recorder evicts
+   anything: a subscriber (Telemetry) gets the complete event stream while
+   storage stays bounded.  Observers must be passive — no engine events, no
+   shared RNG draws — so attaching one never perturbs a seeded schedule.
+
+   Sampling is head-based per span: one seeded draw on the span id decides
+   the whole operation's fate, so a kept span is kept with every event and
+   [dsm explain] still sees whole causal chains.  The draw is a pure
+   function of (sampling seed, span id) — independent of emission order,
+   wall clock and engine state — so sampled runs stay replayable.  Rare,
+   high-signal kinds (alerts, fault-plan events, RPC retries) and free-form
+   messages always keep; events outside any span ([no_span]) always keep. *)
+
+let set_observer t f =
+  match t.observer with
+  | Some _ -> invalid_arg "Trace.set_observer: an observer is already attached"
+  | None -> t.observer <- Some f
+
+let clear_observer t = t.observer <- None
+
+let set_sampling t ~seed ~keep_pct =
+  if not (keep_pct >= 0. && keep_pct <= 100.) then
+    invalid_arg "Trace.set_sampling: keep_pct must be within [0, 100]";
+  t.sampling <- Some (seed, keep_pct)
+
+let sampling t = t.sampling
+let sampled_out t = t.sampled_out
+
+let always_keep = function
+  | Alert _ | Drop _ | Blackhole _ | Crash _ | Restart _ | Rpc_retry _
+  | Message _ -> true
+  | Fault _ | Page_request _ | Page_send _ | Page_install _ | Invalidate _
+  | Diff _ | Lock _ | Barrier _ | Migration _ -> false
+
+let span_kept t span =
+  match t.sampling with
+  | None -> true
+  | Some (seed, keep_pct) ->
+      span = no_span
+      || Rng.float (Rng.create ~seed:(Hashtbl.hash (seed, span))) 100. < keep_pct
+
+let sample_keep t span ev = always_keep ev || span_kept t span
 
 (* Forward reference to [save_jsonl], which needs the exporters defined
    below; resolved at module initialization.  Keeps the autodump trigger
@@ -265,30 +318,37 @@ let thread_span t ~tid =
 
 (* --- recording --- *)
 
+(* The single choke point of live recording: the observer sees the event
+   unconditionally, then the sampler decides whether storage does. *)
+let submit t entry ev =
+  (match t.observer with Some f -> f entry ev | None -> ());
+  if sample_keep t entry.span ev then push t (entry, ev)
+  else t.sampled_out <- t.sampled_out + 1
+
 let emit t eng ?(span = no_span) ev =
   if t.on then
-    push t
-      ( {
-          at = Engine.now eng;
-          span;
-          category = event_category ev;
-          message = event_message ev;
-        },
-        ev )
+    submit t
+      {
+        at = Engine.now eng;
+        span;
+        category = event_category ev;
+        message = event_message ev;
+      }
+      ev
 
 let record t eng ~category message =
   if t.on then
-    push t
-      ( { at = Engine.now eng; span = no_span; category; message },
-        Message { category; message } )
+    submit t
+      { at = Engine.now eng; span = no_span; category; message }
+      (Message { category; message })
 
 let recordf t eng ~category fmt =
   if t.on then
     Format.kasprintf
       (fun message ->
-        push t
-          ( { at = Engine.now eng; span = no_span; category; message },
-            Message { category; message } ))
+        submit t
+          { at = Engine.now eng; span = no_span; category; message }
+          (Message { category; message }))
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
@@ -371,6 +431,7 @@ let clear t =
   t.total <- 0;
   t.next_span <- 0;
   t.autodump_fired <- false;
+  t.sampled_out <- 0;
   Hashtbl.reset t.thread_spans
 
 (* --- JSON export --- *)

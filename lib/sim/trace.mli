@@ -141,6 +141,48 @@ val set_autodump : t -> string -> unit
 val autodump_path : t -> string option
 val autodump_fired : t -> bool
 
+(** {2 Observer & sampling}
+
+    One subscriber may observe the live event stream at emit time — before
+    the sampler's keep/drop decision and before the flight recorder evicts
+    anything — so online consumers ({!Telemetry}) see every event while
+    stored history stays bounded.  Observers must be passive (no engine
+    events, no shared RNG draws): under that contract attaching one never
+    perturbs a seeded schedule.
+
+    Sampling is deterministic and head-based: one seeded draw per span id
+    decides the fate of the whole operation, so kept spans are kept {e
+    entirely} (causal chains stay whole for [dsm explain]) and the same
+    (seed, span) always decides the same way, independent of emission order
+    — sampled runs remain replayable.  Alerts, fault-plan events ([Drop],
+    [Blackhole], [Crash], [Restart], [Rpc_retry]), free-form [Message]s and
+    events outside any span are always kept. *)
+
+val set_observer : t -> (entry -> event -> unit) -> unit
+(** Attaches the observer.  Raises [Invalid_argument] when one is already
+    attached (there is exactly one slot; compose externally if needed). *)
+
+val clear_observer : t -> unit
+
+val set_sampling : t -> seed:int -> keep_pct:float -> unit
+(** Enables head-based span sampling: a span is stored with probability
+    [keep_pct]% under a pure function of [(seed, span id)].  Raises
+    [Invalid_argument] unless [0 <= keep_pct <= 100].  [keep_pct = 100.]
+    keeps everything; [0.] keeps only the always-kept kinds. *)
+
+val sampling : t -> (int * float) option
+(** The configured [(seed, keep_pct)], or [None] when unsampled. *)
+
+val span_kept : t -> int -> bool
+(** Whether the sampler keeps the given span id ([true] when unsampled or
+    for [no_span]) — the deterministic per-span decision, exposed so tests
+    and tools can predict a sampled trace's contents. *)
+
+val sampled_out : t -> int
+(** Events dropped by the sampler since creation (monotonic, reset by
+    {!clear}).  Disjoint from {!evicted}: sampled-out events were never
+    stored and do not advance {!recorded}. *)
+
 (** {2 Span context}
 
     All span bookkeeping is a no-op while the trace is disabled. *)

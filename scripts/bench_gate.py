@@ -37,7 +37,7 @@ def load_estimates(path):
     estimates = snapshot.get("estimates")
     if not isinstance(estimates, dict) or not estimates:
         sys.exit(f"bench_gate: {path}: no estimates object")
-    return snapshot.get("unit", "?"), estimates
+    return snapshot.get("unit", "?"), estimates, {}
 
 
 def load_macro(path):
@@ -47,13 +47,19 @@ def load_macro(path):
     if schema != MACRO_SCHEMA:
         sys.exit(f"bench_gate: {path}: schema {schema!r}, expected {MACRO_SCHEMA!r}")
     cases = {}
+    tails = {}
     for case in snapshot.get("cases", []):
         samples = case.get("samples", [])
         if samples:
             cases[case["id"]] = sum(s["time_us"] for s in samples) / len(samples)
+            # fault_p999_us comes from the telemetry sketch; absent in
+            # snapshots written before it joined the schema (reads as 0).
+            tails[case["id"]] = (
+                sum(s.get("fault_p999_us", 0.0) for s in samples) / len(samples)
+            )
     if not cases:
         sys.exit(f"bench_gate: {path}: no cases with samples")
-    return "simulated us", cases
+    return "simulated us", cases, tails
 
 
 def main():
@@ -74,8 +80,8 @@ def main():
     args = ap.parse_args()
 
     load = load_macro if args.macro else load_estimates
-    unit, base = load(args.baseline)
-    _, fresh = load(args.fresh)
+    unit, base, base_tails = load(args.baseline)
+    _, fresh, fresh_tails = load(args.fresh)
 
     failures = []
     improvements = []
@@ -95,6 +101,24 @@ def main():
         print(f"{name:48s} {base[name]:12.1f} {fresh[name]:12.1f} {delta:+7.1f}%{flag}")
     for name in sorted(set(fresh) - set(base)):
         print(f"{name:48s} {'new':>12s} {fresh[name]:12.1f}")
+
+    # Advisory only: the extreme fault-latency tail (sketch-backed p99.9) is
+    # informative but quantized by the sketch's relative-error bound, so a
+    # tail move never fails the gate — it is printed for the human reading
+    # the CI log.
+    tail_moves = [
+        (name, base_tails[name], fresh_tails[name])
+        for name in sorted(set(base_tails) & set(fresh_tails))
+        if base_tails[name] > 0.0
+        and abs(fresh_tails[name] - base_tails[name]) / base_tails[name] * 100.0
+        > args.threshold
+    ]
+    if tail_moves:
+        print(f"\nbench_gate: advisory — fault_p999_us moved more than "
+              f"{args.threshold:.0f}% (never fails the gate):")
+        for name, b, f in tail_moves:
+            print(f"  {name}: {b:.1f} -> {f:.1f} "
+                  f"({(f - b) / b * 100.0:+.1f}%)")
 
     if improvements:
         print(f"\nbench_gate: {len(improvements)} case(s) improved more than "

@@ -33,6 +33,7 @@ let gen_t =
           s_fault_p50_us = p50;
           s_fault_p90_us = p90;
           s_fault_p99_us = p99;
+          s_fault_p999_us = p99 +. float_of_int (seed mod 13);
         })
       (triple
          (triple (0 -- 99) (ifloat 10_000_000) (0 -- 100_000))

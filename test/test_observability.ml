@@ -314,14 +314,17 @@ let test_prometheus_export () =
     (has {|dsm_fault_read_total{node="0",protocol="li_hudak"} 1|});
   Alcotest.(check bool) "page-send sample" true
     (has {|dsm_page_sent_total{node="1",protocol="li_hudak"} 1|});
-  (* Durations: summaries in microseconds with quantiles and _sum/_count. *)
-  Alcotest.(check bool) "summary TYPE line" true
-    (has "# TYPE dsm_fault_latency_us summary");
-  Alcotest.(check bool) "p99 quantile sample" true
+  (* Durations: true histograms in microseconds with cumulative buckets
+     and _sum/_count — histogram_quantile-aggregatable across nodes. *)
+  Alcotest.(check bool) "histogram TYPE line" true
+    (has "# TYPE dsm_fault_latency_us histogram");
+  Alcotest.(check bool) "cumulative bucket sample" true
     (List.exists
        (fun l ->
-         contains l "dsm_fault_latency_us{" && contains l {|quantile="0.99"|})
+         contains l "dsm_fault_latency_us_bucket{" && contains l {|le="|})
        lines);
+  Alcotest.(check bool) "+Inf bucket closes the histogram" true
+    (has {|dsm_fault_latency_us_bucket{node="0",protocol="li_hudak",le="+Inf"} 1|});
   Alcotest.(check bool) "count sample" true
     (has {|dsm_fault_latency_us_count{node="0",protocol="li_hudak"} 1|});
   (* Names already starting with dsm_ are not double-prefixed. *)

@@ -22,6 +22,7 @@ let sample ~seed ~time ?(messages = 100) ?(dropped = 0) ?(rpc_retries = 0) () =
     s_fault_p50_us = 50.;
     s_fault_p90_us = 90.;
     s_fault_p99_us = 99.;
+    s_fault_p999_us = 99.9;
   }
 
 let snapshot ?(id = "app:proto:drv") ?(driver = "BIP/Myrinet") samples =

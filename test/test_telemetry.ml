@@ -1,0 +1,444 @@
+(* The online telemetry engine and its foundations: the quantile sketch's
+   relative-error and merge guarantees (QCheck), Stats.merge rollups,
+   online/post-mortem classifier agreement across every protocol and
+   conformance workload, schedule transparency of telemetry + sampling,
+   the exactness of deterministic head-based span sampling against an
+   unsampled reference run, bounded-trace hot-page accounting, and the
+   advice.page alert's JSONL round trip. *)
+
+open Dsmpm2_sim
+open Dsmpm2_net
+open Dsmpm2_core
+open Dsmpm2_experiments
+
+(* --- the sketch: relative-error bound on adversarial distributions --- *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(int_of_float (q *. float_of_int (n - 1)))
+
+let quantile_ladder = [ 0.; 0.25; 0.5; 0.9; 0.99; 0.999; 1. ]
+
+(* Distributions chosen to stress the log bucketing: uniform (dense
+   mid-range buckets), exponential tails (many decades), duplicate
+   clusters (single-bucket pileups) and near-zero-threshold values. *)
+let gen_samples =
+  let open QCheck.Gen in
+  let uniform = map (fun i -> (float_of_int i /. 7.) +. 0.001) (0 -- 1_000_000) in
+  let heavy = map (fun i -> exp (float_of_int i /. 50.)) (0 -- 500) in
+  let clustered = map (fun i -> float_of_int (1 + (i mod 3)) *. 1e6) (0 -- 1000) in
+  let tiny = map (fun i -> 1e-8 +. (float_of_int i *. 1e-9)) (0 -- 100) in
+  let dist = oneof [ uniform; heavy; clustered; tiny ] in
+  let chunk = list_size (1 -- 300) dist in
+  oneof [ chunk; map2 ( @ ) chunk chunk ]
+
+let gen_alpha = QCheck.Gen.oneofl [ 0.005; 0.01; 0.05 ]
+
+let arbitrary_sketch_input =
+  QCheck.make
+    QCheck.Gen.(pair gen_alpha gen_samples)
+    ~print:(fun (alpha, xs) ->
+      Printf.sprintf "alpha=%g n=%d head=[%s]" alpha (List.length xs)
+        (String.concat "; "
+           (List.map (Printf.sprintf "%g") (List.filteri (fun i _ -> i < 8) xs))))
+
+let prop_relative_error =
+  QCheck.Test.make ~name:"sketch quantiles within the relative-error bound"
+    ~count:300 arbitrary_sketch_input (fun (alpha, xs) ->
+      let s = Sketch.create ~alpha () in
+      List.iter (Sketch.add s) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile sorted q in
+          let est = Sketch.quantile s q in
+          Float.abs (est -. exact)
+          <= (alpha *. exact) +. (1e-6 *. exact) +. 1e-9)
+        quantile_ladder)
+
+let prop_merge_is_concat =
+  QCheck.Test.make
+    ~name:"sketch merge = sketch of the concatenated stream" ~count:300
+    (QCheck.pair arbitrary_sketch_input
+       (QCheck.make gen_samples ~print:(fun xs ->
+            Printf.sprintf "n=%d" (List.length xs))))
+    (fun ((alpha, xs), ys) ->
+      let a = Sketch.create ~alpha () and b = Sketch.create ~alpha () in
+      List.iter (Sketch.add a) xs;
+      List.iter (Sketch.add b) ys;
+      let merged = Sketch.merge a b in
+      let direct = Sketch.create ~alpha () in
+      List.iter (Sketch.add direct) (xs @ ys);
+      Sketch.count merged = Sketch.count direct
+      && Sketch.buckets merged = Sketch.buckets direct
+      && Sketch.min_value merged = Sketch.min_value direct
+      && Sketch.max_value merged = Sketch.max_value direct
+      && Float.abs (Sketch.sum merged -. Sketch.sum direct)
+         <= 1e-6 *. Float.abs (Sketch.sum direct)
+      && List.for_all
+           (fun q -> Sketch.quantile merged q = Sketch.quantile direct q)
+           quantile_ladder)
+
+let test_sketch_rejects_mismatched_alpha () =
+  let a = Sketch.create ~alpha:0.01 () and b = Sketch.create ~alpha:0.02 () in
+  match Sketch.merge a b with
+  | _ -> Alcotest.fail "merging sketches with different alphas must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- Stats.merge: empty-merge identity and exact bucket alignment --- *)
+
+let test_stats_merge_identity () =
+  let s = Stats.create () in
+  Stats.add s "msgs" 7;
+  Stats.incr s "faults";
+  Stats.add_span s "latency" (Time.of_us 3.);
+  Stats.add_span s "latency" (Time.of_us 900.);
+  let check label m =
+    Alcotest.(check string) label
+      (Json.to_string (Stats.to_json s))
+      (Json.to_string (Stats.to_json m))
+  in
+  check "merge with fresh right identity" (Stats.merge s (Stats.create ()));
+  check "merge with fresh left identity" (Stats.merge (Stats.create ()) s)
+
+let test_stats_merge_buckets_align () =
+  let s1 = Stats.create () and s2 = Stats.create () in
+  List.iter (fun us -> Stats.add_span s1 "x" (Time.of_us us)) [ 1.; 10. ];
+  List.iter (fun us -> Stats.add_span s2 "x" (Time.of_us us)) [ 10.; 5000. ];
+  Stats.add s1 "c" 2;
+  Stats.add s2 "c" 5;
+  let m = Stats.merge s1 s2 in
+  Alcotest.(check int) "counters summed" 7 (Stats.count m "c");
+  Alcotest.(check int) "samples summed" 4 (Stats.span_samples m "x");
+  Alcotest.(check (float 1e-9)) "total summed"
+    Time.(to_us (Stats.span_total s1 "x" + Stats.span_total s2 "x"))
+    (Time.to_us (Stats.span_total m "x"));
+  Alcotest.(check (float 1e-9)) "max is the larger input"
+    (Time.to_us (Time.max (Stats.span_max s1 "x") (Stats.span_max s2 "x")))
+    (Time.to_us (Stats.span_max m "x"));
+  (* Every t shares the fixed bucket bounds, so the merged histogram is
+     the exact element-wise sum — no re-bucketing, no approximation. *)
+  let h1 = Stats.span_histogram s1 "x"
+  and h2 = Stats.span_histogram s2 "x"
+  and hm = Stats.span_histogram m "x" in
+  Array.iteri
+    (fun i (_, c) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d is the sum" i)
+        (snd h1.(i) + snd h2.(i))
+        c)
+    hm
+
+(* --- online classifier = post-mortem classifier, everywhere --- *)
+
+let pattern_pair p = (p.Analyze.pg_page, Analyze.pattern_to_string p.Analyze.pg_pattern)
+
+let test_agrees_with_analyze () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun workload ->
+          let _, dsm =
+            Conformance.run_one_traced ~protocol ~driver:Driver.bip_myrinet
+              ~workload ~seed:0
+          in
+          let tele =
+            match Telemetry.find dsm with
+            | Some t -> t
+            | None -> Alcotest.fail "watchdog did not attach telemetry"
+          in
+          let label =
+            Printf.sprintf "%s/%s" protocol
+              (Conformance.workload_name workload)
+          in
+          let online =
+            List.map
+              (fun (page, p) -> (page, Telemetry.pattern_to_string p))
+              (Telemetry.classification tele)
+          in
+          let post =
+            List.sort compare
+              (List.map pattern_pair (Analyze.pages (Analyze.analyze (Monitor.trace dsm))))
+          in
+          Alcotest.(check (list (pair int string)))
+            (label ^ ": same classification") post online)
+        Conformance.workloads)
+    Conformance.all_protocols
+
+(* --- schedule transparency: telemetry + sampling never perturb a run --- *)
+
+let jacobi ?observe seed =
+  Dsmpm2_apps.Jacobi.run
+    {
+      Dsmpm2_apps.Jacobi.default with
+      protocol = "hbrc_mw";
+      nodes = 4;
+      size = 16;
+      iterations = 2;
+      tie_seed = Some seed;
+      observe;
+    }
+
+let test_schedule_transparent_25_seeds () =
+  for seed = 0 to 24 do
+    let bare = jacobi seed in
+    let observe dsm =
+      Monitor.enable dsm true;
+      let tr = Monitor.trace dsm in
+      Trace.set_capacity tr 128;
+      Trace.set_sampling tr ~seed:1 ~keep_pct:20.;
+      ignore (Telemetry.attach dsm)
+    in
+    let instrumented = jacobi ~observe seed in
+    (* The whole result record — simulated time, checksum, fault and
+       message counts — is the schedule fingerprint. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: identical run" seed)
+      true
+      (bare = instrumented)
+  done
+
+(* --- sampling: deterministic, whole-span, exact against a reference --- *)
+
+let sampleable = function
+  | Trace.Fault _ | Trace.Page_request _ | Trace.Page_send _
+  | Trace.Page_install _ | Trace.Invalidate _ | Trace.Diff _ | Trace.Lock _
+  | Trace.Barrier _ | Trace.Migration _ ->
+      true
+  | _ -> false
+
+let traced_jacobi ?sampling seed =
+  let captured = ref None in
+  let observe dsm =
+    Monitor.enable dsm true;
+    Option.iter
+      (fun (sample_seed, pct) ->
+        Trace.set_sampling (Monitor.trace dsm) ~seed:sample_seed ~keep_pct:pct)
+      sampling;
+    ignore (Telemetry.attach dsm);
+    captured := Some dsm
+  in
+  let result = jacobi ~observe seed in
+  match !captured with
+  | Some dsm -> (result, dsm)
+  | None -> Alcotest.fail "jacobi did not expose its runtime"
+
+let test_sampling_keeps_whole_spans_exactly () =
+  let ref_result, ref_dsm = traced_jacobi 7 in
+  let ref_events = Trace.events (Monitor.trace ref_dsm) in
+  let sampled_result, sampled_dsm = traced_jacobi ~sampling:(3, 30.) 7 in
+  let tr = Trace.events (Monitor.trace sampled_dsm) in
+  Alcotest.(check bool) "sampling does not change the run" true
+    (ref_result = sampled_result);
+  (* The stored trace is exactly the reference stream filtered by the pure
+     per-span keep decision: whole spans survive or vanish together, and
+     alert/fault/message kinds are always kept. *)
+  let expected =
+    List.filter
+      (fun ((e : Trace.entry), ev) ->
+        (not (sampleable ev))
+        || e.Trace.span = Trace.no_span
+        || Trace.span_kept (Monitor.trace sampled_dsm) e.Trace.span)
+      ref_events
+  in
+  Alcotest.(check int) "stored trace is the predicted subset" 0
+    (compare expected tr);
+  Alcotest.(check int) "sampled_out accounts for every dropped event"
+    (List.length ref_events - List.length tr)
+    (Trace.sampled_out (Monitor.trace sampled_dsm));
+  (* Telemetry saw the full stream regardless. *)
+  (match Telemetry.find sampled_dsm with
+  | None -> Alcotest.fail "telemetry missing"
+  | Some tele ->
+      Alcotest.(check int) "telemetry saw every emission"
+        (List.length ref_events) (Telemetry.events_seen tele));
+  (* Same seed, same decisions: a replay stores the identical subset. *)
+  let _, replay_dsm = traced_jacobi ~sampling:(3, 30.) 7 in
+  Alcotest.(check int) "replay stores the identical subset" 0
+    (compare tr (Trace.events (Monitor.trace replay_dsm)))
+
+let test_sampling_telemetry_agreement () =
+  (* Online classification under aggressive sampling + a tiny ring equals
+     the post-mortem classification of the unsampled reference trace. *)
+  let _, ref_dsm = traced_jacobi 5 in
+  let post =
+    List.sort compare
+      (List.map pattern_pair
+         (Analyze.pages (Analyze.analyze (Monitor.trace ref_dsm))))
+  in
+  let captured = ref None in
+  let observe dsm =
+    Monitor.enable dsm true;
+    let tr = Monitor.trace dsm in
+    Trace.set_capacity tr 64;
+    Trace.set_sampling tr ~seed:9 ~keep_pct:5.;
+    ignore (Telemetry.attach dsm);
+    captured := Some dsm
+  in
+  ignore (jacobi ~observe 5);
+  match !captured with
+  | None -> Alcotest.fail "jacobi did not expose its runtime"
+  | Some dsm ->
+      let tele = Option.get (Telemetry.find dsm) in
+      let online =
+        List.map
+          (fun (page, p) -> (page, Telemetry.pattern_to_string p))
+          (Telemetry.classification tele)
+      in
+      Alcotest.(check (list (pair int string)))
+        "classification exact despite 5% sampling and a 64-event ring" post
+        online;
+      Alcotest.(check bool) "the ring really was under pressure" true
+        (Trace.length (Monitor.trace dsm) <= 64)
+
+(* --- bounded trace, hot pages, snapshot --- *)
+
+let test_capped_trace_hot_pages () =
+  let captured = ref None in
+  let wd = ref None in
+  let observe dsm =
+    Monitor.enable dsm true;
+    let tr = Monitor.trace dsm in
+    Trace.set_capacity tr 256;
+    Trace.set_sampling tr ~seed:0 ~keep_pct:25.;
+    wd := Some (Watchdog.attach dsm);
+    captured := Some dsm
+  in
+  ignore
+    (Dsmpm2_apps.Jacobi.run
+       {
+         Dsmpm2_apps.Jacobi.default with
+         protocol = "li_hudak";
+         nodes = 8;
+         size = 32;
+         iterations = 3;
+         tie_seed = Some 0;
+         observe = Some observe;
+       });
+  let dsm = Option.get !captured in
+  let tele = Watchdog.telemetry (Option.get !wd) in
+  let tr = Monitor.trace dsm in
+  Alcotest.(check bool) "ring stays under the cap" true (Trace.length tr <= 256);
+  Alcotest.(check bool) "the run emitted far more than the cap" true
+    (Telemetry.events_seen tele > 256);
+  let profiles = Telemetry.Pages.profiles (Telemetry.pages tele) in
+  Alcotest.(check bool) "hot pages classified" true (profiles <> []);
+  Alcotest.(check bool) "boundary pages are shared, not private" true
+    (List.exists
+       (fun p -> p.Telemetry.pr_pattern <> Telemetry.Private)
+       profiles);
+  (* The dsm top snapshot is valid JSON and carries the trace pressure. *)
+  let json = Telemetry.to_json tele in
+  (match Json.of_string (Json.to_string json) with
+  | Error msg -> Alcotest.failf "snapshot is not valid JSON: %s" msg
+  | Ok _ -> ());
+  match Json.member "trace" json with
+  | None -> Alcotest.fail "snapshot has no trace accounting"
+  | Some t ->
+      Alcotest.(check bool) "snapshot reports sampling pressure" true
+        (match Option.bind (Json.member "sampled_out" t) Json.to_int with
+        | Some n -> n > 0
+        | None -> false)
+
+(* --- advice.page alerts round-trip through JSONL --- *)
+
+let test_advice_alert_jsonl_roundtrip () =
+  let wd = ref None in
+  let captured = ref None in
+  let observe dsm =
+    Monitor.enable dsm true;
+    wd := Some (Watchdog.attach dsm);
+    captured := Some dsm
+  in
+  (* li_hudak bounces whole pages, so boundary pages classify as
+     producer-consumer/migratory — patterns whose recommendation differs
+     from the running protocol, which is what makes advice fire. *)
+  ignore
+    (Dsmpm2_apps.Jacobi.run
+       {
+         Dsmpm2_apps.Jacobi.default with
+         protocol = "li_hudak";
+         nodes = 4;
+         size = 16;
+         iterations = 3;
+         tie_seed = Some 0;
+         observe = Some observe;
+       });
+  let w = Option.get !wd and dsm = Option.get !captured in
+  let advice =
+    List.filter (fun a -> a.Watchdog.al_kind = "advice.page") (Watchdog.alerts w)
+  in
+  Alcotest.(check bool) "jacobi draws protocol advice" true (advice <> []);
+  Alcotest.(check bool) "advice names a ~protocol attribute" true
+    (List.for_all
+       (fun a ->
+         a.Watchdog.al_severity = Watchdog.Info
+         && String.length a.Watchdog.al_detail > 0)
+       advice);
+  let path = Filename.temp_file "dsm_advice" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.save_jsonl path (Monitor.trace dsm);
+      match Trace.load_jsonl path with
+      | Error msg -> Alcotest.failf "trace dump unreadable: %s" msg
+      | Ok loaded ->
+          let details tr =
+            List.filter_map
+              (fun (_, ev) ->
+                match ev with
+                | Trace.Alert { kind = "advice.page"; detail; _ } -> Some detail
+                | _ -> None)
+              (Trace.events tr)
+          in
+          Alcotest.(check (list string)) "advice alerts survive the round trip"
+            (details (Monitor.trace dsm))
+            (details loaded);
+          Alcotest.(check bool) "round-tripped advice is non-empty" true
+            (details loaded <> []))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "sketch",
+        [
+          QCheck_alcotest.to_alcotest prop_relative_error;
+          QCheck_alcotest.to_alcotest prop_merge_is_concat;
+          Alcotest.test_case "mismatched alpha rejected" `Quick
+            test_sketch_rejects_mismatched_alpha;
+        ] );
+      ( "stats merge",
+        [
+          Alcotest.test_case "empty merge identity" `Quick
+            test_stats_merge_identity;
+          Alcotest.test_case "bucket alignment" `Quick
+            test_stats_merge_buckets_align;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "online = post-mortem, all protocols" `Quick
+            test_agrees_with_analyze;
+          Alcotest.test_case "exact under sampling + tiny ring" `Quick
+            test_sampling_telemetry_agreement;
+        ] );
+      ( "transparency",
+        [
+          Alcotest.test_case "25-seed jacobi schedule pin" `Quick
+            test_schedule_transparent_25_seeds;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "whole spans, exact subset, deterministic" `Quick
+            test_sampling_keeps_whole_spans_exactly;
+        ] );
+      ( "hot pages",
+        [
+          Alcotest.test_case "capped trace still classifies" `Quick
+            test_capped_trace_hot_pages;
+        ] );
+      ( "alerts",
+        [
+          Alcotest.test_case "advice.page JSONL round trip" `Quick
+            test_advice_alert_jsonl_roundtrip;
+        ] );
+    ]
